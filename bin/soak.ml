@@ -1,0 +1,181 @@
+(* Randomized soak campaign: hammer every protocol in the repository with
+   random trees, inputs, adversaries and schedulers, and report any
+   violation of its specification. Exit code 0 = clean campaign.
+
+     dune exec bin/soak.exe -- [runs] [seed]     (defaults: 200 runs, seed 0)
+
+   This is the long-running complement to the qcheck properties in the test
+   suite: same oracles, bigger and more varied search space, one summary
+   line per protocol family. *)
+
+open Treeagree
+
+type tally = { mutable runs : int; mutable violations : int }
+
+let tally () = { runs = 0; violations = 0 }
+
+let record t ok =
+  t.runs <- t.runs + 1;
+  if not ok then t.violations <- t.violations + 1
+
+let random_tree rng =
+  match Rng.int rng 6 with
+  | 0 -> Generate.path (2 + Rng.int rng 300)
+  | 1 -> Generate.star (3 + Rng.int rng 200)
+  | 2 ->
+      Generate.caterpillar ~spine:(1 + Rng.int rng 40) ~legs:(Rng.int rng 4)
+  | 3 -> Generate.spider ~legs:(1 + Rng.int rng 8) ~leg_length:(1 + Rng.int rng 20)
+  | 4 -> Generate.balanced ~arity:(2 + Rng.int rng 2) ~depth:(1 + Rng.int rng 5)
+  | _ -> Generate.random rng (2 + Rng.int rng 250)
+
+let tree_adversary rng ~tree ~t =
+  let barrier = max 1 (Paths_finder.rounds ~tree) in
+  match Rng.int rng 4 with
+  | 0 -> Adversary.passive "none"
+  | 1 -> Strategies.random_silent ~count:t
+  | 2 ->
+      Strategies.crash
+        ~at_round:(1 + Rng.int rng (max 1 (Tree_aa.rounds ~tree)))
+        ~victims:(Aat_util.Rng.sample_without_replacement rng t (t + 3))
+  | _ ->
+      let nv = Tree.n_vertices tree in
+      Compose_adversary.phased ~name:"spoiler" ~barrier
+        ~first:
+          (Spoiler.realaa_spoiler ~t
+             ~iterations:
+               (Rounds.bdh_iterations ~range:(float_of_int ((2 * nv) - 2)) ~eps:1.))
+        ~second:
+          (Spoiler.realaa_spoiler ~t
+             ~iterations:
+               (Rounds.bdh_iterations
+                  ~range:(float_of_int (max 2 (Metrics.diameter tree)))
+                  ~eps:1.))
+
+let check_tree_run ~tree ~inputs (report : (Tree.vertex, _) Engine.report) =
+  let initially = Engine.initially_corrupted report in
+  let hull_inputs =
+    Array.to_list (Array.mapi (fun i v -> (i, v)) inputs)
+    |> List.filter_map (fun (i, v) ->
+           if List.mem i initially then None else Some v)
+  in
+  Verdict.all_ok
+    (Tree_verdict.check ~tree
+       ~n_honest:(Array.length inputs - List.length report.Engine.corrupted)
+       ~honest_inputs:hull_inputs
+       ~honest_outputs:(Engine.honest_outputs report))
+
+let soak_tree_aa rng t_tally =
+  let tree = random_tree rng in
+  let nv = Tree.n_vertices tree in
+  let n = 4 + Rng.int rng 10 in
+  let t = Rng.int rng ((n - 1) / 3 + 1) in
+  let inputs = Array.init n (fun _ -> Rng.int rng nv) in
+  let adversary = tree_adversary rng ~tree ~t in
+  let report = Tree_aa.run ~seed:(Rng.int rng 1_000_000) ~tree ~inputs ~t ~adversary () in
+  record t_tally (check_tree_run ~tree ~inputs report)
+
+let soak_nr rng t_tally =
+  let tree = random_tree rng in
+  let nv = Tree.n_vertices tree in
+  let n = 4 + Rng.int rng 10 in
+  let t = Rng.int rng ((n - 1) / 3 + 1) in
+  let inputs = Array.init n (fun _ -> Rng.int rng nv) in
+  let report =
+    Nr_baseline.run ~seed:(Rng.int rng 1_000_000) ~tree ~inputs ~t
+      ~adversary:(Strategies.random_silent ~count:t) ()
+  in
+  record t_tally (check_tree_run ~tree ~inputs report)
+
+let soak_realaa rng t_tally =
+  let n = 4 + Rng.int rng 15 in
+  let t = Rng.int rng ((n - 1) / 3 + 1) in
+  let d = Float.pow 10. (1. +. Rng.float rng 5.) in
+  let values = Array.init n (fun _ -> Rng.float rng d) in
+  let iterations = Rounds.bdh_iterations ~range:d ~eps:1. in
+  let adversary =
+    match Rng.int rng 3 with
+    | 0 -> Adversary.passive "none"
+    | 1 -> Strategies.random_silent ~count:t
+    | _ -> Spoiler.realaa_spoiler ~t ~iterations
+  in
+  let report =
+    Engine.run ~n ~t ~seed:(Rng.int rng 1_000_000)
+      ~max_rounds:(max 1 (3 * iterations))
+      ~protocol:(Real_aa.protocol ~inputs:(fun i -> values.(i)) ~t ~iterations ())
+      ~adversary ()
+  in
+  let hull_inputs =
+    let initially = Engine.initially_corrupted report in
+    Array.to_list (Array.mapi (fun i v -> (i, v)) values)
+    |> List.filter_map (fun (i, v) ->
+           if List.mem i initially then None else Some v)
+  in
+  record t_tally
+    (Verdict.all_ok
+       (Verdict.real ~eps:1.
+          ~n_honest:(n - List.length report.Engine.corrupted)
+          ~honest_inputs:hull_inputs
+          ~honest_outputs:
+            (List.map
+               (fun (r : Real_aa.result) -> r.value)
+               (Engine.honest_outputs report))))
+
+let soak_async rng t_tally =
+  let tree = Generate.random rng (2 + Rng.int rng 60) in
+  let nv = Tree.n_vertices tree in
+  let inputs = Array.init 7 (fun _ -> Rng.int rng nv) in
+  let iterations = Nr_baseline.iterations_for tree in
+  let scheduler =
+    match Rng.int rng 3 with
+    | 0 -> Async_engine.Fifo
+    | 1 -> Async_engine.Lifo
+    | _ -> Async_engine.Random_order
+  in
+  let report =
+    Async_engine.run ~n:7 ~t:2 ~seed:(Rng.int rng 1_000_000)
+      ~max_events:2_000_000
+      ~reactor:(Async_aa.tree ~tree ~inputs:(fun i -> inputs.(i)) ~t:2 ~iterations)
+      ~adversary:(Async_engine.passive ~scheduler "none")
+      ()
+  in
+  let honest_inputs = Array.to_list inputs in
+  record t_tally
+    (Verdict.all_ok
+       (Tree_verdict.check ~tree ~n_honest:7 ~honest_inputs
+          ~honest_outputs:
+            (List.map
+               (fun (_, (r : Tree.vertex Async_aa.result)) -> r.value)
+               report.Async_engine.outputs)))
+
+let () =
+  let runs =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 200
+  in
+  let seed = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 0 in
+  let rng = Rng.create seed in
+  let families =
+    [
+      ("tree-aa", soak_tree_aa, tally ());
+      ("nr-baseline", soak_nr, tally ());
+      ("realaa", soak_realaa, tally ());
+      ("async-tree-aa", soak_async, tally ());
+    ]
+  in
+  for i = 1 to runs do
+    let name, f, t = List.nth families (i mod List.length families) in
+    (try f rng t
+     with exn ->
+       record t false;
+       Printf.eprintf "[%s] run %d raised %s\n" name i (Printexc.to_string exn))
+  done;
+  let failures = ref 0 in
+  List.iter
+    (fun (name, _, t) ->
+      failures := !failures + t.violations;
+      Printf.printf "%-14s %5d runs  %d violations\n" name t.runs t.violations)
+    families;
+  if !failures > 0 then begin
+    Printf.printf "SOAK FAILED: %d violations\n" !failures;
+    exit 1
+  end
+  else Printf.printf "soak clean (%d runs, seed %d)\n" runs seed

@@ -1,0 +1,83 @@
+(* Robot gathering on a tree-shaped map — the motivating application from
+   the paper's introduction (robot gathering, [34], and the Edge-Gathering
+   relaxation of [2]).
+
+   A fleet of 10 maintenance robots is spread over a mine whose tunnel
+   system forms a tree (junctions = vertices, tunnels = edges). The robots
+   must rendezvous: with AA on trees they agree on two adjacent junctions
+   at worst — close enough to see each other — even though up to 3 robots
+   have been hijacked and lie arbitrarily about their positions. Exact
+   rendezvous (Byzantine agreement) would cost Theta(t) rounds; TreeAA
+   needs only O(log |V| / log log |V|).
+
+     dune exec examples/robot_gathering.exe *)
+
+open Treeagree
+
+let () =
+  (* The mine: a main gallery with side tunnels (a caterpillar-like tree),
+     generated deterministically so the run is reproducible. *)
+  let tree = Generate.random_of_diameter (Rng.create 2025) ~n:120 ~diameter:30 in
+  let nv = Tree.n_vertices tree in
+  Printf.printf
+    "Mine map: %d junctions, longest gallery %d tunnels, radius %d.\n" nv
+    (Metrics.diameter tree) (Metrics.radius tree);
+
+  (* Robot positions: scattered; the hijacked robots are 2, 5 and 9. *)
+  let rng = Rng.create 7 in
+  let positions = Array.init 10 (fun _ -> Rng.int rng nv) in
+  let hijacked = [ 2; 5; 9 ] in
+  Array.iteri
+    (fun i p ->
+      Printf.printf "  robot %d at junction %s%s\n" i (Tree.label tree p)
+        (if List.mem i hijacked then "  (hijacked!)" else ""))
+    positions;
+
+  (* The hijacked robots mount the strongest attack we have: the RealAA
+     spoiler, lifted to both phases of TreeAA. *)
+  let t = 3 in
+  let spoiler =
+    let tour_len = (2 * nv) - 1 in
+    Compose_adversary.phased ~name:"hijackers"
+      ~barrier:(max 1 (Paths_finder.rounds ~tree))
+      ~first:
+        (Spoiler.realaa_spoiler ~t
+           ~iterations:
+             (Rounds.bdh_iterations ~range:(float_of_int (tour_len - 1)) ~eps:1.))
+      ~second:
+        (Spoiler.realaa_spoiler ~t
+           ~iterations:
+             (Rounds.bdh_iterations
+                ~range:(float_of_int (Metrics.diameter tree))
+                ~eps:1.))
+  in
+  let outcome = Quick.agree ~tree ~inputs:positions ~t ~adversary:spoiler () in
+
+  Printf.printf "\nRendezvous decided after %d communication rounds:\n"
+    outcome.rounds;
+  List.iter
+    (fun (robot, junction) ->
+      Printf.printf "  robot %d heads to junction %s\n" robot junction)
+    (Quick.output_labels tree outcome);
+
+  let meeting_points =
+    List.sort_uniq compare (List.map snd outcome.outputs)
+  in
+  Printf.printf "Distinct meeting junctions: %d (adjacent by 1-Agreement)\n"
+    (List.length meeting_points);
+  Format.printf "Verdict: %a\n" Verdict.pp outcome.verdict;
+  assert (Verdict.all_ok outcome.verdict);
+
+  (* Compare against the O(log D) state of the art the paper improves on.
+     TreeAA's advantage kicks in when the diameter is polynomial in |V|
+     (Theorem 4 vs [33]); on low-diameter maps the baseline can still be
+     competitive — the regime split the paper's conclusions discuss. *)
+  let nr = Nr_baseline.rounds ~tree in
+  Printf.printf
+    "\nThe O(log D) baseline [33] schedule: %d rounds; TreeAA: %d rounds.\n"
+    nr outcome.rounds;
+  let wide = Generate.path 100_000 in
+  Printf.printf
+    "On a high-diameter map (100k-junction gallery): baseline %d vs TreeAA %d.\n"
+    (Nr_baseline.rounds ~tree:wide)
+    (Tree_aa.rounds ~tree:wide)

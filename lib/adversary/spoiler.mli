@@ -1,0 +1,78 @@
+(** The convergence-slowing attack on RealAA — the adversary of Lemma 5.
+
+    RealAA's spread shrinks per iteration by a factor governed by how many
+    Byzantine parties burn themselves that iteration; the worst case of
+    Lemma 5, [t^R / (R^R (n-2t)^R)], is an adversary that splits its [t]
+    parties into [R] groups of [t/R] and spends group [i] in iteration [i]
+    on {e inclusion splits}: each spent leader gets its value graded 1 at a
+    chosen target set of honest parties and 0 at the rest, so the targets
+    average the planted value in and the others do not. The leader is
+    globally blacklisted afterwards — the mechanism allows this exactly
+    once per Byzantine party, which is why the budget is scheduled.
+
+    Mechanics of one split for leader [b] (all inside one 3-round
+    multi-gradecast; [h] = number of still-credible Byzantine helpers —
+    already-convicted parties are ignored by honest receivers and no longer
+    help; thresholds as in {!Gradecast}):
+
+    + round 1: [b] sends its planted value [v] to a set [H1] of exactly
+      [n - t - h] honest parties (and nothing to the rest);
+    + round 2: the helpers echo [v] for [b]'s instance toward
+      [|V| = t + 1 - h] selected honest "voters" in [H1] only. A voter
+      counts [|H1| + h = n - t] echoes and votes for [v]; every other
+      honest party counts fewer and abstains;
+    + round 3: the helpers vote [v] for [b]'s instance toward the target
+      set [T] only. A target sees [|V| + h = t + 1] votes — grade 1, value
+      included; a non-target sees [|V| ≤ t] votes — grade 0, excluded.
+
+    Values are chosen from the rushing view of the honest round-1 values to
+    shift trimming windows: the planted value sits far below the honest
+    range (at the targets it eats one lower-trim slot, dragging their
+    trimmed minimum down an order statistic) while the surviving Byzantine
+    "cover" leaders gradecast a far-above-range value to everyone (eating
+    upper-trim slots uniformly). Targets are the currently lowest honest
+    parties, so the low camp keeps sinking relative to the rest. Burns are
+    scheduled into the final iterations: one clean iteration collapses the
+    honest spread to a single point (fault-free RealAA agrees exactly after
+    one iteration), so for [R > t] some iteration is necessarily clean and
+    the final spread is 0 — the experiments show nonzero final spread
+    exactly in the [R <= t] regime, as the theory predicts.
+
+    The attack never violates the protocol's guarantees — experiment E1
+    checks that the measured spread stays within Lemma 5's bound while
+    being materially worse than the fault-free run. *)
+
+open Aat_engine
+open Aat_gradecast
+
+val realaa_spoiler :
+  t:int -> iterations:int -> float Gradecast.Multi.msg Adversary.t
+(** [t] corrupted parties [n - t .. n - 1] (the top ids), [iterations] the
+    RealAA schedule length the attack is spread over. *)
+
+val parties_of : n:int -> t:int -> Types.party_id list
+(** The corruption set used: the [t] highest ids. *)
+
+val relentless_spoiler :
+  t:int -> iterations:int -> float Gradecast.Multi.msg Adversary.t
+(** The spoiler with its burn bookkeeping disabled: the same leader splits
+    in {e every} iteration. Against the faithful protocol this is weaker
+    (the leader is blacklisted after its first split anyway); against the
+    no-blacklist ablation it keeps the divergence alive forever — the A1
+    ablation's attack. *)
+
+val generic_spoiler :
+  relentless:bool ->
+  project:('v -> float) ->
+  embed:(float -> 'v) ->
+  t:int ->
+  iterations:int ->
+  'v Gradecast.Multi.msg Adversary.t
+(** The same attack against a RealAA variant whose gradecast carries values
+    of type ['v]: [project] reads the real value out of an honest wire
+    value, [embed] builds a wire value carrying a planted real. *)
+
+val early_stopping_spoiler :
+  t:int -> iterations:int -> (float * bool) Gradecast.Multi.msg Adversary.t
+(** {!generic_spoiler} against [Early_bdh]'s [(value, done)] wire — plants
+    values but never claims DONE. *)

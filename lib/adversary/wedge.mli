@@ -1,0 +1,28 @@
+(** Agreement-breaking attacks for [t >= n/3] — the resilience-boundary
+    experiment (E6).
+
+    With [n = 3t] the echo/vote thresholds of gradecast lose their quorum
+    intersection and a Byzantine coalition can drive {e different} values to
+    grade 2 at different honest parties; from there every midpoint-style AA
+    protocol is kept permanently split. These adversaries implement that
+    attack. Against [n >= 3t + 1] they are harmless (the tests check both
+    sides of the boundary). *)
+
+open Aat_engine
+open Aat_gradecast
+
+val naive_wedge : unit -> float Adversary.t
+(** Against {!Aat_realaa.Iterated_midpoint.naive} (plain value broadcasts):
+    sends the low honest extreme to the lower half of the honest parties
+    and the high extreme to the upper half, every round. At [n = 3t] the
+    trimmed midpoints then never move. *)
+
+val gradecast_wedge : unit -> float Gradecast.Multi.msg Adversary.t
+(** Against the gradecast-based protocols (RealAA, iterated midpoint with
+    gradecast): splits the honest parties into two camps and, for every
+    Byzantine leader instance, drives value [lo] to grade 2 in one camp and
+    [hi] to grade 2 in the other — unpunishable equivocation once
+    [n <= 3t]. *)
+
+val camps : 'msg Adversary.view -> Types.party_id list * Types.party_id list
+(** The two honest camps (lower ids, upper ids) the wedges split between. *)

@@ -1,0 +1,185 @@
+open Aat_engine
+open Aat_tree
+
+type 'v msg =
+  | Rbc of 'v Bracha.msg
+  | Report of { iteration : int; ids : Types.party_id list }
+
+type 'v result = { value : 'v; iterations_done : int }
+
+type 'v state = {
+  n : int;
+  t : int;
+  self : Types.party_id;
+  iterations : int;
+  combine : 'v list -> 'v option;
+  validate : 'v -> bool;
+  rbc : 'v Bracha.Instances.t;
+  (* per iteration: delivered values by origin *)
+  delivered : (int, (Types.party_id, 'v) Hashtbl.t) Hashtbl.t;
+  (* per iteration: reports by reporter *)
+  reports : (int, (Types.party_id, Types.party_id list) Hashtbl.t) Hashtbl.t;
+  reported : (int, unit) Hashtbl.t; (* iterations we reported *)
+  mutable iteration : int;
+  mutable value : 'v;
+  mutable decided : 'v result option;
+}
+
+let deliveries st r =
+  match Hashtbl.find_opt st.delivered r with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 16 in
+      Hashtbl.replace st.delivered r tbl;
+      tbl
+
+let reports_for st r =
+  match Hashtbl.find_opt st.reports r with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 16 in
+      Hashtbl.replace st.reports r tbl;
+      tbl
+
+let to_all st m = List.init st.n (fun p -> (p, m))
+
+(* Drive the iteration state machine as far as the collected evidence
+   allows. Multiple steps can unlock at once (buffered future-iteration
+   deliveries), hence the loop. *)
+let rec try_progress st acc =
+  if st.decided <> None then acc
+  else begin
+    let r = st.iteration in
+    let dels = deliveries st r in
+    let new_msgs = ref [] in
+    (* step 1: report once n - t values are in *)
+    if (not (Hashtbl.mem st.reported r)) && Hashtbl.length dels >= st.n - st.t
+    then begin
+      Hashtbl.replace st.reported r ();
+      let ids = Hashtbl.fold (fun p _ acc -> p :: acc) dels [] in
+      new_msgs :=
+        to_all st (Report { iteration = r; ids = List.sort compare ids })
+        @ !new_msgs
+    end;
+    (* step 2: advance on n - t satisfied reports *)
+    let advanced =
+      Hashtbl.mem st.reported r
+      &&
+      let satisfied =
+        Hashtbl.fold
+          (fun _reporter ids count ->
+            if List.for_all (Hashtbl.mem dels) ids then count + 1 else count)
+          (reports_for st r) 0
+      in
+      if satisfied >= st.n - st.t then begin
+        let multiset = Hashtbl.fold (fun _ v acc -> v :: acc) dels [] in
+        (match st.combine multiset with
+        | Some v -> st.value <- v
+        | None -> ());
+        st.iteration <- r + 1;
+        if st.iteration > st.iterations then
+          st.decided <- Some { value = st.value; iterations_done = r }
+        else begin
+          let next =
+            Bracha.Instances.broadcast st.rbc ~self:st.self ~tag:st.iteration
+              st.value
+            |> List.map (fun (dst, m) -> (dst, Rbc m))
+          in
+          new_msgs := next @ !new_msgs
+        end;
+        true
+      end
+      else false
+    in
+    let acc = !new_msgs @ acc in
+    if advanced then try_progress st acc else acc
+  end
+
+let reactor ~name ~inputs ~t ~iterations ~combine ~validate =
+  {
+    Async_engine.name;
+    init =
+      (fun ~self ~n ->
+        let st =
+          {
+            n;
+            t;
+            self;
+            iterations;
+            combine;
+            validate;
+            rbc = Bracha.Instances.create ~n ~t;
+            delivered = Hashtbl.create 8;
+            reports = Hashtbl.create 8;
+            reported = Hashtbl.create 8;
+            iteration = 1;
+            value = inputs self;
+            decided = None;
+          }
+        in
+        if iterations <= 0 then begin
+          st.decided <- Some { value = st.value; iterations_done = 0 };
+          (st, [])
+        end
+        else
+          let letters =
+            Bracha.Instances.broadcast st.rbc ~self ~tag:1 st.value
+            |> List.map (fun (dst, m) -> (dst, Rbc m))
+          in
+          (st, letters))
+    ;
+    on_message =
+      (fun ~self e st ->
+        let immediate =
+          match e.Types.payload with
+          | Rbc rbc_msg ->
+              let out, delivered =
+                Bracha.Instances.handle st.rbc ~self
+                  { e with Types.payload = rbc_msg }
+              in
+              List.iter
+                (fun ((key : Bracha.key), v) ->
+                  if
+                    key.tag >= 1
+                    && key.tag <= st.iterations
+                    && st.validate v
+                  then begin
+                    let dels = deliveries st key.tag in
+                    if not (Hashtbl.mem dels key.origin) then
+                      Hashtbl.replace dels key.origin v
+                  end)
+                delivered;
+              List.map (fun (dst, m) -> (dst, Rbc m)) out
+          | Report { iteration; ids } ->
+              (* malformed (too small / duplicated / out-of-range) reports
+                 are discarded: the witness intersection argument needs
+                 every accepted report to carry >= n - t distinct ids *)
+              let distinct = List.sort_uniq compare ids in
+              if
+                iteration >= 1
+                && iteration <= st.iterations
+                && List.length distinct = List.length ids
+                && List.length ids >= st.n - st.t
+                && List.for_all (fun p -> p >= 0 && p < st.n) ids
+              then Hashtbl.replace (reports_for st iteration) e.Types.sender ids;
+              []
+        in
+        let followups = try_progress st [] in
+        (st, immediate @ followups));
+    output = (fun st -> st.decided);
+  }
+
+let real ~inputs ~t ~iterations =
+  reactor ~name:"async-aa-real" ~inputs ~t ~iterations
+    ~combine:(fun values -> Aat_realaa.Trim.trimmed_midpoint ~t values)
+    ~validate:(fun v -> Float.is_finite v)
+
+let tree ~tree ~inputs ~t ~iterations =
+  let rooted = Rooted.make tree in
+  let nv = Labeled_tree.n_vertices tree in
+  reactor ~name:"async-aa-tree" ~inputs ~t ~iterations
+    ~combine:(fun multiset ->
+      match Aat_treeaa.Nr_baseline.safe_vertices rooted ~t multiset with
+      | [] -> None
+      | safe -> Some (Aat_treeaa.Nr_baseline.center_of rooted safe))
+    ~validate:(fun v -> v >= 0 && v < nv)

@@ -1,0 +1,66 @@
+(** Asynchronous iterated approximate agreement — the classic outline in
+    the model where the paper's prior art lives ([1, 12, 33]).
+
+    Each iteration [r]:
+
+    + reliably broadcast one's current value tagged [r] ({!Bracha});
+    + once [n - t] iteration-[r] values are delivered, report the set of
+      origins seen;
+    + wait for [n - t] {e satisfied} reports — reports (of size ≥ [n - t],
+      smaller ones are discarded as malformed) whose origin set is covered
+      by one's own delivered set. Any two honest parties then share a
+      satisfied reporter, so their multisets intersect in ≥ [n - t]
+      elements (the witness technique of [1]);
+    + combine the delivered multiset into the next value and move on.
+
+    With the trimmed-midpoint combine on ℝ the spread halves per iteration;
+    with the safe-area center on trees this is precisely the Nowak–Rybicki
+    [33] protocol whose [O(log D)] iteration count TreeAA improves on.
+    There are no rounds to count — the bench reports iterations and
+    messages instead, and the tests drive it under adversarial schedulers
+    (LIFO, laggard-starving, random) plus Byzantine injections. *)
+
+open Aat_engine
+open Aat_tree
+
+type 'v msg =
+  | Rbc of 'v Bracha.msg  (** value distribution, tag = iteration *)
+  | Report of { iteration : int; ids : Types.party_id list }
+
+type 'v result = { value : 'v; iterations_done : int }
+
+type 'v state
+
+val reactor :
+  name:string ->
+  inputs:(Types.party_id -> 'v) ->
+  t:int ->
+  iterations:int ->
+  combine:('v list -> 'v option) ->
+  validate:('v -> bool) ->
+  ('v state, 'v msg, 'v result) Async_engine.reactor
+(** Generic core. [combine] receives the delivered multiset (≥ n - t
+    values, Byzantine contributions already limited to ≤ t and consistent
+    across parties thanks to reliable broadcast) and yields the next value
+    ([None] keeps the current one). [validate] discards syntactically
+    invalid Byzantine values before they enter the multiset. *)
+
+val real :
+  inputs:(Types.party_id -> float) ->
+  t:int ->
+  iterations:int ->
+  (float state, float msg, float result) Async_engine.reactor
+(** AA on ℝ: trimmed-midpoint combine, halving per iteration — run it for
+    [Rounds.halving_iterations ~range ~eps] iterations. *)
+
+val tree :
+  tree:Labeled_tree.t ->
+  inputs:(Types.party_id -> Labeled_tree.vertex) ->
+  t:int ->
+  iterations:int ->
+  (Labeled_tree.vertex state, Labeled_tree.vertex msg,
+   Labeled_tree.vertex result)
+  Async_engine.reactor
+(** AA on trees à la [33]: safe-area center combine
+    ({!Aat_treeaa.Nr_baseline.safe_vertices}); run it for
+    [Nr_baseline.iterations_for tree] iterations. *)

@@ -1,0 +1,218 @@
+open Aat_engine
+
+type ('state, 'msg, 'out) reactor = {
+  name : string;
+  init : self:Types.party_id -> n:int -> 'state * (Types.party_id * 'msg) list;
+  on_message :
+    self:Types.party_id ->
+    'msg Types.envelope ->
+    'state ->
+    'state * (Types.party_id * 'msg) list;
+  output : 'state -> 'out option;
+}
+
+type 'msg pending = { letter : 'msg Types.letter; enqueued_at : int }
+
+type 'msg scheduler =
+  | Fifo
+  | Lifo
+  | Random_order
+  | Laggards of Types.party_id list
+  | Custom of ('msg pending array -> Aat_util.Rng.t -> int)
+
+type 'msg adversary = {
+  name : string;
+  corrupt : n:int -> t:int -> Aat_util.Rng.t -> Types.party_id list;
+  scheduler : 'msg scheduler;
+  inject :
+    step:int ->
+    corrupted:bool array ->
+    n:int ->
+    rng:Aat_util.Rng.t ->
+    'msg Types.letter list;
+}
+
+let passive ?(scheduler = Fifo) name =
+  {
+    name;
+    corrupt = (fun ~n:_ ~t:_ _ -> []);
+    scheduler;
+    inject = (fun ~step:_ ~corrupted:_ ~n:_ ~rng:_ -> []);
+  }
+
+type ('out, 'msg) report = {
+  outputs : (Types.party_id * 'out) list;
+  events : int;
+  honest_messages : int;
+  injected_messages : int;
+  rejected_forgeries : int;
+  corrupted : Types.party_id list;
+}
+
+exception Exceeded_max_events of string
+
+(* The pending pool is a growable array with swap-removal: delivery order is
+   entirely in the scheduler's hands (plus the patience override), so pool
+   order does not matter semantically. *)
+module Pool = struct
+  type 'msg t = { mutable items : 'msg pending array; mutable len : int }
+
+  let create () = { items = [||]; len = 0 }
+
+  let add pool p =
+    if pool.len = Array.length pool.items then begin
+      let grown = Array.make (max 16 (2 * pool.len)) p in
+      Array.blit pool.items 0 grown 0 pool.len;
+      pool.items <- grown
+    end;
+    pool.items.(pool.len) <- p;
+    pool.len <- pool.len + 1
+
+  let take pool i =
+    let p = pool.items.(i) in
+    pool.len <- pool.len - 1;
+    pool.items.(i) <- pool.items.(pool.len);
+    p
+
+  let view pool = Array.sub pool.items 0 pool.len
+
+  let is_empty pool = pool.len = 0
+end
+
+let pick_index (type m) ~(scheduler : m scheduler) ~patience ~step ~rng
+    (pool : m Pool.t) =
+  (* patience override: the longest-waiting message must go out *)
+  let oldest = ref 0 in
+  for i = 1 to pool.Pool.len - 1 do
+    if pool.Pool.items.(i).enqueued_at < pool.Pool.items.(!oldest).enqueued_at
+    then oldest := i
+  done;
+  if step - pool.Pool.items.(!oldest).enqueued_at >= patience then !oldest
+  else
+    match scheduler with
+    | Fifo -> !oldest
+    | Lifo -> pool.Pool.len - 1
+    | Random_order -> Aat_util.Rng.int rng pool.Pool.len
+    | Laggards lagging ->
+        (* prefer any message not touching the lagging set *)
+        let rec find i =
+          if i >= pool.Pool.len then Aat_util.Rng.int rng pool.Pool.len
+          else
+            let l = pool.Pool.items.(i).letter in
+            if List.mem l.Types.src lagging || List.mem l.Types.dst lagging
+            then find (i + 1)
+            else i
+        in
+        find 0
+    | Custom f ->
+        let i = f (Pool.view pool) rng in
+        if i < 0 || i >= pool.Pool.len then 0 else i
+
+let run (type s m o) ~n ~t ?(max_events = 200_000) ?patience ?(seed = 0)
+    ~(reactor : (s, m, o) reactor) ~(adversary : m adversary) () =
+  if n < 1 then invalid_arg "Async_engine.run: n < 1";
+  if t < 0 || t >= n then invalid_arg "Async_engine.run: need 0 <= t < n";
+  let patience = match patience with Some p -> p | None -> 8 * n * n in
+  let rng = Aat_util.Rng.create seed in
+  let corrupted = Array.make n false in
+  let budget = ref t in
+  List.iter
+    (fun p ->
+      if p >= 0 && p < n && (not corrupted.(p)) && !budget > 0 then begin
+        corrupted.(p) <- true;
+        decr budget
+      end)
+    (adversary.corrupt ~n ~t rng);
+  let states : s option array = Array.make n None in
+  let outputs : o option array = Array.make n None in
+  let pool : m Pool.t = Pool.create () in
+  let honest_messages = ref 0 in
+  let injected_messages = ref 0 in
+  let rejected_forgeries = ref 0 in
+  let step = ref 0 in
+  let post_from src letters =
+    List.iter
+      (fun ((dst, body) : Types.party_id * m) ->
+        if dst >= 0 && dst < n then begin
+          incr honest_messages;
+          Pool.add pool
+            { letter = { Types.src; dst; body }; enqueued_at = !step }
+        end)
+      letters
+  in
+  (* initialize honest reactors *)
+  for p = 0 to n - 1 do
+    if not corrupted.(p) then begin
+      let st, letters = reactor.init ~self:p ~n in
+      states.(p) <- Some st;
+      outputs.(p) <- reactor.output st;
+      post_from p letters
+    end
+  done;
+  let all_decided () =
+    let ok = ref true in
+    for p = 0 to n - 1 do
+      if (not corrupted.(p)) && outputs.(p) = None then ok := false
+    done;
+    !ok
+  in
+  while not (all_decided ()) do
+    incr step;
+    if !step > max_events then
+      raise
+        (Exceeded_max_events
+           (Printf.sprintf "%s: undecided after %d delivery events"
+              reactor.name max_events));
+    (* adversarial injections *)
+    List.iter
+      (fun (l : m Types.letter) ->
+        if l.dst < 0 || l.dst >= n then ()
+        else if l.src >= 0 && l.src < n && corrupted.(l.src) then begin
+          incr injected_messages;
+          Pool.add pool { letter = l; enqueued_at = !step }
+        end
+        else incr rejected_forgeries)
+      (adversary.inject ~step:!step ~corrupted ~n ~rng);
+    if Pool.is_empty pool then
+      raise
+        (Exceeded_max_events
+           (Printf.sprintf
+              "%s: no pending messages but honest parties undecided (deadlock)"
+              reactor.name));
+    let idx =
+      pick_index ~scheduler:adversary.scheduler ~patience ~step:!step ~rng pool
+    in
+    let { letter; _ } = Pool.take pool idx in
+    let dst = letter.Types.dst in
+    (* A decided party keeps reacting: in the asynchronous model "output"
+       does not mean "halt" — its echoes may still be needed for other
+       parties' liveness (e.g. the READY quorums of reliable broadcast).
+       The run ends once every honest party has decided. *)
+    if not corrupted.(dst) then begin
+      match states.(dst) with
+      | None -> ()
+      | Some st ->
+          let st, letters =
+            reactor.on_message ~self:dst
+              { Types.sender = letter.Types.src; payload = letter.Types.body }
+              st
+          in
+          states.(dst) <- Some st;
+          if outputs.(dst) = None then outputs.(dst) <- reactor.output st;
+          post_from dst letters
+    end
+  done;
+  let outs = ref [] in
+  for p = n - 1 downto 0 do
+    match outputs.(p) with
+    | Some o when not corrupted.(p) -> outs := (p, o) :: !outs
+    | _ -> ()
+  done;
+  {
+    outputs = !outs;
+    events = !step;
+    honest_messages = !honest_messages;
+    injected_messages = !injected_messages;
+    rejected_forgeries = !rejected_forgeries;
+    corrupted = List.filter (fun p -> corrupted.(p)) (List.init n Fun.id);
+  }

@@ -1,0 +1,87 @@
+(** Event-driven asynchronous execution engine.
+
+    The paper's related work contrasts the synchronous model with the
+    asynchronous one — "messages get delivered eventually" — where the
+    prior-art tree protocol of Nowak & Rybicki [33] lives. This engine
+    models it: there are no rounds, only delivery events; a scheduler
+    (chosen by the adversary) decides which in-flight message is delivered
+    next, subject to {e eventual delivery}, which the engine enforces with
+    a patience bound — a message deferred for [patience] consecutive events
+    is delivered regardless of the scheduler's wishes. The adversary may
+    additionally inject messages from corrupted senders at any step
+    (authenticated channels: injected letters claiming honest senders are
+    dropped and counted).
+
+    Honest parties are {e reactors}: an initialization burst of messages,
+    then a pure handler invoked per delivered message, producing follow-up
+    messages; [output] signals the party's decision — the reactor keeps
+    reacting afterwards (deciding is not halting in the asynchronous model;
+    a decided party's echoes may be needed for others' liveness) and the
+    run ends once every honest party has decided. There is no clock, so protocols
+    cannot count rounds — exactly the constraint that forces the
+    iteration/witness structure of asynchronous AA. *)
+
+open Aat_engine
+
+type ('state, 'msg, 'out) reactor = {
+  name : string;
+  init : self:Types.party_id -> n:int -> 'state * (Types.party_id * 'msg) list;
+  on_message :
+    self:Types.party_id ->
+    'msg Types.envelope ->
+    'state ->
+    'state * (Types.party_id * 'msg) list;
+  output : 'state -> 'out option;
+}
+
+type 'msg pending = { letter : 'msg Types.letter; enqueued_at : int }
+
+(** Scheduling strategies (all subject to the patience bound). *)
+type 'msg scheduler =
+  | Fifo
+  | Lifo
+  | Random_order
+  | Laggards of Types.party_id list
+      (** starve messages from/to the given parties as long as allowed *)
+  | Custom of ('msg pending array -> Aat_util.Rng.t -> int)
+
+type 'msg adversary = {
+  name : string;
+  corrupt : n:int -> t:int -> Aat_util.Rng.t -> Types.party_id list;
+  scheduler : 'msg scheduler;
+  inject :
+    step:int ->
+    corrupted:bool array ->
+    n:int ->
+    rng:Aat_util.Rng.t ->
+    'msg Types.letter list;
+      (** called before every delivery event; senders must be corrupted *)
+}
+
+val passive : ?scheduler:'msg scheduler -> string -> 'msg adversary
+
+type ('out, 'msg) report = {
+  outputs : (Types.party_id * 'out) list;
+  events : int;  (** total delivery events *)
+  honest_messages : int;
+  injected_messages : int;
+  rejected_forgeries : int;
+  corrupted : Types.party_id list;
+}
+
+exception Exceeded_max_events of string
+
+val run :
+  n:int ->
+  t:int ->
+  ?max_events:int ->
+  ?patience:int ->
+  ?seed:int ->
+  reactor:('s, 'm, 'o) reactor ->
+  adversary:'m adversary ->
+  unit ->
+  ('o, 'm) report
+(** Runs until every honest party has an output. [patience] (default 8·n²)
+    bounds deferral; [max_events] (default 200_000) bounds the run. Raises
+    {!Exceeded_max_events} if honest parties are still undecided — a
+    liveness failure of the protocol under test. *)

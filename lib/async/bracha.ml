@@ -1,0 +1,141 @@
+open Aat_engine
+
+type key = { origin : Types.party_id; tag : int }
+
+type 'v msg =
+  | Init of key * 'v
+  | Echo of key * 'v
+  | Ready of key * 'v
+
+module Instances = struct
+  (* Per-instance progress. Votes are keyed by value (an equivocating
+     Byzantine sender can ECHO different values to different parties, so a
+     vote table per value is required — only one value can ever reach the
+     n - t echo quorum, by quorum intersection). *)
+  type 'v instance = {
+    mutable echoed : bool; (* we sent our ECHO *)
+    mutable readied : bool; (* we sent our READY *)
+    mutable delivered_value : 'v option;
+    echoes : ('v, (Types.party_id, unit) Hashtbl.t) Hashtbl.t;
+    readies : ('v, (Types.party_id, unit) Hashtbl.t) Hashtbl.t;
+  }
+
+  type 'v t = {
+    n : int;
+    thr : int; (* t *)
+    table : (key, 'v instance) Hashtbl.t;
+  }
+
+  let create ~n ~t = { n; thr = t; table = Hashtbl.create 64 }
+
+  let instance t key =
+    match Hashtbl.find_opt t.table key with
+    | Some i -> i
+    | None ->
+        let i =
+          {
+            echoed = false;
+            readied = false;
+            delivered_value = None;
+            echoes = Hashtbl.create 4;
+            readies = Hashtbl.create 4;
+          }
+        in
+        Hashtbl.replace t.table key i;
+        i
+
+  let vote votes value sender =
+    let voters =
+      match Hashtbl.find_opt votes value with
+      | Some set -> set
+      | None ->
+          let set = Hashtbl.create 8 in
+          Hashtbl.replace votes value set;
+          set
+    in
+    Hashtbl.replace voters sender ();
+    Hashtbl.length voters
+
+  let to_all t m = List.init t.n (fun p -> (p, m))
+
+  let broadcast t ~self ~tag value =
+    (* sender also counts itself: its own INIT is sent to everyone
+       including itself, so the self-echo happens on receipt *)
+    to_all t (Init ({ origin = self; tag }, value))
+
+  let handle t ~self (e : _ Types.envelope) =
+    ignore self;
+    let out = ref [] and delivered = ref [] in
+    let progress key inst value =
+      (* READY once either quorum is met; deliver on 2t+1 READYs *)
+      let echo_count =
+        match Hashtbl.find_opt inst.echoes value with
+        | Some set -> Hashtbl.length set
+        | None -> 0
+      in
+      let ready_count =
+        match Hashtbl.find_opt inst.readies value with
+        | Some set -> Hashtbl.length set
+        | None -> 0
+      in
+      if
+        (not inst.readied)
+        && (echo_count >= t.n - t.thr || ready_count >= t.thr + 1)
+      then begin
+        inst.readied <- true;
+        out := to_all t (Ready (key, value)) @ !out
+      end;
+      if inst.delivered_value = None && ready_count >= (2 * t.thr) + 1 then begin
+        inst.delivered_value <- Some value;
+        delivered := (key, value) :: !delivered
+      end
+    in
+    (match e.payload with
+    | Init (key, value) ->
+        (* authenticated channels: only the origin itself can INIT *)
+        if e.sender = key.origin then begin
+          let inst = instance t key in
+          if not inst.echoed then begin
+            inst.echoed <- true;
+            out := to_all t (Echo (key, value)) @ !out
+          end
+        end
+    | Echo (key, value) ->
+        let inst = instance t key in
+        ignore (vote inst.echoes value e.sender);
+        progress key inst value
+    | Ready (key, value) ->
+        let inst = instance t key in
+        ignore (vote inst.readies value e.sender);
+        progress key inst value);
+    (!out, !delivered)
+
+  let delivered t key =
+    match Hashtbl.find_opt t.table key with
+    | Some i -> i.delivered_value
+    | None -> None
+end
+
+type 'v state = { inst : 'v Instances.t; mutable out_value : 'v option }
+
+let reactor ~sender ~inputs ~t =
+  let key = { origin = sender; tag = 0 } in
+  {
+    Async_engine.name = "bracha";
+    init =
+      (fun ~self ~n ->
+        let st = { inst = Instances.create ~n ~t; out_value = None } in
+        let letters =
+          if self = sender then Instances.broadcast st.inst ~self ~tag:0 (inputs self)
+          else []
+        in
+        (st, letters));
+    on_message =
+      (fun ~self e st ->
+        let letters, delivered = Instances.handle st.inst ~self e in
+        List.iter
+          (fun (k, v) -> if k = key && st.out_value = None then st.out_value <- Some v)
+          delivered;
+        (st, letters));
+    output = (fun st -> st.out_value);
+  }

@@ -1,0 +1,63 @@
+(** Bracha's asynchronous reliable broadcast, [t < n/3].
+
+    The distribution mechanism underneath the asynchronous AA protocols
+    ([1, 33]): a sender INITs its value; parties ECHO the first INIT they
+    see; a party sends READY on [n - t] matching ECHOs (or [t + 1] matching
+    READYs — the amplification step), and {e delivers} on [2t + 1] matching
+    READYs.
+
+    Guarantees for [t < n/3]:
+    - {b validity}: an honest sender's value is eventually delivered by all
+      honest parties;
+    - {b agreement}: no two honest parties deliver different values for the
+      same instance;
+    - {b totality}: if any honest party delivers, every honest party
+      eventually delivers (the same value).
+
+    {!Instances} is the composable multi-instance core used by the AA
+    reactors (instances are keyed by [(origin, tag)], where the AA layer
+    uses the iteration number as tag); {!reactor} wraps a single instance
+    for direct testing. *)
+
+open Aat_engine
+
+type key = { origin : Types.party_id; tag : int }
+
+type 'v msg =
+  | Init of key * 'v
+  | Echo of key * 'v
+  | Ready of key * 'v
+
+module Instances : sig
+  type 'v t
+  (** Mutable bookkeeping for any number of concurrent instances. *)
+
+  val create : n:int -> t:int -> 'v t
+
+  val broadcast : 'v t -> self:Types.party_id -> tag:int -> 'v ->
+    (Types.party_id * 'v msg) list
+  (** Start broadcasting one's own value under [(self, tag)]. *)
+
+  val handle :
+    'v t ->
+    self:Types.party_id ->
+    'v msg Types.envelope ->
+    (Types.party_id * 'v msg) list * (key * 'v) list
+  (** Process one message; returns follow-up messages and any newly
+      delivered [(key, value)] pairs (at most one here, but typed as a list
+      for uniformity). Equivocating INITs are ignored after the first;
+      double ECHO/READY per sender per instance are ignored. *)
+
+  val delivered : 'v t -> key -> 'v option
+end
+
+type 'v state
+
+val reactor :
+  sender:Types.party_id ->
+  inputs:(Types.party_id -> 'v) ->
+  t:int ->
+  ('v state, 'v msg, 'v) Async_engine.reactor
+(** Single-instance broadcast from [sender] (tag 0); every honest party's
+    output is the delivered value. If the sender is corrupted and never
+    INITs, no honest party decides — tests bound this with [max_events]. *)

@@ -1,0 +1,111 @@
+(** Simulated digital signatures for the authenticated setting.
+
+    The paper's closing note observes that the TreeAA reduction is
+    threshold-agnostic: swap RealAA for an authenticated-model protocol
+    (Proxcensus [22]) and the tree layer tolerates [t < n/2]. That needs a
+    signature abstraction. In a simulation, what a protocol actually uses
+    from signatures is {e unforgeability} plus {e transferability}, and
+    both can be provided structurally, without cryptography:
+
+    - a [signed] value can only be constructed by {!sign}, which demands
+      the signer's {!Keyring.key} — a capability handed out by trusted
+      setup. Honest parties' keys never reach the adversary, so forging an
+      honest signature is impossible {e by construction} (it is not merely
+      computationally hard);
+    - [signed] values are ordinary data: they can be stored, forwarded and
+      re-sent by anyone — replay and transfer behave exactly as with real
+      signatures.
+
+    {!Accountable} builds the derived primitive the authenticated AA
+    protocols rest on: equivocation-evident broadcast, where signing two
+    different values in the same instance yields a transferable fraud
+    proof. *)
+
+open Aat_engine
+
+module Keyring : sig
+  type t
+  (** The output of trusted setup: one signing capability per party. *)
+
+  type key
+
+  val setup : n:int -> t
+
+  val key : t -> Types.party_id -> key
+  (** The dealer's handout: the experiment harness passes [key ring i] to
+      party [i]'s protocol closure — and to the adversary only for
+      corrupted [i]. *)
+
+  val signer : key -> Types.party_id
+end
+
+type 'a signed
+
+val sign : Keyring.key -> 'a -> 'a signed
+
+val data : 'a signed -> 'a
+
+val signer : 'a signed -> Types.party_id
+
+val conflict : 'a signed -> 'a signed -> bool
+(** [conflict s s'] — same signer, different data: a fraud proof. Anyone
+    holding such a pair can convince anyone else, so conviction is
+    transferable. *)
+
+(** Equivocation-evident broadcast: every party signs and announces a value
+    (round 1), then twice forwards everything it has seen (rounds 2-3).
+
+    Guarantees (any [t < n], proved in the test suite):
+
+    - {b validity}: an honest sender's value is [Accepted] by every honest
+      party;
+    - {b value consistency}: no two honest parties accept {e different}
+      values from the same sender — acceptance requires having seen a
+      single value for the sender, arrived early enough (by round 2) that
+      its holder's round-3 forward exposed it to everyone, so a second
+      accepted value would have produced a fraud proof instead;
+    - {b accountability}: a [Convicted] outcome carries two conflicting
+      signatures — unforgeable evidence, so honest senders are never
+      convicted.
+
+    What it does {e not} give: inclusion consistency — a Byzantine sender
+    can still arrange for some honest parties to end [Missing] while
+    others [Accept]. Closing that gap with fewer than [Theta(t)] rounds is
+    precisely the hard part of Proxcensus [22], which is out of scope here
+    (see DESIGN.md, substitutions). *)
+module Accountable : sig
+  type 'a outcome =
+    | Accepted of 'a signed
+    | Missing
+    | Convicted of 'a signed * 'a signed
+        (** the fraud proof: two conflicting signatures *)
+
+  type 'a state
+
+  (** Wire format — public so Byzantine strategies can read and forge it,
+      as a real Byzantine party could. What they cannot do is mint an ['a
+      signed] for a key they do not hold. *)
+  type 'a msg =
+    | Announce of 'a signed  (** round 1 *)
+    | Forward of 'a signed list  (** rounds 2-3 *)
+
+  val rounds : int
+  (** = 3 *)
+
+  val protocol :
+    keyring:Keyring.t ->
+    inputs:(Types.party_id -> 'a) ->
+    ('a state, 'a msg, 'a outcome array) Protocol.t
+  (** Party [p] announces [inputs p]; the output is one outcome per
+      sender. *)
+
+  val forge :
+    key:Keyring.key -> 'a -> 'a msg
+  (** An adversary helper: the round-1 announcement for an arbitrary value
+      under a (corrupted) key — sending two different forgeries to
+      different parties is the equivocation the tests convict. *)
+
+  val forward_msg : 'a signed list -> 'a msg
+  (** An adversary helper: a round-2/3 forward carrying chosen (replayed)
+      signed values. *)
+end

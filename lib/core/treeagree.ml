@@ -1,0 +1,122 @@
+(** Treeagree — round-optimal Byzantine approximate agreement on trees.
+
+    The one-stop public API of the library, re-exporting every component of
+    the reproduction of "Towards Round-Optimal Approximate Agreement on
+    Trees" (PODC 2025) under stable names, plus the {!Quick} facade for
+    programs that just want to run an agreement.
+
+    {1 Layers}
+
+    - trees: {!Tree}, {!Rooted}, {!Paths}, {!Metrics}, {!Euler_tour},
+      {!Lca}, {!Convex_hull}, {!Projection}, {!Generate}, {!Prufer},
+      {!Tree_io}
+    - simulation: {!Engine}, {!Protocol}, {!Adversary}, {!Verdict},
+      {!Strategies}, {!Spoiler}, {!Wedge}
+    - protocols: {!Gradecast}, {!Real_aa} (the [6] building block),
+      {!Iterated_midpoint} (baselines), {!Path_aa}, {!Known_path_aa},
+      {!Paths_finder}, {!Tree_aa} (the paper's contribution),
+      {!Nr_baseline}
+    - analysis: {!Fekete}, {!Chain}, {!Rounds}, {!Tree_verdict} *)
+
+module Rng = Aat_util.Rng
+
+(* trees *)
+module Tree = Aat_tree.Labeled_tree
+module Rooted = Aat_tree.Rooted
+module Paths = Aat_tree.Paths
+module Metrics = Aat_tree.Metrics
+module Euler_tour = Aat_tree.Euler_tour
+module Lca = Aat_tree.Lca
+module Convex_hull = Aat_tree.Convex_hull
+module Projection = Aat_tree.Projection
+module Generate = Aat_tree.Generate
+module Prufer = Aat_tree.Prufer
+module Tree_io = Aat_tree.Tree_io
+
+(* simulation *)
+module Types = Aat_engine.Types
+module Protocol = Aat_engine.Protocol
+module Composed = Aat_engine.Composed
+module Engine = Aat_engine.Sync_engine
+module Adversary = Aat_engine.Adversary
+module Verdict = Aat_engine.Verdict
+module Strategies = Aat_adversary.Strategies
+module Spoiler = Aat_adversary.Spoiler
+module Wedge = Aat_adversary.Wedge
+module Compose_adversary = Aat_adversary.Compose
+
+(* protocols *)
+module Gradecast = Aat_gradecast.Gradecast
+module Real_aa = Aat_realaa.Bdh
+module Early_real_aa = Aat_realaa.Early_bdh
+module Iterated_midpoint = Aat_realaa.Iterated_midpoint
+module Closest_int = Aat_realaa.Closest_int
+module Trim = Aat_realaa.Trim
+module Rounds = Aat_realaa.Rounds
+module Path_aa = Aat_treeaa.Path_aa
+module Known_path_aa = Aat_treeaa.Known_path_aa
+module Paths_finder = Aat_treeaa.Paths_finder
+module Tree_aa = Aat_treeaa.Tree_aa
+module Nr_baseline = Aat_treeaa.Nr_baseline
+module Tree_verdict = Aat_treeaa.Tree_verdict
+
+(* asynchronous model *)
+module Async_engine = Aat_async.Async_engine
+module Bracha = Aat_async.Bracha
+module Async_aa = Aat_async.Async_aa
+
+(* authenticated setting *)
+module Auth = Aat_auth.Auth
+
+(* analysis *)
+module Fekete = Aat_lowerbound.Fekete
+module Chain = Aat_lowerbound.Chain
+
+(** High-level facade: run TreeAA and get the honest outputs, checked. *)
+module Quick = struct
+  type outcome = {
+    outputs : (Types.party_id * Tree.vertex) list;
+        (** honest parties' outputs *)
+    rounds : int;  (** rounds used (equals the fixed schedule) *)
+    verdict : Verdict.t;  (** Definition 2 checked on this run *)
+    report : (Tree.vertex, Tree_aa.msg) Engine.report;
+  }
+
+  (** [agree ~tree ~inputs ~t ()] runs TreeAA for [n = Array.length inputs]
+      parties where party [i] inputs vertex [inputs.(i)], against
+      [adversary] (default: none), and checks Definition 2. Requires
+      [t < n/3] for the guarantees to hold (not enforced — the resilience
+      experiments deliberately cross the boundary). *)
+  let agree ?(seed = 0) ?adversary ~tree ~inputs ~t () =
+    let adversary =
+      match adversary with
+      | Some a -> a
+      | None -> Adversary.passive "none"
+    in
+    let report = Tree_aa.run ~seed ~tree ~inputs ~t ~adversary () in
+    (* Validity's hull: inputs of initially-honest parties (an adaptively
+       corrupted party contributed its input while honest). Termination:
+       every finally-honest party decided. *)
+    let hull_inputs =
+      let initially = Engine.initially_corrupted report in
+      Array.to_list (Array.mapi (fun i v -> (i, v)) inputs)
+      |> List.filter_map (fun (i, v) ->
+             if List.mem i initially then None else Some v)
+    in
+    let verdict =
+      Tree_verdict.check ~tree
+        ~n_honest:(Array.length inputs - List.length report.Engine.corrupted)
+        ~honest_inputs:hull_inputs
+        ~honest_outputs:(Engine.honest_outputs report)
+    in
+    {
+      outputs = report.Engine.outputs;
+      rounds = report.Engine.rounds_used;
+      verdict;
+      report;
+    }
+
+  (** Labels of the agreed vertices, for display. *)
+  let output_labels tree outcome =
+    List.map (fun (p, v) -> (p, Tree.label tree v)) outcome.outputs
+end

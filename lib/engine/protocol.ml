@@ -1,0 +1,91 @@
+type ('state, 'msg, 'out) t = {
+  name : string;
+  init : self:Types.party_id -> n:int -> 'state;
+  send :
+    round:Types.round -> self:Types.party_id -> 'state ->
+    (Types.party_id * 'msg) list;
+  receive :
+    round:Types.round -> self:Types.party_id ->
+    inbox:'msg Types.envelope list -> 'state -> 'state;
+  output : 'state -> 'out option;
+}
+
+let map_output f p = { p with output = (fun s -> Option.map f (p.output s)) }
+
+(* The composed state keeps the phase-one output [o1] inside [Phase2] so
+   that the phase-two protocol — a pure, cheap record of functions — can be
+   re-derived by [second o1] at every step instead of being stored (storing
+   it would leak its type parameters into the state type). *)
+let sequential ~name ~first ~rounds_of_first ~second =
+  if rounds_of_first < 1 then invalid_arg "Protocol.sequential: rounds_of_first < 1";
+  let open Composed in
+  let init ~self ~n = { n; phase = Phase1 (first.init ~self ~n) } in
+  let send ~round ~self state =
+    match state.phase with
+    | Phase1 s ->
+        List.map (fun (dst, m) -> (dst, M1 m)) (first.send ~round ~self s)
+    | Bridged _ -> []
+    | Phase2 (o1, s2) ->
+        let p2 = second o1 in
+        List.map
+          (fun (dst, m) -> (dst, M2 m))
+          (p2.send ~round:(round - rounds_of_first) ~self s2)
+  in
+  let filter1 inbox =
+    List.filter_map
+      (fun (e : _ Types.envelope) ->
+        match e.payload with
+        | M1 m -> Some { e with Types.payload = m }
+        | M2 _ -> None)
+      inbox
+  and filter2 inbox =
+    List.filter_map
+      (fun (e : _ Types.envelope) ->
+        match e.payload with
+        | M2 m -> Some { e with Types.payload = m }
+        | M1 _ -> None)
+      inbox
+  in
+  let receive ~round ~self ~inbox state =
+    let cross_barrier phase =
+      (* At the end of round [rounds_of_first] every honest party must have
+         decided phase one (the protocol's round bound guarantees it); all
+         parties then enter phase two simultaneously — TreeAA line 4. *)
+      if round <> rounds_of_first then phase
+      else
+        match phase with
+        | Bridged o1 ->
+            let p2 = second o1 in
+            Phase2 (o1, p2.init ~self ~n:state.n)
+        | Phase1 _ ->
+            failwith
+              (Printf.sprintf
+                 "%s: phase one undecided at its round bound (round %d)" name
+                 round)
+        | Phase2 _ -> assert false
+    in
+    let phase =
+      match state.phase with
+      | Phase1 s ->
+          let s' = first.receive ~round ~self ~inbox:(filter1 inbox) s in
+          let next =
+            match first.output s' with Some o1 -> Bridged o1 | None -> Phase1 s'
+          in
+          cross_barrier next
+      | Bridged o1 -> cross_barrier (Bridged o1)
+      | Phase2 (o1, s2) ->
+          let p2 = second o1 in
+          let s2' =
+            p2.receive ~round:(round - rounds_of_first) ~self
+              ~inbox:(filter2 inbox) s2
+          in
+          Phase2 (o1, s2')
+    in
+    { state with phase }
+  in
+  let output state =
+    match state.phase with
+    | Phase2 (o1, s2) -> (second o1).output s2
+    | Phase1 _ | Bridged _ -> None
+  in
+  { name; init; send; receive; output }

@@ -1,0 +1,208 @@
+type ('out, 'msg) report = {
+  outputs : (Types.party_id * 'out) list;
+  termination_rounds : (Types.party_id * Types.round) list;
+  rounds_used : int;
+  corrupted : Types.party_id list;
+  corruption_rounds : (Types.party_id * Types.round) list;
+  honest_messages : int;
+  adversary_messages : int;
+  rejected_forgeries : int;
+  trace : 'msg Types.letter list list;
+}
+
+exception Exceeded_max_rounds of string
+
+let log_src = Logs.Src.create "aat.engine" ~doc:"synchronous engine"
+
+module Log = (val Logs.src_log log_src)
+
+type ('s, 'o) slot =
+  | Live of 's
+  | Done of 'o * Types.round
+  | Corrupt
+
+let run (type s m o) ~n ~t ?max_rounds ?(seed = 0) ?(record_trace = false)
+    ~(protocol : (s, m, o) Protocol.t) ~(adversary : m Adversary.t) () =
+  if n < 1 then invalid_arg "Sync_engine.run: n < 1";
+  if t < 0 || t >= n then invalid_arg "Sync_engine.run: need 0 <= t < n";
+  let max_rounds = match max_rounds with Some r -> r | None -> (4 * n) + 64 in
+  let rng = Aat_util.Rng.create seed in
+  let corrupted = Array.make n false in
+  let corrupted_round = Array.make n (-1) in
+  let budget = ref t in
+  let round = ref 0 in
+  let corrupt p =
+    if p >= 0 && p < n && (not corrupted.(p)) && !budget > 0 then begin
+      corrupted.(p) <- true;
+      corrupted_round.(p) <- !round;
+      decr budget
+    end
+  in
+  List.iter corrupt (adversary.initial_corruptions ~n ~t rng);
+  let slots =
+    Array.init n (fun p ->
+        if corrupted.(p) then Corrupt else Live (protocol.init ~self:p ~n))
+  in
+  let history = ref [] in
+  let trace = ref [] in
+  let honest_messages = ref 0 in
+  let adversary_messages = ref 0 in
+  let rejected_forgeries = ref 0 in
+  let undecided () =
+    Array.exists (function Live _ -> true | Done _ | Corrupt -> false) slots
+  in
+  (* Degenerate protocols may decide with zero communication (e.g. AA on a
+     single-vertex tree): honor outputs available at initialization. *)
+  Array.iteri
+    (fun p slot ->
+      match slot with
+      | Live s -> (
+          match protocol.output s with
+          | Some o -> slots.(p) <- Done (o, 0)
+          | None -> ())
+      | Done _ | Corrupt -> ())
+    slots;
+  while undecided () do
+    incr round;
+    let r = !round in
+    if r > max_rounds then
+      raise
+        (Exceeded_max_rounds
+           (Printf.sprintf "%s: honest party undecided after %d rounds"
+              protocol.name max_rounds));
+    (* 1. honest outboxes *)
+    let honest_outbox = ref [] in
+    Array.iteri
+      (fun p slot ->
+        match slot with
+        | Live s ->
+            List.iter
+              (fun (dst, body) ->
+                if dst < 0 || dst >= n then
+                  invalid_arg
+                    (Printf.sprintf "%s: p%d sent to invalid party %d"
+                       protocol.name p dst)
+                else honest_outbox := { Types.src = p; dst; body } :: !honest_outbox)
+              (protocol.send ~round:r ~self:p s)
+        | Done _ | Corrupt -> ())
+      slots;
+    let view () =
+      {
+        Adversary.round = r;
+        n;
+        t;
+        corrupted = Array.copy corrupted;
+        honest_outbox = List.rev !honest_outbox;
+        history = !history;
+        rng;
+      }
+    in
+    (* 2. adaptive corruptions: newly corrupted parties' messages of this
+       round are retracted and their state handed to the adversary
+       (conceptually — we just drop it). *)
+    let extra = adversary.corrupt_more (view ()) in
+    List.iter
+      (fun p ->
+        corrupt p;
+        if corrupted.(p) then begin
+          (match slots.(p) with
+          | Live _ -> slots.(p) <- Corrupt
+          | Done _ | Corrupt -> slots.(p) <- Corrupt);
+          honest_outbox :=
+            List.filter (fun (l : m Types.letter) -> l.src <> p) !honest_outbox
+        end)
+      extra;
+    (* 3. adversary messages, authenticated-channel check *)
+    let byz_letters =
+      List.filter
+        (fun (l : m Types.letter) ->
+          if l.dst < 0 || l.dst >= n then false
+          else if corrupted.(l.src) then true
+          else begin
+            incr rejected_forgeries;
+            Log.warn (fun f ->
+                f "adversary %s tried to forge honest sender p%d" adversary.name
+                  l.src);
+            false
+          end)
+        (adversary.deliver (view ()))
+    in
+    (* 4. delivery: at most one letter per (src, dst) pair; for the
+       adversary the last letter submitted wins, and an adversary letter
+       from a newly-corrupted party overrides the retracted honest one
+       (already removed above). *)
+    let inboxes : (Types.party_id, m Types.envelope list) Hashtbl.t =
+      Hashtbl.create n
+    in
+    let seen_pairs = Hashtbl.create 64 in
+    let accepted = ref [] in
+    let post (l : m Types.letter) =
+      if not (Hashtbl.mem seen_pairs (l.src, l.dst)) then begin
+        Hashtbl.replace seen_pairs (l.src, l.dst) ();
+        accepted := l :: !accepted;
+        let prev = Option.value ~default:[] (Hashtbl.find_opt inboxes l.dst) in
+        Hashtbl.replace inboxes l.dst
+          ({ Types.sender = l.src; payload = l.body } :: prev)
+      end
+    in
+    (* Adversary letters are posted first so that a Byzantine double-send to
+       the same recipient resolves to the adversary's *last* choice:
+       reverse, then first-posted wins. *)
+    List.iter post (List.rev byz_letters);
+    List.iter post (List.rev !honest_outbox);
+    let delivered = !accepted in
+    honest_messages := !honest_messages + List.length !honest_outbox;
+    adversary_messages := !adversary_messages + List.length byz_letters;
+    history := delivered :: !history;
+    if record_trace then trace := delivered :: !trace;
+    (* 5. honest receive + termination *)
+    Array.iteri
+      (fun p slot ->
+        match slot with
+        | Live s ->
+            let inbox =
+              Option.value ~default:[] (Hashtbl.find_opt inboxes p)
+              |> List.sort (fun (a : m Types.envelope) b ->
+                     compare a.sender b.sender)
+            in
+            let s' = protocol.receive ~round:r ~self:p ~inbox s in
+            (match protocol.output s' with
+            | Some o -> slots.(p) <- Done (o, r)
+            | None -> slots.(p) <- Live s')
+        | Done _ | Corrupt -> ())
+      slots
+  done;
+  let outputs = ref [] and terms = ref [] in
+  Array.iteri
+    (fun p slot ->
+      match slot with
+      | Done (o, r) ->
+          outputs := (p, o) :: !outputs;
+          terms := (p, r) :: !terms
+      | Corrupt -> ()
+      | Live _ -> assert false)
+    slots;
+  {
+    outputs = List.rev !outputs;
+    termination_rounds = List.rev !terms;
+    rounds_used = !round;
+    corrupted =
+      List.filter (fun p -> corrupted.(p)) (List.init n Fun.id);
+    corruption_rounds =
+      List.filter_map
+        (fun p -> if corrupted.(p) then Some (p, corrupted_round.(p)) else None)
+        (List.init n Fun.id);
+    honest_messages = !honest_messages;
+    adversary_messages = !adversary_messages;
+    rejected_forgeries = !rejected_forgeries;
+    trace = List.rev !trace;
+  }
+
+let output_of report p = List.assoc p report.outputs
+
+let honest_outputs report = List.map snd report.outputs
+
+let initially_corrupted report =
+  List.filter_map
+    (fun (p, r) -> if r = 0 then Some p else None)
+    report.corruption_rounds

@@ -1,0 +1,68 @@
+(** The lock-step synchronous execution engine.
+
+    One call to {!run} plays out a complete execution of an honest protocol
+    against an adversary:
+
+    + every live honest party computes its round-[r] messages ([send]);
+    + the adversary, having seen them (rushing), may adaptively corrupt more
+      parties — a party corrupted in round [r] has its round-[r] honest
+      messages retracted — and submits the corrupted parties' messages;
+    + the engine delivers: each party receives at most one message per
+      sender (authenticated channels), honest letters first;
+    + every live honest party folds its inbox ([receive]) and is frozen as
+      terminated once [output] returns [Some].
+
+    The run ends when all honest parties have terminated, or fails after
+    [max_rounds] (a protocol-under-test violating Termination is a test
+    failure, not a hang). *)
+
+type ('out, 'msg) report = {
+  outputs : (Types.party_id * 'out) list;
+      (** honest parties' outputs, by party id (ascending) *)
+  termination_rounds : (Types.party_id * Types.round) list;
+      (** the round at the end of which each honest party decided *)
+  rounds_used : int;  (** max over honest parties *)
+  corrupted : Types.party_id list;  (** final corruption set, ascending *)
+  corruption_rounds : (Types.party_id * Types.round) list;
+      (** when each corruption happened; round 0 = corrupted from the start.
+          Needed to state Validity correctly under the adaptive adversary: a
+          party corrupted in round [r >= 1] contributed its input while
+          honest, so the provable hull (Lemmas 5-6) is over the inputs of
+          {e initially}-honest parties, while Termination and Agreement
+          quantify over {e finally}-honest parties. *)
+  honest_messages : int;  (** total letters sent by honest parties *)
+  adversary_messages : int;  (** total letters accepted from the adversary *)
+  rejected_forgeries : int;
+      (** adversary letters dropped for claiming an honest sender *)
+  trace : 'msg Types.letter list list;
+      (** delivered traffic per round, oldest first (empty unless
+          [~record_trace:true]) *)
+}
+
+exception Exceeded_max_rounds of string
+
+val run :
+  n:int ->
+  t:int ->
+  ?max_rounds:int ->
+  ?seed:int ->
+  ?record_trace:bool ->
+  protocol:('s, 'm, 'o) Protocol.t ->
+  adversary:'m Adversary.t ->
+  unit ->
+  ('o, 'm) report
+(** [max_rounds] defaults to [4 * n + 64] plus a protocol-independent slack;
+    pass the protocol's round bound to assert sharp termination. [seed]
+    (default 0) feeds the adversary's RNG; honest protocols are
+    deterministic. Raises {!Exceeded_max_rounds} when some honest party is
+    still undecided after [max_rounds]. *)
+
+val output_of : ('o, 'm) report -> Types.party_id -> 'o
+(** Output of an honest party. Raises [Not_found] for corrupted ids. *)
+
+val honest_outputs : ('o, 'm) report -> 'o list
+
+val initially_corrupted : ('o, 'm) report -> Types.party_id list
+(** Parties corrupted before round 1 — the set Validity's hull excludes.
+    Parties corrupted adaptively mid-run contributed their inputs while
+    honest; the hull the protocol provably respects includes them. *)

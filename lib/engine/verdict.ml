@@ -1,0 +1,31 @@
+type t = { termination : bool; validity : bool; agreement : bool }
+
+let all_ok v = v.termination && v.validity && v.agreement
+
+let pp fmt v =
+  let b fmt ok = Format.pp_print_string fmt (if ok then "ok" else "VIOLATED") in
+  Format.fprintf fmt "termination=%a validity=%a agreement=%a" b v.termination
+    b v.validity b v.agreement
+
+let conj a b =
+  {
+    termination = a.termination && b.termination;
+    validity = a.validity && b.validity;
+    agreement = a.agreement && b.agreement;
+  }
+
+let spread = function
+  | [] -> 0.
+  | x :: xs ->
+      let lo = List.fold_left min x xs and hi = List.fold_left max x xs in
+      hi -. lo
+
+let real ~eps ~n_honest ~honest_inputs ~honest_outputs =
+  let termination = List.length honest_outputs = n_honest in
+  let lo = List.fold_left min infinity honest_inputs
+  and hi = List.fold_left max neg_infinity honest_inputs in
+  let validity =
+    List.for_all (fun v -> v >= lo && v <= hi) honest_outputs
+  in
+  let agreement = spread honest_outputs <= eps +. 1e-9 in
+  { termination; validity; agreement }

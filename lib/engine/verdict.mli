@@ -1,0 +1,29 @@
+(** Checking the AA properties of Definition 1 on finished executions.
+
+    The checkers take the honest parties' inputs and outputs of one run and
+    decide Termination / Validity / ε-Agreement. Tree-valued runs are
+    checked by [Aat_treeaa.Tree_verdict], which layers convex hulls on this
+    module's shape. *)
+
+type t = {
+  termination : bool;  (** every honest party produced an output *)
+  validity : bool;  (** outputs within the range/hull of honest inputs *)
+  agreement : bool;  (** outputs pairwise within the agreement distance *)
+}
+
+val all_ok : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val conj : t -> t -> t
+
+val real :
+  eps:float -> n_honest:int -> honest_inputs:float list ->
+  honest_outputs:float list -> t
+(** Definition 1 on ℝ: outputs in [\[min inputs, max inputs\]] and pairwise
+    within [eps]. [n_honest] is the number of parties that were honest at
+    the end of the run; termination fails if fewer outputs were produced. *)
+
+val spread : float list -> float
+(** [max - min] of a non-empty list; 0. for []. The honest range the
+    convergence experiments track. *)

@@ -1,0 +1,136 @@
+open Aat_engine
+
+type grade = G0 | G1 | G2
+
+let grade_to_int = function G0 -> 0 | G1 -> 1 | G2 -> 2
+
+let pp_grade fmt g = Format.fprintf fmt "%d" (grade_to_int g)
+
+type 'v result = { value : 'v option; grade : grade }
+
+module Multi = struct
+  type 'v msg =
+    | Value of 'v (* round 1: leader's value for its own instance *)
+    | Echo of 'v option array (* round 2: echo.(leader) *)
+    | Vote of 'v option array (* round 3: vote.(leader) *)
+
+  type 'v state = {
+    n : int;
+    t : int;
+    self : Types.party_id;
+    own : 'v;
+    heard : 'v option array; (* round-1 value per leader *)
+    echoes : 'v option array array; (* echoes.(sender).(leader) *)
+    votes : 'v option array array; (* votes.(sender).(leader) *)
+    finished : 'v result array option;
+  }
+
+  let rounds = 3
+
+  let start ~n ~t ~self ~own =
+    {
+      n;
+      t;
+      self;
+      own;
+      heard = Array.make n None;
+      echoes = Array.make_matrix n n None;
+      votes = Array.make_matrix n n None;
+      finished = None;
+    }
+
+  let broadcast st m = List.init st.n (fun p -> (p, m))
+
+  (* The most frequent [Some] entry of column [leader] in [table], with its
+     multiplicity. Ties break toward the smaller value (total order via
+     polymorphic compare) so every honest party resolves them identically. *)
+  let plurality table leader =
+    let counts = Hashtbl.create 8 in
+    Array.iter
+      (fun (row : 'v option array) ->
+        match row.(leader) with
+        | None -> ()
+        | Some v ->
+            Hashtbl.replace counts v
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
+      table;
+    Hashtbl.fold
+      (fun v c best ->
+        match best with
+        | None -> Some (v, c)
+        | Some (bv, bc) ->
+            if c > bc || (c = bc && compare v bv < 0) then Some (v, c) else best)
+      counts None
+
+  let send ~round st =
+    match round with
+    | 1 -> broadcast st (Value st.own)
+    | 2 -> broadcast st (Echo (Array.copy st.heard))
+    | 3 ->
+        (* Vote for each leader's value that at least n - t parties echoed;
+           otherwise abstain on that instance. *)
+        let vote = Array.make st.n None in
+        for leader = 0 to st.n - 1 do
+          match plurality st.echoes leader with
+          | Some (v, c) when c >= st.n - st.t -> vote.(leader) <- Some v
+          | Some _ | None -> ()
+        done;
+        broadcast st (Vote vote)
+    | _ -> invalid_arg "Gradecast.Multi.send: round out of range"
+
+  let receive ~round ~inbox st =
+    match round with
+    | 1 ->
+        let heard = Array.copy st.heard in
+        List.iter
+          (fun (e : _ Types.envelope) ->
+            match e.payload with
+            | Value v -> heard.(e.sender) <- Some v
+            | Echo _ | Vote _ -> ())
+          inbox;
+        { st with heard }
+    | 2 ->
+        let echoes = Array.map Array.copy st.echoes in
+        List.iter
+          (fun (e : _ Types.envelope) ->
+            match e.payload with
+            | Echo row when Array.length row = st.n -> echoes.(e.sender) <- Array.copy row
+            | Echo _ | Value _ | Vote _ -> ())
+          inbox;
+        { st with echoes }
+    | 3 ->
+        let votes = Array.map Array.copy st.votes in
+        List.iter
+          (fun (e : _ Types.envelope) ->
+            match e.payload with
+            | Vote row when Array.length row = st.n -> votes.(e.sender) <- Array.copy row
+            | Vote _ | Value _ | Echo _ -> ())
+          inbox;
+        let finished =
+          Array.init st.n (fun leader ->
+              match plurality votes leader with
+              | Some (v, c) when c >= st.n - st.t -> { value = Some v; grade = G2 }
+              | Some (v, c) when c >= st.t + 1 -> { value = Some v; grade = G1 }
+              | Some _ | None -> { value = None; grade = G0 })
+        in
+        { st with votes; finished = Some finished }
+    | _ -> invalid_arg "Gradecast.Multi.receive: round out of range"
+
+  let results st =
+    match st.finished with
+    | Some r -> Array.copy r
+    | None -> invalid_arg "Gradecast.Multi.results: protocol not finished"
+end
+
+let protocol ~leader ~inputs ~t =
+  {
+    Protocol.name = "gradecast";
+    init = (fun ~self ~n -> Multi.start ~n ~t ~self ~own:(inputs self));
+    send = (fun ~round ~self:_ st -> Multi.send ~round st);
+    receive = (fun ~round ~self:_ ~inbox st -> Multi.receive ~round ~inbox st);
+    output =
+      (fun st ->
+        match st.Multi.finished with
+        | Some results -> Some results.(leader)
+        | None -> None);
+  }

@@ -1,0 +1,59 @@
+type view = float array
+
+let groups ~n ~t =
+  (* partition 0..n-1 into ⌈n/t⌉ blocks of at most t consecutive parties *)
+  let rec go start acc =
+    if start >= n then List.rev acc
+    else
+      let stop = min n (start + t) in
+      go stop (List.init (stop - start) (fun i -> start + i) :: acc)
+  in
+  go 0 []
+
+let one_round_chain ~n ~t ~a ~b =
+  if t < 1 || t >= n then invalid_arg "Chain.one_round_chain: need 1 <= t < n";
+  if a > b then invalid_arg "Chain.one_round_chain: a > b";
+  let blocks = groups ~n ~t in
+  let current = Array.make n a in
+  let chain = ref [ Array.copy current ] in
+  List.iter
+    (fun block ->
+      List.iter (fun q -> current.(q) <- b) block;
+      chain := Array.copy current :: !chain)
+    blocks;
+  List.rev !chain
+
+let adjacent_executions_valid ~n ~t chain =
+  let rec go = function
+    | u :: (v :: _ as rest) ->
+        let diff = ref 0 in
+        for q = 0 to n - 1 do
+          if u.(q) <> v.(q) then incr diff
+        done;
+        !diff <= t && !diff > 0 && go rest
+    | _ -> true
+  in
+  go chain
+
+let max_adjacent_gap ~f ~n ~t ~a ~b =
+  let chain = one_round_chain ~n ~t ~a ~b in
+  let rec go best = function
+    | u :: (v :: _ as rest) -> go (Float.max best (Float.abs (f v -. f u))) rest
+    | _ -> best
+  in
+  go 0. chain
+
+let tree_max_adjacent_gap ~f ~tree ~n ~t =
+  let path = Aat_tree.Metrics.longest_path tree in
+  let a = path.(0) and b = path.(Array.length path - 1) in
+  let rooted = Aat_tree.Rooted.make tree in
+  let chain =
+    one_round_chain ~n ~t ~a:(float_of_int a) ~b:(float_of_int b)
+    |> List.map (Array.map int_of_float)
+  in
+  let rec go best = function
+    | u :: (v :: _ as rest) ->
+        go (max best (Aat_tree.Paths.distance rooted (f v) (f u))) rest
+    | _ -> best
+  in
+  go 0 chain

@@ -1,0 +1,46 @@
+(** The executable core of Fekete's proof: the one-round view chain.
+
+    A one-round full-information protocol is a function [f] from a party's
+    view — the vector of values the [n] parties claimed to it — to an
+    output. The proof constructs a chain of views [v_0, ..., v_s] such
+    that:
+
+    - [v_0] is the all-[a] view and [v_s] the all-[b] view, which Validity
+      pins to outputs [a] and [b] respectively;
+    - consecutive views differ only in the claims of one group of at most
+      [t] parties, and both arise {e in a single execution} in which that
+      group is Byzantine and equivocates — one honest party holds [v_j],
+      another [v_{j+1}].
+
+    Agreement in each joint execution then forces some adjacent pair with
+    output gap at least [(b - a) / s], with [s = ⌈n/t⌉] — within a constant
+    of [K(1, D) = D·t/(n+t)]. {!max_adjacent_gap} evaluates this attack
+    against {e any} candidate output function; the tests run it against the
+    trimmed-midpoint rule and qcheck-generated rules, and the tree version
+    walks the same chain on a longest path of a tree (Corollary 1). *)
+
+type view = float array
+(** [view.(q)] = the value party [q] claimed. *)
+
+val one_round_chain : n:int -> t:int -> a:float -> b:float -> view list
+(** The chain [v_0 .. v_s]. Requires [1 <= t < n] and [a <= b]. *)
+
+val adjacent_executions_valid : n:int -> t:int -> view list -> bool
+(** Checks the chain invariant: consecutive views differ in at most [t]
+    positions (the equivocating group) — i.e. each step is realisable with
+    [t] Byzantine parties. *)
+
+val max_adjacent_gap :
+  f:(view -> float) -> n:int -> t:int -> a:float -> b:float -> float
+(** The largest [|f v_{j+1} - f v_j|] along the chain — every one-round
+    protocol's output rule exhibits a gap of at least [(b-a)/⌈n/t⌉] when
+    [f] respects Validity at the endpoints. *)
+
+val tree_max_adjacent_gap :
+  f:(Aat_tree.Labeled_tree.vertex array -> Aat_tree.Labeled_tree.vertex) ->
+  tree:Aat_tree.Labeled_tree.t ->
+  n:int ->
+  t:int ->
+  int
+(** Corollary 1: the same chain walked over the endpoints of a longest path
+    of [tree]; views are vertex vectors, the gap is tree distance. *)

@@ -1,0 +1,6 @@
+let closest_int j =
+  if Float.is_nan j then invalid_arg "closest_int: nan";
+  if Float.abs j > 1e15 then invalid_arg "closest_int: out of safe integer range";
+  let z = Float.floor j in
+  let zi = int_of_float z in
+  if j -. z < 0.5 then zi else zi + 1

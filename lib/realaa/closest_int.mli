@@ -1,0 +1,13 @@
+(** The paper's [closestInt] rounding (Section 4).
+
+    For [z <= j < z + 1], [closestInt j = z] if [j - z < (z + 1) - j] and
+    [z + 1] otherwise — i.e. round to nearest, with the half-point rounding
+    up. Two facts the protocols rely on:
+
+    - Remark 1: if [j ∈ [i_min, i_max]] with integer bounds, then
+      [closestInt j ∈ [i_min, i_max]];
+    - Remark 2: if [|j - j'| <= 1] then
+      [|closestInt j - closestInt j'| <= 1]. *)
+
+val closest_int : float -> int
+(** Raises [Invalid_argument] on NaN or values outside [int] range. *)

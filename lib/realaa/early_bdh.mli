@@ -1,0 +1,46 @@
+(** RealAA with the observation-based early termination of [6] (Section 4:
+    "the honest parties terminate once they observe that their values are
+    ε-close ... possibly in consecutive iterations").
+
+    Same iteration body as {!Bdh} (multi-gradecast, global blacklisting,
+    fault-adaptive trimmed mean), plus a termination layer:
+
+    - a party whose trimmed window has spread ≤ ε {e announces} DONE in the
+      next iteration: it gradecasts its (now frozen) value with a done
+      flag, decides at that iteration's end, and halts;
+    - receivers {e lock} a DONE value: it stands in for the halted party in
+      every later iteration, so halting neither shrinks the averaging
+      window nor — crucially — inflates the fault-adaptive trim discount.
+      Only convicted leaders with {e no} locked value count against [t]
+      (they are provably Byzantine; a halted honest party is not);
+    - a Byzantine DONE cannot split the locked value: grade soundness makes
+      any two honest parties lock the same value, and a 1/0 inclusion split
+      blacklists the leader everywhere at once, as in the fixed-schedule
+      protocol;
+    - [max_iterations] (normally the Theorem 3 schedule) is a completeness
+      backstop: a party that never observes the condition decides when the
+      schedule runs out.
+
+    Fault-free, the honest multisets coincide from the first iteration, so
+    everyone observes spread 0 at iteration 2 and decides after iteration
+    3 — 9 rounds total independent of [D], versus the fixed schedule's
+    [3·R_RealAA(D, ε)]. Experiment E8 measures this. Honest parties decide
+    in consecutive iterations, not simultaneously — which is exactly why
+    TreeAA uses the fixed-schedule variant plus a round barrier. *)
+
+open Aat_engine
+open Aat_gradecast
+
+type result = {
+  value : float;
+  iterations_used : int;  (** iterations this party ran before deciding *)
+}
+
+type state
+
+val protocol :
+  inputs:(Types.party_id -> float) ->
+  t:int ->
+  eps:float ->
+  max_iterations:int ->
+  (state, (float * bool) Gradecast.Multi.msg, result) Protocol.t

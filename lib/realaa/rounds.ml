@@ -1,0 +1,40 @@
+let check_args ~range ~eps =
+  if eps <= 0. then invalid_arg "Rounds: eps must be positive";
+  if range < 0. then invalid_arg "Rounds: negative range"
+
+let bdh_iterations ~range ~eps =
+  check_args ~range ~eps;
+  let delta = range /. eps in
+  if delta <= 1. then 0
+  else begin
+    let rec go r =
+      if Float.pow (float_of_int r) (float_of_int r) >= delta then r else go (r + 1)
+    in
+    go 1
+  end
+
+let bdh_rounds ~range ~eps = 3 * bdh_iterations ~range ~eps
+
+let paper_round_bound ~range ~eps =
+  check_args ~range ~eps;
+  let delta = range /. eps in
+  if delta <= 1. then 0
+  else begin
+    let l = Float.log2 delta in
+    let ll = Float.max 1. (Float.log2 l) in
+    int_of_float (Float.ceil (7. *. l /. ll))
+  end
+
+let halving_iterations ~range ~eps =
+  check_args ~range ~eps;
+  let delta = range /. eps in
+  if delta <= 1. then 0 else int_of_float (Float.ceil (Float.log2 delta))
+
+let paths_finder_rounds ~n_vertices =
+  if n_vertices < 1 then invalid_arg "Rounds.paths_finder_rounds";
+  bdh_rounds ~range:(2. *. float_of_int n_vertices) ~eps:1.
+
+let tree_aa_rounds ~n_vertices ~diameter =
+  if diameter < 0 then invalid_arg "Rounds.tree_aa_rounds";
+  paths_finder_rounds ~n_vertices
+  + bdh_rounds ~range:(float_of_int diameter) ~eps:1.

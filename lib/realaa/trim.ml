@@ -1,0 +1,24 @@
+let trimmed ~t values =
+  if t < 0 then invalid_arg "Trim.trimmed: negative t";
+  let sorted = List.sort compare values in
+  let len = List.length sorted in
+  if len <= 2 * t then []
+  else sorted |> List.filteri (fun i _ -> i >= t && i < len - t)
+
+let range = function
+  | [] -> None
+  | x :: xs ->
+      Some (List.fold_left min x xs, List.fold_left max x xs)
+
+let midpoint values =
+  Option.map (fun (lo, hi) -> (lo +. hi) /. 2.) (range values)
+
+let trimmed_midpoint ~t values = midpoint (trimmed ~t values)
+
+let mean = function
+  | [] -> None
+  | values ->
+      let total = List.fold_left ( +. ) 0. values in
+      Some (total /. float_of_int (List.length values))
+
+let trimmed_mean ~t values = mean (trimmed ~t values)

@@ -1,0 +1,71 @@
+module LT = Labeled_tree
+
+type t = {
+  rooted : Rooted.t;
+  tour : LT.vertex array;
+  depth : int array; (* depth.(i) = depth of tour.(i) *)
+  first : int array; (* per vertex *)
+  last : int array; (* per vertex *)
+  occ : int list array; (* per vertex, increasing *)
+}
+
+let compute rooted =
+  let tree = Rooted.tree rooted in
+  let n = LT.n_vertices tree in
+  let len = (2 * n) - 1 in
+  let tour = Array.make len 0 in
+  let depth = Array.make len 0 in
+  let pos = ref 0 in
+  let record v =
+    tour.(!pos) <- v;
+    depth.(!pos) <- Rooted.depth rooted v;
+    incr pos
+  in
+  (* Iterative DFS mirroring Rooted's traversal: record on entry, and record
+     the parent again each time a child's subtree completes. *)
+  let stack = Stack.create () in
+  let push v =
+    record v;
+    Stack.push (v, ref (Rooted.children rooted v)) stack
+  in
+  push (Rooted.root rooted);
+  while not (Stack.is_empty stack) do
+    let _, rest = Stack.top stack in
+    match !rest with
+    | [] ->
+        ignore (Stack.pop stack);
+        if not (Stack.is_empty stack) then begin
+          let parent, _ = Stack.top stack in
+          record parent
+        end
+    | child :: tl ->
+        rest := tl;
+        push child
+  done;
+  assert (!pos = len);
+  let first = Array.make n (-1) and last = Array.make n (-1) in
+  let occ_rev = Array.make n [] in
+  Array.iteri
+    (fun i v ->
+      if first.(v) = -1 then first.(v) <- i;
+      last.(v) <- i;
+      occ_rev.(v) <- i :: occ_rev.(v))
+    tour;
+  let occ = Array.map List.rev occ_rev in
+  { rooted; tour; depth; first; last; occ }
+
+let tour t = Array.copy t.tour
+
+let length t = Array.length t.tour
+
+let vertex_at t i = t.tour.(i)
+
+let depth_at t i = t.depth.(i)
+
+let occurrences t v = t.occ.(v)
+
+let first_occurrence t v = t.first.(v)
+
+let last_occurrence t v = t.last.(v)
+
+let rooted t = t.rooted

@@ -1,0 +1,45 @@
+(** The paper's [ListConstruction] (Section 6): the Euler-tour list.
+
+    A DFS from the root records every vertex each time it is visited — on
+    first entry and again after each child's subtree has been fully
+    explored. The resulting list [L] has the four properties of Lemma 2:
+
+    + consecutive elements are adjacent in [T] (when [|V(T)| > 1]);
+    + [|L| <= 2·|V(T)|] (in fact exactly [2·|V(T)| - 1]) and every vertex
+      occurs at least once;
+    + the occurrences of [v] bracket exactly the vertices of [v]'s subtree;
+    + between any occurrence of [v] and any occurrence of [v'] lies an
+      occurrence of their lowest common ancestor.
+
+    Children are expanded in label order, so the list is identical for all
+    honest parties. Indices are 0-based ([0 .. length - 1]); the paper's
+    1-based [L_i] is our [vertex_at t (i - 1)]. *)
+
+type t
+
+val compute : Rooted.t -> t
+(** [ListConstruction(T, v_root)] for the rooted view's root. O(n). *)
+
+val tour : t -> Labeled_tree.vertex array
+(** The list [L] itself. The returned array is fresh. *)
+
+val length : t -> int
+(** [|L|] = [2·|V(T)| - 1]. *)
+
+val vertex_at : t -> int -> Labeled_tree.vertex
+(** [L_i] (0-based). *)
+
+val depth_at : t -> int -> int
+(** Depth (from the root) of [L_i] — the RMQ key for LCA queries. *)
+
+val occurrences : t -> Labeled_tree.vertex -> int list
+(** The paper's [L(v)]: all indices [i] with [L_i = v], sorted increasing.
+    Non-empty for every vertex (Lemma 2, property 2). *)
+
+val first_occurrence : t -> Labeled_tree.vertex -> int
+(** [min L(v)] — the index PathsFinder feeds to RealAA. *)
+
+val last_occurrence : t -> Labeled_tree.vertex -> int
+(** [max L(v)]. *)
+
+val rooted : t -> Rooted.t

@@ -1,0 +1,140 @@
+type vertex = int
+
+type t = {
+  labels : string array;
+  adj : vertex list array;
+  index : (string, vertex) Hashtbl.t;
+}
+
+exception Invalid_tree of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid_tree s)) fmt
+
+let n_vertices t = Array.length t.labels
+
+let label t v = t.labels.(v)
+
+let vertex_of_label t l = Hashtbl.find t.index l
+
+let mem_label t l = Hashtbl.mem t.index l
+
+let neighbors t v = t.adj.(v)
+
+let degree t v = List.length t.adj.(v)
+
+let is_leaf t v = degree t v <= 1
+
+let root _ = 0
+
+let vertices t = List.init (n_vertices t) Fun.id
+
+let fold_vertices f t init =
+  let acc = ref init in
+  for v = 0 to n_vertices t - 1 do
+    acc := f v !acc
+  done;
+  !acc
+
+let adjacent t u v = List.mem v t.adj.(u)
+
+let edges t =
+  fold_vertices
+    (fun u acc ->
+      List.fold_left (fun acc v -> if u < v then (u, v) :: acc else acc) acc t.adj.(u))
+    t []
+  |> List.sort compare
+
+(* Shared construction: [labels] already deduplicated, [raw_edges] given as
+   label pairs. Verifies tree-ness (|E| = |V|-1 and connected, no loops or
+   duplicate edges). *)
+let build (labels : string list) (raw_edges : (string * string) list) : t =
+  let sorted = List.sort_uniq String.compare labels in
+  if List.length sorted <> List.length labels then invalid "duplicate labels";
+  (match sorted with [] -> invalid "empty vertex set" | _ -> ());
+  let labels = Array.of_list sorted in
+  let n = Array.length labels in
+  let index = Hashtbl.create (2 * n) in
+  Array.iteri (fun i l -> Hashtbl.replace index l i) labels;
+  let resolve l =
+    match Hashtbl.find_opt index l with
+    | Some v -> v
+    | None -> invalid "edge endpoint %S is not a vertex" l
+  in
+  if List.length raw_edges <> n - 1 then
+    invalid "a tree on %d vertices needs %d edges, got %d" n (n - 1)
+      (List.length raw_edges);
+  let adj_sets = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      let u = resolve a and v = resolve b in
+      if u = v then invalid "self-loop at %S" a;
+      if List.mem v adj_sets.(u) then invalid "duplicate edge %S-%S" a b;
+      adj_sets.(u) <- v :: adj_sets.(u);
+      adj_sets.(v) <- u :: adj_sets.(v))
+    raw_edges;
+  let adj = Array.map (List.sort compare) adj_sets in
+  (* Connectivity check by BFS from vertex 0; with exactly n-1 edges and no
+     duplicates, connectivity implies acyclicity. *)
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  Queue.add 0 queue;
+  seen.(0) <- true;
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    incr count;
+    List.iter
+      (fun v ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.add v queue
+        end)
+      adj.(u)
+  done;
+  if !count <> n then invalid "graph is disconnected (%d of %d reachable)" !count n;
+  { labels; adj; index }
+
+let of_labeled_edges ?(isolated = []) edges =
+  let labels =
+    List.concat_map (fun (a, b) -> [ a; b ]) edges @ isolated
+    |> List.sort_uniq String.compare
+  in
+  build labels edges
+
+let singleton l = build [ l ] []
+
+let of_parents ~labels parent =
+  let n = Array.length labels in
+  if Array.length parent <> n then invalid "of_parents: length mismatch";
+  let roots = Array.to_list parent |> List.filter (fun p -> p = -1) in
+  if List.length roots <> 1 then
+    invalid "of_parents: expected exactly one root (-1), got %d" (List.length roots);
+  let edges = ref [] in
+  Array.iteri
+    (fun i p ->
+      if p <> -1 then begin
+        if p < 0 || p >= n then invalid "of_parents: parent %d out of range" p;
+        edges := (labels.(i), labels.(p)) :: !edges
+      end)
+    parent;
+  build (Array.to_list labels) !edges
+
+let equal a b =
+  Array.length a.labels = Array.length b.labels
+  && a.labels = b.labels
+  && a.adj = b.adj
+
+let pp_vertex t fmt v = Format.pp_print_string fmt t.labels.(v)
+
+let pp fmt t =
+  let pp_edge fmt (u, v) =
+    Format.fprintf fmt "%s-%s" t.labels.(u) t.labels.(v)
+  in
+  match edges t with
+  | [] -> Format.fprintf fmt "tree{%s}" t.labels.(0)
+  | es ->
+      Format.fprintf fmt "tree{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+           pp_edge)
+        es

@@ -1,0 +1,43 @@
+type t = {
+  tour : Euler_tour.t;
+  (* table.(k).(i) = index of a minimum-depth tour position in
+     [i, i + 2^k); row 0 is the identity. *)
+  table : int array array;
+  log2 : int array; (* floor(log2 i) for 1 <= i <= len *)
+}
+
+let build tour =
+  let len = Euler_tour.length tour in
+  let log2 = Array.make (len + 1) 0 in
+  for i = 2 to len do
+    log2.(i) <- log2.(i / 2) + 1
+  done;
+  let levels = log2.(len) + 1 in
+  let table = Array.make levels [||] in
+  table.(0) <- Array.init len Fun.id;
+  for k = 1 to levels - 1 do
+    let span = 1 lsl k in
+    let half = span / 2 in
+    let rows = len - span + 1 in
+    let prev = table.(k - 1) in
+    table.(k) <-
+      Array.init (max rows 0) (fun i ->
+          let a = prev.(i) and b = prev.(i + half) in
+          if Euler_tour.depth_at tour a <= Euler_tour.depth_at tour b then a
+          else b)
+  done;
+  { tour; table; log2 }
+
+let range_min_index t i j =
+  let lo = min i j and hi = max i j in
+  let k = t.log2.(hi - lo + 1) in
+  let a = t.table.(k).(lo) and b = t.table.(k).(hi - (1 lsl k) + 1) in
+  if Euler_tour.depth_at t.tour a <= Euler_tour.depth_at t.tour b then a else b
+
+let range_min_vertex t i j =
+  Euler_tour.vertex_at t.tour (range_min_index t i j)
+
+let query t v v' =
+  let i = Euler_tour.first_occurrence t.tour v in
+  let j = Euler_tour.first_occurrence t.tour v' in
+  range_min_vertex t i j

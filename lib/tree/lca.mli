@@ -1,0 +1,20 @@
+(** Lowest common ancestors via Euler tour + sparse-table RMQ.
+
+    This is the classical reduction of Bender & Farach-Colton ("The LCA
+    problem revisited", reference [8] of the paper) that the paper's
+    ListConstruction is borrowed from: the LCA of [v] and [v'] is the
+    minimum-depth vertex between any occurrence of [v] and any occurrence of
+    [v'] in the Euler tour (Lemma 2, property 4). Build is O(n log n),
+    queries are O(1). *)
+
+type t
+
+val build : Euler_tour.t -> t
+
+val query : t -> Labeled_tree.vertex -> Labeled_tree.vertex -> Labeled_tree.vertex
+(** [query t v v'] is the lowest common ancestor of [v] and [v'] with
+    respect to the tour's root. *)
+
+val range_min_vertex : t -> int -> int -> Labeled_tree.vertex
+(** [range_min_vertex t i j] is the minimum-depth vertex among
+    [{L_k : min(i,j) <= k <= max(i,j)}] — the form used by Lemma 3's proof. *)

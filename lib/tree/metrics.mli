@@ -1,0 +1,29 @@
+(** Global tree metrics: diameter, eccentricities, center, radius.
+
+    The diameter [D(T)] — the length (in edges) of the longest path — is the
+    quantity the paper's round bounds are stated in. All functions are
+    linear-time BFS-based except {!all_eccentricities} which is O(n^2) and
+    intended for tests. *)
+
+val diameter : Labeled_tree.t -> int
+(** [D(T)]: two-phase BFS. 0 for the single vertex. *)
+
+val diameter_endpoints :
+  Labeled_tree.t -> Labeled_tree.vertex * Labeled_tree.vertex
+(** Endpoints of one longest path, deterministic (label-order tie-breaks).
+    These are the [D(T)]-distant vertices used as the inputs [a, b] of the
+    lower-bound construction (Corollary 1). *)
+
+val longest_path : Labeled_tree.t -> Paths.path
+(** One longest path, from the lower-labeled endpoint. *)
+
+val eccentricity : Labeled_tree.t -> Labeled_tree.vertex -> int
+(** Largest distance from the vertex to any other. *)
+
+val all_eccentricities : Labeled_tree.t -> int array
+
+val radius : Labeled_tree.t -> int
+
+val center : Labeled_tree.t -> Labeled_tree.vertex list
+(** The 1 or 2 vertices of minimum eccentricity, computed by leaf-pruning in
+    O(n). *)

@@ -1,0 +1,100 @@
+module LT = Labeled_tree
+
+type path = LT.vertex array
+
+(* Walk [u] and [v] up to their meeting point (the LCA). The accumulators
+   collect the vertices passed strictly below the LCA, shallowest first, so
+   the u-side must be reversed while the v-side is already in top-down
+   order. *)
+let between r u v =
+  let parent w =
+    match Rooted.parent r w with Some p -> p | None -> assert false
+  in
+  let rec lift w target_depth acc =
+    if Rooted.depth r w = target_depth then (w, acc)
+    else lift (parent w) target_depth (w :: acc)
+  in
+  let rec meet a b acc_a acc_b =
+    if a = b then (a, acc_a, acc_b)
+    else meet (parent a) (parent b) (a :: acc_a) (b :: acc_b)
+  in
+  let d = min (Rooted.depth r u) (Rooted.depth r v) in
+  let u', acc_u = lift u d [] in
+  let v', acc_v = lift v d [] in
+  let lca, acc_u, acc_v = meet u' v' acc_u acc_v in
+  Array.of_list (List.rev_append acc_u (lca :: acc_v))
+
+let distance r u v =
+  let du = Rooted.depth r u and dv = Rooted.depth r v in
+  (* depth(u) + depth(v) - 2*depth(lca); recover lca depth by walking. *)
+  let parent w =
+    match Rooted.parent r w with Some p -> p | None -> assert false
+  in
+  let rec lift w target_depth = if Rooted.depth r w = target_depth then w else lift (parent w) target_depth in
+  let d = min du dv in
+  let rec meet a b = if a = b then a else meet (parent a) (parent b) in
+  let lca = meet (lift u d) (lift v d) in
+  du + dv - (2 * Rooted.depth r lca)
+
+let bfs_distances t src =
+  let n = LT.n_vertices t in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if dist.(v) = -1 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      (LT.neighbors t u)
+  done;
+  dist
+
+let is_path t p =
+  let n = Array.length p in
+  if n = 0 then false
+  else begin
+    let seen = Hashtbl.create n in
+    let ok = ref true in
+    Array.iter
+      (fun v ->
+        if Hashtbl.mem seen v then ok := false else Hashtbl.replace seen v ())
+      p;
+    for i = 0 to n - 2 do
+      if not (LT.adjacent t p.(i) p.(i + 1)) then ok := false
+    done;
+    !ok
+  end
+
+let orient t p =
+  let n = Array.length p in
+  if n <= 1 then p
+  else if String.compare (LT.label t p.(0)) (LT.label t p.(n - 1)) <= 0 then p
+  else begin
+    let q = Array.copy p in
+    let len = Array.length q in
+    for i = 0 to len - 1 do
+      q.(i) <- p.(len - 1 - i)
+    done;
+    q
+  end
+
+let extend p w = Array.append p [| w |]
+
+let mem p v = Array.exists (fun x -> x = v) p
+
+let index_of p v =
+  let n = Array.length p in
+  let rec go i = if i >= n then None else if p.(i) = v then Some i else go (i + 1) in
+  go 0
+
+let pp t fmt p =
+  Format.fprintf fmt "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       (fun fmt v -> Format.pp_print_string fmt (LT.label t v)))
+    (Array.to_list p)

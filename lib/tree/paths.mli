@@ -1,0 +1,38 @@
+(** Paths and distances in a tree.
+
+    The paper's [P(u, v)] — the unique path between two vertices — and the
+    distance [d(u, v)] = |P(u, v)| - 1 (number of edges). Paths are
+    represented as non-empty vertex arrays listing consecutive, adjacent
+    vertices; [P(u, v)] runs from [u] to [v] inclusive. *)
+
+type path = Labeled_tree.vertex array
+
+val between : Rooted.t -> Labeled_tree.vertex -> Labeled_tree.vertex -> path
+(** [between r u v] is [P(u, v)]. O(|P|) after the rooted preprocessing. *)
+
+val distance : Rooted.t -> Labeled_tree.vertex -> Labeled_tree.vertex -> int
+(** [distance r u v = d(u, v)], the number of edges on [P(u, v)]. *)
+
+val bfs_distances : Labeled_tree.t -> Labeled_tree.vertex -> int array
+(** Single-source edge distances to every vertex. *)
+
+val is_path : Labeled_tree.t -> path -> bool
+(** Checks that consecutive entries are adjacent and no vertex repeats —
+    i.e. the array really is a simple path of the tree. *)
+
+val orient : Labeled_tree.t -> path -> path
+(** [orient t p] flips [p] if needed so that its first endpoint has the
+    lexicographically lower label, the ordering fixed in Section 4 of the
+    paper ("v1 is the endpoint with the lower label"). *)
+
+val extend : path -> Labeled_tree.vertex -> path
+(** [extend p w] is the paper's [P ⊕ (v, w)]: appends [w] to the endpoint.
+    The caller guarantees adjacency and freshness (checked in debug mode via
+    {!is_path} by consumers that need it). *)
+
+val mem : path -> Labeled_tree.vertex -> bool
+
+val index_of : path -> Labeled_tree.vertex -> int option
+(** Position of a vertex in the path, 0-based. *)
+
+val pp : Labeled_tree.t -> Format.formatter -> path -> unit

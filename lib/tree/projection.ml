@@ -1,0 +1,50 @@
+module LT = Labeled_tree
+
+(* The walk from [v] to any fixed vertex of [P] first meets [P] exactly at
+   proj_P(v) (otherwise the tree would contain a cycle — the argument of
+   Lemma 1). So a single path computation suffices. *)
+let onto_path_index r p v =
+  if Array.length p = 0 then invalid_arg "Projection: empty path";
+  let pos = Hashtbl.create (Array.length p) in
+  Array.iteri (fun i u -> Hashtbl.replace pos u i) p;
+  let walk = Paths.between r v p.(0) in
+  let n = Array.length walk in
+  let rec go i =
+    if i >= n then invalid_arg "Projection: vertices not in one tree"
+    else
+      match Hashtbl.find_opt pos walk.(i) with
+      | Some idx -> idx
+      | None -> go (i + 1)
+  in
+  go 0
+
+let onto_path r p v = p.(onto_path_index r p v)
+
+let all_onto_path t p =
+  let n = LT.n_vertices t in
+  let nearest = Array.make n (-1) in
+  let queue = Queue.create () in
+  Array.iter
+    (fun u ->
+      if nearest.(u) = -1 then begin
+        nearest.(u) <- u;
+        Queue.add u queue
+      end)
+    p;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun w ->
+        if nearest.(w) = -1 then begin
+          nearest.(w) <- nearest.(u);
+          Queue.add w queue
+        end)
+      (LT.neighbors t u)
+  done;
+  nearest
+
+let distance_to_path t p v =
+  let best = ref max_int in
+  let dist = Paths.bfs_distances t v in
+  Array.iter (fun u -> if dist.(u) < !best then best := dist.(u)) p;
+  !best

@@ -1,0 +1,21 @@
+(** Projections onto paths (Section 5 of the paper).
+
+    [proj_P(v)] is the unique vertex of a path [P] closest to [v]. Lemma 1:
+    if [P] intersects [⟨S⟩] then the projection of any [v ∈ S] onto [P]
+    lands inside [V(P) ∩ ⟨S⟩]. *)
+
+val onto_path :
+  Rooted.t -> Paths.path -> Labeled_tree.vertex -> Labeled_tree.vertex
+(** [onto_path r p v] is [proj_P(v)]: walks from [v] toward the path. O(n)
+    worst case, O(d(v, P)) typical. *)
+
+val onto_path_index : Rooted.t -> Paths.path -> Labeled_tree.vertex -> int
+(** Position (0-based) of the projection within [p] — the value a party
+    feeds to RealAA in Section 5/7. *)
+
+val all_onto_path : Labeled_tree.t -> Paths.path -> Labeled_tree.vertex array
+(** [all_onto_path t p] maps every vertex to its projection by one
+    multi-source BFS from the path. O(n). *)
+
+val distance_to_path : Labeled_tree.t -> Paths.path -> Labeled_tree.vertex -> int
+(** [d(v, proj_P(v))]. *)

@@ -1,0 +1,94 @@
+let decode seq =
+  let n = Array.length seq + 2 in
+  Array.iter
+    (fun x -> if x < 0 || x >= n then invalid_arg "Prufer.decode: entry out of range")
+    seq;
+  let deg = Array.make n 1 in
+  Array.iter (fun x -> deg.(x) <- deg.(x) + 1) seq;
+  (* Min-leaf selection with the standard pointer trick: [ptr] scans for the
+     smallest never-activated leaf, [leaf] tracks the current smallest. *)
+  let edges = ref [] in
+  let ptr = ref 0 in
+  while deg.(!ptr) <> 1 do
+    incr ptr
+  done;
+  let leaf = ref !ptr in
+  Array.iter
+    (fun v ->
+      edges := (!leaf, v) :: !edges;
+      deg.(v) <- deg.(v) - 1;
+      if deg.(v) = 1 && v < !ptr then leaf := v
+      else begin
+        incr ptr;
+        while !ptr < n && deg.(!ptr) <> 1 do
+          incr ptr
+        done;
+        leaf := !ptr
+      end)
+    seq;
+  edges := (!leaf, n - 1) :: !edges;
+  List.rev !edges
+
+let encode ~n edges =
+  if n < 2 then invalid_arg "Prufer.encode: need n >= 2";
+  if List.length edges <> n - 1 then invalid_arg "Prufer.encode: not a tree";
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    edges;
+  let deg = Array.map List.length adj in
+  let removed = Array.make n false in
+  let seq = Array.make (n - 2) 0 in
+  let module H = Set.Make (Int) in
+  let leaves = ref H.empty in
+  Array.iteri (fun v d -> if d = 1 then leaves := H.add v !leaves) deg;
+  for i = 0 to n - 3 do
+    let leaf = H.min_elt !leaves in
+    leaves := H.remove leaf !leaves;
+    removed.(leaf) <- true;
+    let neighbor =
+      match List.find_opt (fun u -> not removed.(u)) adj.(leaf) with
+      | Some u -> u
+      | None -> invalid_arg "Prufer.encode: not a tree"
+    in
+    seq.(i) <- neighbor;
+    deg.(neighbor) <- deg.(neighbor) - 1;
+    if deg.(neighbor) = 1 then leaves := H.add neighbor !leaves
+  done;
+  seq
+
+let count ~n =
+  if n <= 2 then 1
+  else
+    let rec pow acc b e = if e = 0 then acc else pow (acc * b) b (e - 1) in
+    pow 1 n (n - 2)
+
+let enumerate ~n =
+  if n < 1 then invalid_arg "Prufer.enumerate";
+  if n = 1 then Seq.return []
+  else if n = 2 then Seq.return [ (0, 1) ]
+  else
+    (* Odometer over [0, n)^(n-2). *)
+    let len = n - 2 in
+    let rec next seq () =
+      match seq with
+      | None -> Seq.Nil
+      | Some s ->
+          let edges = decode s in
+          let s' = Array.copy s in
+          let rec inc i =
+            if i < 0 then None
+            else if s'.(i) + 1 < n then begin
+              s'.(i) <- s'.(i) + 1;
+              Some s'
+            end
+            else begin
+              s'.(i) <- 0;
+              inc (i - 1)
+            end
+          in
+          Seq.Cons (edges, next (inc (len - 1)))
+    in
+    next (Some (Array.make len 0))

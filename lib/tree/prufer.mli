@@ -1,0 +1,24 @@
+(** Prüfer sequences: a bijection between labeled trees on [n >= 2] vertices
+    and sequences in [\[0, n)^(n-2)].
+
+    Used to (a) sample labeled trees uniformly at random and (b) enumerate
+    {e all} labeled trees of a given small size — the exhaustive workloads
+    of experiment E7. Vertices are the integers [0 .. n-1]; callers attach
+    labels afterwards. *)
+
+val decode : int array -> (int * int) list
+(** [decode seq] is the edge list of the tree with Prüfer sequence [seq],
+    on [n = Array.length seq + 2] vertices. Raises [Invalid_argument] if an
+    entry is out of range. *)
+
+val encode : n:int -> (int * int) list -> int array
+(** Inverse of {!decode} for a tree given as an edge list on vertices
+    [0 .. n-1]. *)
+
+val enumerate : n:int -> (int * int) list Seq.t
+(** All [n^(n-2)] labeled trees on [n] vertices, as edge lists, in
+    lexicographic sequence order. [n >= 1]; for [n <= 2] yields the unique
+    tree. Intended for [n <= 9] (at most ~5.7M trees at n = 9). *)
+
+val count : n:int -> int
+(** Cayley's formula [n^(n-2)] (with [count ~n:1 = count ~n:2 = 1]). *)

@@ -1,0 +1,91 @@
+module LT = Labeled_tree
+
+type t = {
+  tree : LT.t;
+  root : LT.vertex;
+  parent : int array; (* -1 for root *)
+  depth : int array;
+  tin : int array; (* DFS-interval entry time *)
+  tout : int array; (* DFS-interval exit time *)
+  pre : LT.vertex array; (* preorder sequence *)
+}
+
+let tree t = t.tree
+
+let root t = t.root
+
+let make ?root tree =
+  let n = LT.n_vertices tree in
+  let root = match root with Some r -> r | None -> LT.root tree in
+  let parent = Array.make n (-1)
+  and depth = Array.make n 0
+  and tin = Array.make n (-1)
+  and tout = Array.make n (-1)
+  and pre = Array.make n root in
+  let clock = ref 0 in
+  let preindex = ref 0 in
+  (* Iterative DFS; children in label order. The stack holds (vertex,
+     remaining neighbors). On first touch we stamp [tin] and preorder; when
+     a vertex's neighbor list is exhausted we stamp [tout]. *)
+  let stack = Stack.create () in
+  let visit v =
+    tin.(v) <- !clock;
+    incr clock;
+    pre.(!preindex) <- v;
+    incr preindex;
+    Stack.push (v, ref (LT.neighbors tree v)) stack
+  in
+  visit root;
+  while not (Stack.is_empty stack) do
+    let v, rest = Stack.top stack in
+    match !rest with
+    | [] ->
+        ignore (Stack.pop stack);
+        tout.(v) <- !clock;
+        incr clock
+    | u :: tl ->
+        rest := tl;
+        if tin.(u) = -1 then begin
+          parent.(u) <- v;
+          depth.(u) <- depth.(v) + 1;
+          visit u
+        end
+  done;
+  { tree; root; parent; depth; tin; tout; pre }
+
+let parent t v = if t.parent.(v) = -1 then None else Some t.parent.(v)
+
+let depth t v = t.depth.(v)
+
+let children t v =
+  List.filter (fun u -> t.parent.(u) = v) (LT.neighbors t.tree v)
+
+let is_ancestor t a v = t.tin.(a) <= t.tin.(v) && t.tout.(v) <= t.tout.(a)
+
+let in_subtree t ~root_of u = is_ancestor t root_of u
+
+let preorder t = Array.copy t.pre
+
+let subtree_vertices t v =
+  (* Preorder is sorted by [tin], so the subtree of [v] is the contiguous
+     block of preorder vertices whose interval nests in [v]'s. *)
+  let n = Array.length t.pre in
+  let rec start lo hi =
+    (* binary search for the position of v in preorder *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.tin.(t.pre.(mid)) < t.tin.(v) then start (mid + 1) hi else start lo mid
+  in
+  let s = start 0 n in
+  let acc = ref [] in
+  let i = ref s in
+  while !i < n && t.tout.(t.pre.(!i)) <= t.tout.(v) do
+    acc := t.pre.(!i) :: !acc;
+    incr i
+  done;
+  List.rev !acc
+
+let path_to_root t v =
+  let rec up v acc = if t.parent.(v) = -1 then v :: acc else up t.parent.(v) (v :: acc) in
+  up v []

@@ -1,0 +1,44 @@
+(** Rooted view of a labeled tree.
+
+    Precomputes parent, depth and DFS-interval tables for a chosen root.
+    The DFS visits children in label order, matching the deterministic
+    traversal every honest party performs; this makes subtree intervals and
+    the Euler tour (built on top of this module) identical across parties. *)
+
+type t
+
+val make : ?root:Labeled_tree.vertex -> Labeled_tree.t -> t
+(** [make tree] roots [tree] at the protocol root (lowest label); [~root]
+    overrides. All traversals are iterative, so trees with [10^6]-vertex
+    paths are fine. *)
+
+val tree : t -> Labeled_tree.t
+
+val root : t -> Labeled_tree.vertex
+
+val parent : t -> Labeled_tree.vertex -> Labeled_tree.vertex option
+(** [None] exactly for the root. *)
+
+val depth : t -> Labeled_tree.vertex -> int
+(** Edge distance from the root. *)
+
+val children : t -> Labeled_tree.vertex -> Labeled_tree.vertex list
+(** Children in label order. *)
+
+val is_ancestor : t -> Labeled_tree.vertex -> Labeled_tree.vertex -> bool
+(** [is_ancestor t a v] — [a] lies on the root-to-[v] path (reflexive):
+    O(1) via DFS intervals. *)
+
+val in_subtree : t -> root_of:Labeled_tree.vertex -> Labeled_tree.vertex -> bool
+(** [in_subtree t ~root_of:v u] — [u] belongs to the subtree rooted at [v];
+    same as [is_ancestor t v u]. *)
+
+val subtree_vertices : t -> Labeled_tree.vertex -> Labeled_tree.vertex list
+(** All vertices of the subtree rooted at the argument, in DFS preorder. *)
+
+val preorder : t -> Labeled_tree.vertex array
+(** All vertices in DFS preorder (children in label order). *)
+
+val path_to_root : t -> Labeled_tree.vertex -> Labeled_tree.vertex list
+(** [path_to_root t v] is [P(v_root, v)] listed from the root down to [v]
+    (inclusive). *)

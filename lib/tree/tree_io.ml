@@ -1,0 +1,63 @@
+module LT = Labeled_tree
+
+let to_edge_list t =
+  match LT.edges t with
+  | [] -> LT.label t 0 ^ "\n"
+  | es ->
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun (u, v) ->
+          Buffer.add_string buf (LT.label t u);
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (LT.label t v);
+          Buffer.add_char buf '\n')
+        es;
+      Buffer.contents buf
+
+let of_edge_list s =
+  let lines = String.split_on_char '\n' s in
+  let tokens_of line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let edges = ref [] and isolated = ref [] in
+  List.iter
+    (fun line ->
+      let line = String.trim (tokens_of line) in
+      if line <> "" then
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ a; b ] -> edges := (a, b) :: !edges
+        | [ a ] -> isolated := a :: !isolated
+        | _ -> raise (LT.Invalid_tree ("bad edge-list line: " ^ line)))
+    lines;
+  LT.of_labeled_edges ~isolated:!isolated (List.rev !edges)
+
+let to_dot ?(highlight = []) t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "graph tree {\n  node [shape=circle];\n";
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" [style=filled, fillcolor=lightblue];\n"
+           (LT.label t v)))
+    highlight;
+  List.iter
+    (fun (u, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -- \"%s\";\n" (LT.label t u) (LT.label t v)))
+    (LT.edges t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let ascii_art t =
+  let r = Rooted.make t in
+  let buf = Buffer.create 256 in
+  let rec render v indent =
+    Buffer.add_string buf indent;
+    Buffer.add_string buf (LT.label t v);
+    Buffer.add_char buf '\n';
+    List.iter (fun c -> render c (indent ^ "  ")) (Rooted.children r v)
+  in
+  render (Rooted.root r) "";
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** Textual import/export of labeled trees.
+
+    Edge-list format: one [label label] pair per line, '#' comments and
+    blank lines ignored; a single-vertex tree is a lone label on one line.
+    DOT output is for visual inspection of experiment inputs. *)
+
+val to_edge_list : Labeled_tree.t -> string
+
+val of_edge_list : string -> Labeled_tree.t
+(** Raises {!Labeled_tree.Invalid_tree} on malformed input. *)
+
+val to_dot :
+  ?highlight:Labeled_tree.vertex list -> Labeled_tree.t -> string
+(** Graphviz rendering; [highlight]ed vertices are filled. *)
+
+val ascii_art : Labeled_tree.t -> string
+(** Indented rooted rendering (root = lowest label), one vertex per line —
+    the quick way to see a tree in a terminal. *)

@@ -1,0 +1,58 @@
+(** The state-of-the-art baseline TreeAA is compared against: an
+    iteration-based AA-on-trees protocol in the style of Nowak & Rybicki
+    [33], with [O(log D(T))] iterations.
+
+    Each iteration distributes the parties' current vertices by
+    multi-gradecast (standing in for the reliable-broadcast distribution of
+    the asynchronous original — 3 rounds, consistent multisets), computes
+    the {e safe area} — the intersection of the convex hulls of all
+    [(m - t)]-subsets of the received multiset — and moves to the midpoint
+    of the safe area's diameter path. The safe area always lies inside the
+    honest inputs' hull (any [(m-t)]-subset contains only honest-hull
+    vertices after discarding the [<= t] Byzantine contributions), giving
+    Validity; its per-iteration contraction gives 1-Agreement after
+    [O(log D(T))] iterations.
+
+    On a path input space this degenerates exactly to trimmed-midpoint AA
+    on indices — the tree generalisation of the classic outline the paper's
+    introduction describes. *)
+
+open Aat_tree
+open Aat_engine
+open Aat_gradecast
+
+type state
+
+val safe_vertices :
+  Rooted.t -> t:int -> Labeled_tree.vertex list -> Labeled_tree.vertex list
+(** [safe_vertices rooted ~t multiset] — all vertices [v] such that every
+    component of [T - v] contains at most [m - t - 1] multiset elements
+    (with [m = List.length multiset]), i.e. the vertices contained in the
+    hull of {e every} [(m-t)]-subset. Sorted ascending; empty only when
+    [m <= 2t] (never in honest executions with [n > 3t]). *)
+
+val center_of : Rooted.t -> Labeled_tree.vertex list -> Labeled_tree.vertex
+(** Deterministic midpoint of the set's diameter path (the set must induce
+    a connected subtree, which safe areas do). *)
+
+val iterations_for : Labeled_tree.t -> int
+(** [⌈log2 D(T)⌉ + 2] — halving schedule with slack for integer rounding. *)
+
+val protocol :
+  tree:Labeled_tree.t ->
+  inputs:(Types.party_id -> Labeled_tree.vertex) ->
+  t:int ->
+  iterations:int ->
+  (state, Labeled_tree.vertex Gradecast.Multi.msg, Labeled_tree.vertex) Protocol.t
+
+val rounds : tree:Labeled_tree.t -> int
+(** [3 * iterations_for tree]. *)
+
+val run :
+  ?seed:int ->
+  tree:Labeled_tree.t ->
+  inputs:Labeled_tree.vertex array ->
+  t:int ->
+  adversary:Labeled_tree.vertex Gradecast.Multi.msg Adversary.t ->
+  unit ->
+  (Labeled_tree.vertex, Labeled_tree.vertex Gradecast.Multi.msg) Sync_engine.report

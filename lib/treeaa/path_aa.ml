@@ -1,0 +1,41 @@
+open Aat_tree
+open Aat_realaa
+
+type state = Bdh.state
+
+let canonical_order path_tree =
+  let n = Labeled_tree.n_vertices path_tree in
+  if Labeled_tree.fold_vertices
+       (fun v bad -> bad || Labeled_tree.degree path_tree v > 2)
+       path_tree false
+  then invalid_arg "Path_aa: input space is not a path";
+  if n = 1 then [| 0 |]
+  else begin
+    let p = Metrics.longest_path path_tree in
+    if Array.length p <> n then invalid_arg "Path_aa: input space is not a path";
+    Paths.orient path_tree p
+  end
+
+let rounds ~path =
+  Rounds.bdh_rounds ~range:(float_of_int (Metrics.diameter path)) ~eps:1.
+
+let protocol ~path ~inputs ~t =
+  let order = canonical_order path in
+  let k = Array.length order in
+  let position = Array.make k 0 in
+  Array.iteri (fun idx v -> position.(v) <- idx) order;
+  let iterations =
+    Rounds.bdh_iterations ~range:(float_of_int (k - 1)) ~eps:1.
+  in
+  let real_inputs self = float_of_int position.(inputs self) in
+  let to_vertex (r : Bdh.result) =
+    (* Remark 1 keeps closestInt inside the honest positions, hence inside
+       [0, k-1]; the clamp is belt-and-braces for NaN-free robustness. *)
+    let c = Closest_int.closest_int r.value in
+    order.(max 0 (min (k - 1) c))
+  in
+  let base = Bdh.protocol ~inputs:real_inputs ~t ~iterations () in
+  {
+    (Aat_engine.Protocol.map_output to_vertex base) with
+    name = "path-aa";
+  }

@@ -1,0 +1,55 @@
+(** TreeAA — the paper's main protocol (Section 7, Theorem 4).
+
+    Structure, exactly as in the paper's pseudocode:
+
+    + fix [v_root], the lowest-labeled vertex;
+    + run {!Paths_finder} to obtain a root-anchored path [P] intersecting
+      the honest inputs' convex hull (all honest paths equal up to one
+      trailing edge);
+    + wait until round [R_PathsFinder] ends — the synchronisation barrier of
+      line 4, realised by {!Aat_engine.Protocol.sequential};
+    + join RealAA(1) with the position of [proj_P(v_IN)] on one's own path;
+    + output the path vertex at [closestInt(j)], or the own path's last
+      vertex when [closestInt(j)] runs past it (the party then holds the
+      shorter of the two candidate paths and the paper's case analysis
+      shows every honest party outputs one of two adjacent vertices).
+
+    Round complexity: [R_PathsFinder + R_RealAA(D(T), 1)] =
+    [O(log |V(T)| / log log |V(T)|)]. Resilience: inherited from RealAA —
+    [t < n/3] here, and anything RealAA is swapped for in the
+    authenticated setting (the paper's [t < n/2] note).
+
+    Trees with [D(T) <= 1] are the trivial case: every party returns its
+    own input without communication. *)
+
+open Aat_tree
+open Aat_engine
+open Aat_gradecast
+
+type state
+
+type msg =
+  ( float Gradecast.Multi.msg,
+    float Gradecast.Multi.msg )
+  Composed.msg
+
+val protocol :
+  tree:Labeled_tree.t ->
+  inputs:(Types.party_id -> Labeled_tree.vertex) ->
+  t:int ->
+  (state, msg, Labeled_tree.vertex) Protocol.t
+
+val rounds : tree:Labeled_tree.t -> int
+(** The exact fixed schedule (0 for trivial trees): what
+    [Sync_engine.run ~max_rounds] can be pinned to. *)
+
+val run :
+  ?seed:int ->
+  tree:Labeled_tree.t ->
+  inputs:Labeled_tree.vertex array ->
+  t:int ->
+  adversary:msg Adversary.t ->
+  unit ->
+  (Labeled_tree.vertex, msg) Sync_engine.report
+(** Convenience wrapper: [inputs.(i)] is party [i]'s input vertex,
+    [n = Array.length inputs]. *)

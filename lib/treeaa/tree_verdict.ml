@@ -1,0 +1,34 @@
+open Aat_tree
+open Aat_engine
+
+let output_diameter ~tree vertices =
+  match vertices with
+  | [] | [ _ ] -> 0
+  | v0 :: _ ->
+      let rooted = Rooted.make ~root:v0 tree in
+      let best = ref 0 in
+      let rec pairs = function
+        | [] -> ()
+        | u :: rest ->
+            List.iter
+              (fun w ->
+                let d = Paths.distance rooted u w in
+                if d > !best then best := d)
+              rest;
+            pairs rest
+      in
+      pairs (List.sort_uniq compare vertices);
+      !best
+
+let check ~tree ~n_honest ~honest_inputs ~honest_outputs =
+  let termination = List.length honest_outputs = n_honest in
+  let validity =
+    match honest_inputs with
+    | [] -> honest_outputs = []
+    | _ ->
+        let rooted = Rooted.make tree in
+        let hull = Convex_hull.compute rooted honest_inputs in
+        List.for_all (Convex_hull.mem hull) honest_outputs
+  in
+  let agreement = output_diameter ~tree honest_outputs <= 1 in
+  { Verdict.termination; validity; agreement }

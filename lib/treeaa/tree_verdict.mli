@@ -1,0 +1,18 @@
+(** Checking the AA-on-trees properties of Definition 2 on finished
+    executions: Termination, Validity (outputs inside the convex hull of
+    honest inputs) and 1-Agreement (outputs pairwise within distance 1). *)
+
+open Aat_tree
+open Aat_engine
+
+val check :
+  tree:Labeled_tree.t ->
+  n_honest:int ->
+  honest_inputs:Labeled_tree.vertex list ->
+  honest_outputs:Labeled_tree.vertex list ->
+  Verdict.t
+
+val output_diameter :
+  tree:Labeled_tree.t -> Labeled_tree.vertex list -> int
+(** Maximum pairwise distance among the given vertices (0 for <= 1 vertex) —
+    the tree analogue of {!Aat_engine.Verdict.spread}. *)

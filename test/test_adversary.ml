@@ -1,0 +1,229 @@
+(* Tests for the attack library itself: puppeteer fidelity, omission,
+   spoiler bookkeeping, wedge camps, the phased adapter, and engine trace
+   recording. *)
+
+open Aat_engine
+open Aat_realaa
+module Strategies = Aat_adversary.Strategies
+module Spoiler = Aat_adversary.Spoiler
+module Wedge = Aat_adversary.Wedge
+module Compose = Aat_adversary.Compose
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* the little gather protocol again *)
+type gather_state = { self : int; n : int; heard : int list option }
+
+let gather : (gather_state, int, int list) Protocol.t =
+  {
+    name = "gather";
+    init = (fun ~self ~n -> { self; n; heard = None });
+    send =
+      (fun ~round ~self st ->
+        if round = 1 then List.init st.n (fun p -> (p, self)) else []);
+    receive =
+      (fun ~round:_ ~self:_ ~inbox st ->
+        { st with heard = Some (List.map (fun (e : int Types.envelope) -> e.payload) inbox) });
+    output = (fun st -> st.heard);
+  }
+
+(* --- puppeteer --- *)
+
+let test_puppeteer_identity_is_honest () =
+  (* a puppeteered party with an identity twist is indistinguishable from an
+     honest one *)
+  let honest_run =
+    Sync_engine.run ~n:5 ~t:0 ~protocol:gather
+      ~adversary:(Adversary.passive "none") ()
+  in
+  let puppet_run =
+    Sync_engine.run ~n:5 ~t:1 ~protocol:gather
+      ~adversary:
+        (Strategies.puppeteer ~name:"identity" ~protocol:gather ~victims:[ 4 ]
+           ~twist:(fun ~round:_ ~src:_ ~dst:_ m -> Some m))
+      ()
+  in
+  (* honest parties hear the same things in both runs *)
+  List.iter
+    (fun p ->
+      check "same inbox" true
+        (Sync_engine.output_of honest_run p = Sync_engine.output_of puppet_run p))
+    [ 0; 1; 2; 3 ]
+
+let test_puppeteer_rewrites_per_recipient () =
+  let adversary =
+    Strategies.puppeteer ~name:"equivocate" ~protocol:gather ~victims:[ 4 ]
+      ~twist:(fun ~round:_ ~src:_ ~dst m ->
+        Some (if dst < 2 then m + 100 else m))
+  in
+  let report = Sync_engine.run ~n:5 ~t:1 ~protocol:gather ~adversary () in
+  Alcotest.(check (list int)) "p0 sees twisted" [ 0; 1; 2; 3; 104 ]
+    (Sync_engine.output_of report 0);
+  Alcotest.(check (list int)) "p3 sees original" [ 0; 1; 2; 3; 4 ]
+    (Sync_engine.output_of report 3)
+
+let test_omit_towards () =
+  let adversary =
+    Strategies.omit_towards ~name:"omit" ~protocol:gather ~victims:[ 4 ]
+      ~blocked:[ 0; 1 ]
+  in
+  let report = Sync_engine.run ~n:5 ~t:1 ~protocol:gather ~adversary () in
+  Alcotest.(check (list int)) "blocked" [ 0; 1; 2; 3 ] (Sync_engine.output_of report 0);
+  Alcotest.(check (list int)) "not blocked" [ 0; 1; 2; 3; 4 ]
+    (Sync_engine.output_of report 2)
+
+(* puppeteer over multiple rounds: victims track state from real traffic *)
+let counter : (int, int, int) Protocol.t =
+  {
+    name = "counter";
+    init = (fun ~self:_ ~n:_ -> 0);
+    send = (fun ~round:_ ~self st -> [ (self, st) ]);
+    receive = (fun ~round:_ ~self:_ ~inbox:_ st -> st + 1);
+    output = (fun st -> if st >= 4 then Some st else None);
+  }
+
+let test_puppeteer_multi_round_state () =
+  let sent_values = ref [] in
+  let adversary =
+    Strategies.puppeteer ~name:"observer" ~protocol:counter ~victims:[ 2 ]
+      ~twist:(fun ~round:_ ~src:_ ~dst:_ m ->
+        sent_values := m :: !sent_values;
+        Some m)
+  in
+  let report = Sync_engine.run ~n:3 ~t:1 ~protocol:counter ~adversary () in
+  check_int "honest finished" 2 (List.length report.outputs);
+  (* the victim's internal counter advanced across rounds: it sent 0,1,2,3 *)
+  Alcotest.(check (list int)) "victim state advanced" [ 0; 1; 2; 3 ]
+    (List.rev !sent_values)
+
+(* --- spoiler bookkeeping --- *)
+
+let test_spoiler_burns_all_when_iterations_cover_t () =
+  let n = 10 and t = 3 in
+  let values = Array.init n (fun i -> float_of_int (100 * i)) in
+  let report =
+    Sync_engine.run ~n ~t ~max_rounds:9
+      ~protocol:(Bdh.protocol ~inputs:(fun i -> values.(i)) ~t ~iterations:3 ())
+      ~adversary:(Spoiler.realaa_spoiler ~t ~iterations:3)
+      ()
+  in
+  (* every spoiler burned itself, so every honest party blacklists all t *)
+  List.iter
+    (fun (r : Bdh.result) ->
+      Alcotest.(check (list int)) "all spoilers blacklisted" [ 7; 8; 9 ] r.blacklisted)
+    (Sync_engine.honest_outputs report)
+
+let test_spoiler_parties_of () =
+  Alcotest.(check (list int)) "corruption set" [ 7; 8; 9 ] (Spoiler.parties_of ~n:10 ~t:3);
+  Alcotest.(check (list int)) "empty" [] (Spoiler.parties_of ~n:4 ~t:0)
+
+let test_relentless_spoiler_never_burns () =
+  (* against the faithful protocol the relentless spoiler is blacklisted at
+     its first split and is harmless afterwards: AA must hold *)
+  let n = 7 and t = 2 in
+  let values = Array.init n (fun i -> float_of_int (100 * i)) in
+  let iterations = Rounds.bdh_iterations ~range:600. ~eps:1. in
+  let report =
+    Sync_engine.run ~n ~t ~max_rounds:(3 * iterations)
+      ~protocol:(Bdh.protocol ~inputs:(fun i -> values.(i)) ~t ~iterations ())
+      ~adversary:(Spoiler.relentless_spoiler ~t ~iterations)
+      ()
+  in
+  let outputs =
+    List.map (fun (r : Bdh.result) -> r.value) (Sync_engine.honest_outputs report)
+  in
+  check "agreement" true (Verdict.spread outputs <= 1.)
+
+(* --- wedge camps --- *)
+
+let test_wedge_camps_split_honest () =
+  let view : int Adversary.view =
+    {
+      round = 1;
+      n = 7;
+      t = 2;
+      corrupted = [| false; false; false; false; false; true; true |];
+      honest_outbox = [];
+      history = [];
+      rng = Aat_util.Rng.create 0;
+    }
+  in
+  let a, b = Wedge.camps view in
+  Alcotest.(check (list int)) "camp a" [ 0; 1; 2 ] a;
+  Alcotest.(check (list int)) "camp b" [ 3; 4 ] b
+
+(* --- phased adapter --- *)
+
+let test_phased_adapter_routing () =
+  let seen_first = ref [] and seen_second = ref [] in
+  let probe seen =
+    {
+      Adversary.name = "probe";
+      initial_corruptions = (fun ~n:_ ~t:_ _ -> [ 3 ]);
+      corrupt_more = (fun _ -> []);
+      deliver =
+        (fun view ->
+          seen := (view.Adversary.round, List.length view.history) :: !seen;
+          []);
+    }
+  in
+  let composed =
+    Protocol.sequential ~name:"probe-composed" ~first:gather ~rounds_of_first:1
+      ~second:(fun _ -> gather)
+  in
+  let adversary =
+    Compose.phased ~name:"probe-both" ~barrier:1 ~first:(probe seen_first)
+      ~second:(probe seen_second)
+  in
+  ignore (Sync_engine.run ~n:4 ~t:1 ~protocol:composed ~adversary ());
+  (* phase 1 saw its round 1 with empty history; phase 2 saw its (renumbered)
+     round 1 with empty (projected) history *)
+  check "first phase rounds" true (List.mem (1, 0) !seen_first);
+  check "second phase renumbered" true (List.mem (1, 0) !seen_second);
+  check "second phase saw only its rounds" true
+    (List.for_all (fun (r, h) -> r >= 1 && h < r) !seen_second)
+
+(* --- engine trace recording --- *)
+
+let test_trace_recording () =
+  let report =
+    Sync_engine.run ~n:3 ~t:0 ~record_trace:true ~protocol:gather
+      ~adversary:(Adversary.passive "none") ()
+  in
+  check_int "one round traced" 1 (List.length report.trace);
+  check_int "nine letters" 9 (List.length (List.hd report.trace));
+  let no_trace =
+    Sync_engine.run ~n:3 ~t:0 ~protocol:gather
+      ~adversary:(Adversary.passive "none") ()
+  in
+  check "trace off by default" true (no_trace.trace = [])
+
+let () =
+  Alcotest.run "adversary"
+    [
+      ( "puppeteer",
+        [
+          Alcotest.test_case "identity twist = honest" `Quick
+            test_puppeteer_identity_is_honest;
+          Alcotest.test_case "per-recipient rewrite" `Quick
+            test_puppeteer_rewrites_per_recipient;
+          Alcotest.test_case "omit_towards" `Quick test_omit_towards;
+          Alcotest.test_case "multi-round state" `Quick
+            test_puppeteer_multi_round_state;
+        ] );
+      ( "spoiler",
+        [
+          Alcotest.test_case "burns all byz over t iterations" `Quick
+            test_spoiler_burns_all_when_iterations_cover_t;
+          Alcotest.test_case "parties_of" `Quick test_spoiler_parties_of;
+          Alcotest.test_case "relentless vs faithful protocol" `Quick
+            test_relentless_spoiler_never_burns;
+        ] );
+      ( "wedge",
+        [ Alcotest.test_case "camps" `Quick test_wedge_camps_split_honest ] );
+      ( "phased",
+        [ Alcotest.test_case "routing and renumbering" `Quick test_phased_adapter_routing ] );
+      ( "trace",
+        [ Alcotest.test_case "recording" `Quick test_trace_recording ] );
+    ]

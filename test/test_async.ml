@@ -1,0 +1,408 @@
+(* Tests for the asynchronous substrate: the event engine, Bracha reliable
+   broadcast, and witness-based iterated AA (real-valued and on trees). *)
+
+open Aat_engine
+open Aat_async
+open Aat_tree
+module Rng = Aat_util.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- engine basics: a ping protocol counting what it hears --- *)
+
+type ping_state = { mutable heard : int list; n : int }
+
+let gather_reactor ~quota : (ping_state, int, int list) Async_engine.reactor =
+  {
+    name = "gather";
+    init =
+      (fun ~self ~n ->
+        ({ heard = []; n }, List.init n (fun p -> (p, self))));
+    on_message =
+      (fun ~self:_ e st ->
+        st.heard <- e.payload :: st.heard;
+        (st, []));
+    output =
+      (fun st -> if List.length st.heard >= quota then Some (List.sort compare st.heard) else None);
+  }
+
+let test_engine_delivers_everything () =
+  List.iter
+    (fun scheduler ->
+      let report =
+        Async_engine.run ~n:5 ~t:0 ~reactor:(gather_reactor ~quota:5)
+          ~adversary:(Async_engine.passive ~scheduler "none")
+          ()
+      in
+      check_int "all honest decided" 5 (List.length report.outputs);
+      List.iter
+        (fun (_, heard) -> Alcotest.(check (list int)) "heard all" [ 0; 1; 2; 3; 4 ] heard)
+        report.outputs)
+    [ Async_engine.Fifo; Async_engine.Lifo; Async_engine.Random_order ]
+
+let test_engine_patience_beats_starvation () =
+  (* the laggard scheduler starves party 0's messages; patience must force
+     them through so everyone still hears 5 of 5 *)
+  let report =
+    Async_engine.run ~n:5 ~t:0 ~patience:10
+      ~reactor:(gather_reactor ~quota:5)
+      ~adversary:(Async_engine.passive ~scheduler:(Async_engine.Laggards [ 0 ]) "laggard")
+      ()
+  in
+  List.iter
+    (fun (_, heard) -> Alcotest.(check (list int)) "heard all" [ 0; 1; 2; 3; 4 ] heard)
+    report.outputs
+
+let test_engine_rejects_forged_injections () =
+  let adversary =
+    {
+      Async_engine.name = "forger";
+      corrupt = (fun ~n:_ ~t:_ _ -> [ 4 ]);
+      scheduler = Async_engine.Fifo;
+      inject =
+        (fun ~step ~corrupted:_ ~n ~rng:_ ->
+          if step = 1 then
+            { Types.src = 0; dst = 1; body = 999 } (* forged: honest src *)
+            :: List.init n (fun dst -> { Types.src = 4; dst; body = 444 })
+          else []);
+    }
+  in
+  let report =
+    Async_engine.run ~n:5 ~t:1 ~reactor:(gather_reactor ~quota:5) ~adversary ()
+  in
+  check_int "forgery rejected" 1 report.rejected_forgeries;
+  check_int "injections accepted" 5 report.injected_messages;
+  (* party 1 heard: 4 honest pings (0..3; byz 4 sends nothing itself) + 444 *)
+  Alcotest.(check (list int)) "inbox" [ 0; 1; 2; 3; 444 ] (List.assoc 1 report.outputs)
+
+let test_engine_liveness_failure_detected () =
+  check "deadlock raises" true
+    (try
+       ignore
+         (Async_engine.run ~n:3 ~t:0 ~max_events:100
+            ~reactor:(gather_reactor ~quota:99)
+            ~adversary:(Async_engine.passive "none")
+            ());
+       false
+     with Async_engine.Exceeded_max_events _ -> true)
+
+let test_engine_determinism () =
+  let run () =
+    Async_engine.run ~n:6 ~t:0 ~seed:42
+      ~reactor:(gather_reactor ~quota:6)
+      ~adversary:(Async_engine.passive ~scheduler:Async_engine.Random_order "rand")
+      ()
+  in
+  let a = run () and b = run () in
+  check "same events" true (a.events = b.events);
+  check "same outputs" true (a.outputs = b.outputs)
+
+(* --- Bracha reliable broadcast --- *)
+
+let bracha_inputs self = 100 + self
+
+let test_bracha_honest_sender () =
+  List.iter
+    (fun scheduler ->
+      let report =
+        Async_engine.run ~n:7 ~t:2
+          ~reactor:(Bracha.reactor ~sender:0 ~inputs:bracha_inputs ~t:2)
+          ~adversary:(Async_engine.passive ~scheduler "none")
+          ()
+      in
+      check_int "everyone delivers" 7 (List.length report.outputs);
+      List.iter (fun (_, v) -> check_int "the value" 100 v) report.outputs)
+    [ Async_engine.Fifo; Async_engine.Lifo; Async_engine.Random_order ]
+
+let test_bracha_silent_sender_no_delivery () =
+  let adversary =
+    {
+      Async_engine.name = "silent-sender";
+      corrupt = (fun ~n:_ ~t:_ _ -> [ 0 ]);
+      scheduler = Async_engine.Fifo;
+      inject = (fun ~step:_ ~corrupted:_ ~n:_ ~rng:_ -> []);
+    }
+  in
+  check "no delivery, liveness exception" true
+    (try
+       ignore
+         (Async_engine.run ~n:7 ~t:2 ~max_events:500
+            ~reactor:(Bracha.reactor ~sender:0 ~inputs:bracha_inputs ~t:2)
+            ~adversary ());
+       false
+     with Async_engine.Exceeded_max_events _ -> true)
+
+(* Equivocating Byzantine sender: conflicting INITs to the two halves, a
+   helper echoing one side. Agreement and totality must hold regardless of
+   scheduling. *)
+let equivocating_sender ~scheduler =
+  let key = { Bracha.origin = 6; tag = 0 } in
+  {
+    Async_engine.name = "equivocator";
+    corrupt = (fun ~n:_ ~t:_ _ -> [ 5; 6 ]);
+    scheduler;
+    inject =
+      (fun ~step ~corrupted:_ ~n ~rng:_ ->
+        if step = 1 then
+          List.concat
+            [
+              List.init n (fun dst ->
+                  let v = if dst < 3 then 111 else 222 in
+                  { Types.src = 6; dst; body = Bracha.Init (key, v) });
+              (* the helper echoes 111 to everyone *)
+              List.init n (fun dst ->
+                  { Types.src = 5; dst; body = Bracha.Echo (key, 111) });
+            ]
+        else [])
+  }
+
+let test_bracha_equivocator_agreement () =
+  (* Some runs deliver 111 everywhere, some deliver nothing before the
+     event budget: both are fine; what must never happen is two honest
+     parties delivering different values. *)
+  List.iter
+    (fun (scheduler, seed) ->
+      match
+        Async_engine.run ~n:7 ~t:2 ~seed ~max_events:3_000
+          ~reactor:(Bracha.reactor ~sender:6 ~inputs:bracha_inputs ~t:2)
+          ~adversary:(equivocating_sender ~scheduler)
+          ()
+      with
+      | report ->
+          (* totality: engine only returns when ALL honest delivered *)
+          check_int "all or none" 5 (List.length report.outputs);
+          let values = List.sort_uniq compare (List.map snd report.outputs) in
+          check "agreement" true (List.length values <= 1)
+      | exception Async_engine.Exceeded_max_events _ -> ())
+    [
+      (Async_engine.Fifo, 1); (Async_engine.Lifo, 2);
+      (Async_engine.Random_order, 3); (Async_engine.Random_order, 4);
+      (Async_engine.Laggards [ 0; 1 ], 5);
+    ]
+
+(* --- async AA on reals --- *)
+
+let async_real_verdict values report ~eps =
+  let honest_inputs =
+    Array.to_list (Array.mapi (fun i v -> (i, v)) values)
+    |> List.filter_map (fun (i, v) ->
+           if List.mem i report.Async_engine.corrupted then None else Some v)
+  in
+  let honest_outputs =
+    List.map
+      (fun (_, (r : float Async_aa.result)) -> r.value)
+      report.Async_engine.outputs
+  in
+  Verdict.real ~eps ~n_honest:(List.length honest_inputs) ~honest_inputs
+    ~honest_outputs
+
+let test_async_real_converges () =
+  let values = [| 0.; 100.; 20.; 60.; 40.; 90.; 10. |] in
+  let iterations = Aat_realaa.Rounds.halving_iterations ~range:100. ~eps:1. in
+  List.iter
+    (fun scheduler ->
+      let report =
+        Async_engine.run ~n:7 ~t:2
+          ~reactor:(Async_aa.real ~inputs:(fun i -> values.(i)) ~t:2 ~iterations)
+          ~adversary:(Async_engine.passive ~scheduler "none")
+          ()
+      in
+      check "verdict" true (Verdict.all_ok (async_real_verdict values report ~eps:1.)))
+    [ Async_engine.Fifo; Async_engine.Lifo; Async_engine.Random_order ]
+
+let test_async_real_with_silent_byz () =
+  (* two corrupted parties never participate: quorums are n - t, so the
+     protocol must stay live *)
+  let values = [| 0.; 100.; 20.; 60.; 40.; 90.; 10. |] in
+  let iterations = Aat_realaa.Rounds.halving_iterations ~range:100. ~eps:1. in
+  let adversary =
+    {
+      Async_engine.name = "silent";
+      corrupt = (fun ~n:_ ~t:_ _ -> [ 5; 6 ]);
+      scheduler = Async_engine.Random_order;
+      inject = (fun ~step:_ ~corrupted:_ ~n:_ ~rng:_ -> []);
+    }
+  in
+  let report =
+    Async_engine.run ~n:7 ~t:2
+      ~reactor:(Async_aa.real ~inputs:(fun i -> values.(i)) ~t:2 ~iterations)
+      ~adversary ()
+  in
+  check "verdict" true (Verdict.all_ok (async_real_verdict values report ~eps:1.))
+
+let test_async_real_laggard_scheduler () =
+  let values = [| 0.; 100.; 20.; 60.; 40.; 90.; 10. |] in
+  let iterations = Aat_realaa.Rounds.halving_iterations ~range:100. ~eps:1. in
+  let report =
+    Async_engine.run ~n:7 ~t:2 ~patience:200
+      ~reactor:(Async_aa.real ~inputs:(fun i -> values.(i)) ~t:2 ~iterations)
+      ~adversary:
+        (Async_engine.passive ~scheduler:(Async_engine.Laggards [ 0; 1 ]) "lag")
+      ()
+  in
+  check "verdict" true (Verdict.all_ok (async_real_verdict values report ~eps:1.))
+
+(* Byzantine parties injecting random protocol messages (malformed reports,
+   junk RBC traffic, equivocating broadcasts of their own instances). *)
+let random_async_byz ~seed =
+  let rng = Rng.create seed in
+  {
+    Async_engine.name = "random-async-byz";
+    corrupt = (fun ~n:_ ~t:_ _ -> [ 5; 6 ]);
+    scheduler = Async_engine.Random_order;
+    inject =
+      (fun ~step ~corrupted:_ ~n ~rng:_ ->
+        if step > 600 || step mod 3 <> 0 then []
+        else
+          let src = if Rng.bool rng then 5 else 6 in
+          let key = { Bracha.origin = src; tag = 1 + Rng.int rng 8 } in
+          let junk_value () = float_of_int (Rng.int rng 1000) -. 200. in
+          List.init n (fun dst ->
+              let body =
+                match Rng.int rng 5 with
+                | 0 -> Async_aa.Rbc (Bracha.Init (key, junk_value ()))
+                | 1 -> Async_aa.Rbc (Bracha.Echo (key, junk_value ()))
+                | 2 -> Async_aa.Rbc (Bracha.Ready (key, junk_value ()))
+                | 3 ->
+                    Async_aa.Report
+                      { iteration = 1 + Rng.int rng 8; ids = [ 0; 1 ] }
+                      (* malformed: too small *)
+                | _ ->
+                    Async_aa.Report
+                      {
+                        iteration = 1 + Rng.int rng 8;
+                        ids = List.init (n - 2) Fun.id;
+                      }
+              in
+              { Types.src; dst; body }));
+  }
+
+let prop_async_real_random_byz =
+  QCheck2.Test.make ~name:"async AA under random byzantine injections"
+    ~count:25
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let values = Array.init 7 (fun _ -> float_of_int (Rng.int rng 500)) in
+      let iterations = Aat_realaa.Rounds.halving_iterations ~range:500. ~eps:1. in
+      let report =
+        Async_engine.run ~n:7 ~t:2 ~seed ~max_events:500_000
+          ~reactor:(Async_aa.real ~inputs:(fun i -> values.(i)) ~t:2 ~iterations)
+          ~adversary:(random_async_byz ~seed)
+          ()
+      in
+      Verdict.all_ok (async_real_verdict values report ~eps:1.))
+
+(* --- async AA on trees ([33]) --- *)
+
+let async_tree_verdict tree inputs report =
+  let honest_inputs =
+    Array.to_list (Array.mapi (fun i v -> (i, v)) inputs)
+    |> List.filter_map (fun (i, v) ->
+           if List.mem i report.Async_engine.corrupted then None else Some v)
+  in
+  let honest_outputs =
+    List.map
+      (fun (_, (r : Labeled_tree.vertex Async_aa.result)) -> r.value)
+      report.Async_engine.outputs
+  in
+  Aat_treeaa.Tree_verdict.check ~tree ~n_honest:(List.length honest_inputs)
+    ~honest_inputs ~honest_outputs
+
+let test_async_tree_on_fig3 () =
+  let tree =
+    Labeled_tree.of_labeled_edges
+      [ ("v1", "v2"); ("v2", "v3"); ("v3", "v6"); ("v3", "v7");
+        ("v2", "v4"); ("v4", "v8"); ("v2", "v5") ]
+  in
+  let v l = Labeled_tree.vertex_of_label tree l in
+  let inputs = [| v "v3"; v "v6"; v "v5"; v "v8"; v "v1"; v "v7"; v "v4" |] in
+  let iterations = Aat_treeaa.Nr_baseline.iterations_for tree in
+  let report =
+    Async_engine.run ~n:7 ~t:2
+      ~reactor:
+        (Async_aa.tree ~tree ~inputs:(fun i -> inputs.(i)) ~t:2 ~iterations)
+      ~adversary:(Async_engine.passive ~scheduler:Async_engine.Random_order "none")
+      ()
+  in
+  check "verdict" true (Verdict.all_ok (async_tree_verdict tree inputs report))
+
+let test_async_tree_long_path () =
+  let tree = Generate.path 200 in
+  let inputs = [| 0; 199; 50; 120; 75; 30; 160 |] in
+  let iterations = Aat_treeaa.Nr_baseline.iterations_for tree in
+  let adversary =
+    {
+      Async_engine.name = "silent";
+      corrupt = (fun ~n:_ ~t:_ _ -> [ 5; 6 ]);
+      scheduler = Async_engine.Lifo;
+      inject = (fun ~step:_ ~corrupted:_ ~n:_ ~rng:_ -> []);
+    }
+  in
+  let report =
+    Async_engine.run ~n:7 ~t:2
+      ~reactor:
+        (Async_aa.tree ~tree ~inputs:(fun i -> inputs.(i)) ~t:2 ~iterations)
+      ~adversary ()
+  in
+  check "verdict" true (Verdict.all_ok (async_tree_verdict tree inputs report))
+
+let prop_async_tree_random =
+  QCheck2.Test.make ~name:"async tree AA on random trees" ~count:20
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 2 40))
+    (fun (seed, nv) ->
+      let rng = Rng.create seed in
+      let tree = Generate.random rng nv in
+      let inputs = Array.init 7 (fun _ -> Rng.int rng nv) in
+      let iterations = Aat_treeaa.Nr_baseline.iterations_for tree in
+      let report =
+        Async_engine.run ~n:7 ~t:2 ~seed
+          ~reactor:
+            (Async_aa.tree ~tree ~inputs:(fun i -> inputs.(i)) ~t:2 ~iterations)
+          ~adversary:
+            (Async_engine.passive ~scheduler:Async_engine.Random_order "none")
+          ()
+      in
+      Verdict.all_ok (async_tree_verdict tree inputs report))
+
+let () =
+  Alcotest.run "async"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "delivers under all schedulers" `Quick
+            test_engine_delivers_everything;
+          Alcotest.test_case "patience beats starvation" `Quick
+            test_engine_patience_beats_starvation;
+          Alcotest.test_case "forged injections rejected" `Quick
+            test_engine_rejects_forged_injections;
+          Alcotest.test_case "liveness failure detected" `Quick
+            test_engine_liveness_failure_detected;
+          Alcotest.test_case "determinism" `Quick test_engine_determinism;
+        ] );
+      ( "bracha",
+        [
+          Alcotest.test_case "honest sender" `Quick test_bracha_honest_sender;
+          Alcotest.test_case "silent sender: no delivery" `Quick
+            test_bracha_silent_sender_no_delivery;
+          Alcotest.test_case "equivocator: agreement + totality" `Quick
+            test_bracha_equivocator_agreement;
+        ] );
+      ( "async-aa-real",
+        [
+          Alcotest.test_case "converges under all schedulers" `Quick
+            test_async_real_converges;
+          Alcotest.test_case "silent byz" `Quick test_async_real_with_silent_byz;
+          Alcotest.test_case "laggard scheduler" `Quick
+            test_async_real_laggard_scheduler;
+          QCheck_alcotest.to_alcotest prop_async_real_random_byz;
+        ] );
+      ( "async-aa-tree",
+        [
+          Alcotest.test_case "fig3" `Quick test_async_tree_on_fig3;
+          Alcotest.test_case "long path, LIFO, silent byz" `Quick
+            test_async_tree_long_path;
+          QCheck_alcotest.to_alcotest prop_async_tree_random;
+        ] );
+    ]

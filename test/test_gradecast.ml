@@ -1,0 +1,197 @@
+(* Tests for gradecast: the three properties (validity, soundness, value
+   agreement on grade >= 1) under honest, crashing, equivocating and random
+   Byzantine leaders. *)
+
+open Aat_engine
+open Aat_gradecast
+module Multi = Gradecast.Multi
+module Strategies = Aat_adversary.Strategies
+module Rng = Aat_util.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let inputs self = float_of_int (10 * (self + 1))
+
+let run ~n ~t ~leader ~adversary =
+  let report =
+    Sync_engine.run ~n ~t ~max_rounds:3
+      ~protocol:(Gradecast.protocol ~leader ~inputs ~t)
+      ~adversary ()
+  in
+  Sync_engine.honest_outputs report
+
+(* The gradecast properties, as checkers over the honest outcomes. *)
+let validity_holds ~leader_value outcomes =
+  List.for_all
+    (fun (r : float Gradecast.result) ->
+      r.grade = Gradecast.G2 && r.value = Some leader_value)
+    outcomes
+
+let soundness_holds outcomes =
+  let someone_g2 =
+    List.exists (fun (r : float Gradecast.result) -> r.grade = Gradecast.G2) outcomes
+  in
+  (not someone_g2)
+  || List.for_all
+       (fun (r : float Gradecast.result) -> r.grade <> Gradecast.G0)
+       outcomes
+
+let value_agreement_holds outcomes =
+  let values =
+    List.filter_map (fun (r : float Gradecast.result) -> r.value) outcomes
+  in
+  match values with [] -> true | v :: vs -> List.for_all (( = ) v) vs
+
+let all_properties outcomes = soundness_holds outcomes && value_agreement_holds outcomes
+
+let test_honest_leader () =
+  List.iter
+    (fun (n, t) ->
+      let outcomes = run ~n ~t ~leader:0 ~adversary:(Adversary.passive "none") in
+      check "validity" true (validity_holds ~leader_value:10. outcomes))
+    [ (4, 1); (7, 2); (10, 3); (4, 0); (13, 4) ]
+
+let test_honest_leader_with_byz_helpers () =
+  (* Leader honest, other parties Byzantine and silent: validity must still
+     hold. *)
+  let outcomes =
+    run ~n:7 ~t:2 ~leader:0 ~adversary:(Strategies.silent ~victims:[ 5; 6 ])
+  in
+  check "validity despite silent byz" true (validity_holds ~leader_value:10. outcomes)
+
+let test_silent_leader () =
+  let outcomes =
+    run ~n:7 ~t:2 ~leader:6 ~adversary:(Strategies.silent ~victims:[ 5; 6 ])
+  in
+  check "all grade 0" true
+    (List.for_all
+       (fun (r : float Gradecast.result) -> r.grade = Gradecast.G0 && r.value = None)
+       outcomes)
+
+let test_equivocating_leader_round1 () =
+  (* Leader sends different values to the two halves in round 1, everything
+     else honest: soundness and value agreement must survive. *)
+  let base = Gradecast.protocol ~leader:6 ~inputs ~t:2 in
+  let adversary =
+    Strategies.puppeteer ~name:"equivocate" ~protocol:base ~victims:[ 6 ]
+      ~twist:(fun ~round ~src:_ ~dst m ->
+        match (round, m) with
+        | 1, Multi.Value _ -> Some (Multi.Value (if dst < 3 then 1.0 else 2.0))
+        | _ -> Some m)
+  in
+  let outcomes = run ~n:7 ~t:2 ~leader:6 ~adversary in
+  check "soundness + agreement" true (all_properties outcomes)
+
+let test_selective_omission_leader () =
+  (* Leader sends its value to only n - 2t parties; helpers honest. *)
+  let base = Gradecast.protocol ~leader:6 ~inputs ~t:2 in
+  let adversary =
+    Strategies.puppeteer ~name:"omit" ~protocol:base ~victims:[ 6 ]
+      ~twist:(fun ~round ~src:_ ~dst m ->
+        match (round, m) with
+        | 1, Multi.Value _ -> if dst < 3 then Some m else None
+        | _ -> Some m)
+  in
+  let outcomes = run ~n:7 ~t:2 ~leader:6 ~adversary in
+  check "soundness + agreement" true (all_properties outcomes)
+
+let test_lying_echoers () =
+  (* Honest leader; Byzantine echoers claim a different value. Validity must
+     still hold: honest echo quorum dominates. *)
+  let base = Gradecast.protocol ~leader:0 ~inputs ~t:2 in
+  let adversary =
+    Strategies.puppeteer ~name:"lying-echo" ~protocol:base ~victims:[ 5; 6 ]
+      ~twist:(fun ~round:_ ~src:_ ~dst:_ m ->
+        match m with
+        | Multi.Value _ -> Some m
+        | Multi.Echo row -> Some (Multi.Echo (Array.map (Option.map (fun _ -> 999.)) row))
+        | Multi.Vote row -> Some (Multi.Vote (Array.map (Option.map (fun _ -> 999.)) row)))
+  in
+  let outcomes = run ~n:7 ~t:2 ~leader:0 ~adversary in
+  check "validity despite lying echoes" true (validity_holds ~leader_value:10. outcomes)
+
+(* Random Byzantine behaviour: corrupted parties send syntactically valid but
+   arbitrary messages each round; every gradecast property must hold for
+   honest leaders, and soundness/value-agreement for Byzantine ones. *)
+let random_forger ~seed =
+  let rng = Rng.create seed in
+  {
+    Adversary.name = "random-forger";
+    initial_corruptions = (fun ~n ~t _ -> List.init t (fun i -> n - t + i));
+    corrupt_more = (fun _ -> []);
+    deliver =
+      (fun view ->
+        let byz = Adversary.corrupted_parties view in
+        let random_value () = float_of_int (Rng.int rng 100) in
+        let random_row () =
+          Array.init view.n (fun _ ->
+              if Rng.bool rng then Some (random_value ()) else None)
+        in
+        List.concat_map
+          (fun c ->
+            List.filter_map
+              (fun dst ->
+                if Rng.int rng 4 = 0 then None (* sometimes omit *)
+                else
+                  let body =
+                    match Rng.int rng 3 with
+                    | 0 -> Multi.Value (random_value ())
+                    | 1 -> Multi.Echo (random_row ())
+                    | _ -> Multi.Vote (random_row ())
+                  in
+                  Some { Types.src = c; dst; body })
+              (List.init view.n Fun.id))
+          byz);
+  }
+
+let prop_random_byzantine =
+  QCheck2.Test.make ~name:"gradecast properties under random byzantine"
+    ~count:120
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 0 2))
+    (fun (seed, size_class) ->
+      let n, t = List.nth [ (4, 1); (7, 2); (10, 3) ] size_class in
+      (* honest leaders: validity; byz leader: soundness + agreement *)
+      let honest_outcomes =
+        run ~n ~t ~leader:0 ~adversary:(random_forger ~seed)
+      in
+      let byz_outcomes =
+        run ~n ~t ~leader:(n - 1) ~adversary:(random_forger ~seed)
+      in
+      validity_holds ~leader_value:10. honest_outcomes
+      && all_properties byz_outcomes)
+
+let test_rounds_constant () =
+  check_int "three rounds" 3 Multi.rounds;
+  let report =
+    Sync_engine.run ~n:4 ~t:1 ~max_rounds:3
+      ~protocol:(Gradecast.protocol ~leader:0 ~inputs ~t:1)
+      ~adversary:(Adversary.passive "none") ()
+  in
+  check_int "terminates in exactly 3" 3 report.rounds_used
+
+let test_grade_utils () =
+  check_int "g0" 0 (Gradecast.grade_to_int Gradecast.G0);
+  check_int "g1" 1 (Gradecast.grade_to_int Gradecast.G1);
+  check_int "g2" 2 (Gradecast.grade_to_int Gradecast.G2)
+
+let () =
+  Alcotest.run "gradecast"
+    [
+      ( "properties",
+        [
+          Alcotest.test_case "honest leader validity" `Quick test_honest_leader;
+          Alcotest.test_case "honest leader, silent byz" `Quick
+            test_honest_leader_with_byz_helpers;
+          Alcotest.test_case "silent leader" `Quick test_silent_leader;
+          Alcotest.test_case "equivocating leader" `Quick
+            test_equivocating_leader_round1;
+          Alcotest.test_case "selective omission" `Quick
+            test_selective_omission_leader;
+          Alcotest.test_case "lying echoers" `Quick test_lying_echoers;
+          Alcotest.test_case "rounds" `Quick test_rounds_constant;
+          Alcotest.test_case "grade utils" `Quick test_grade_utils;
+        ] );
+      ( "random-byzantine",
+        [ QCheck_alcotest.to_alcotest prop_random_byzantine ] );
+    ]

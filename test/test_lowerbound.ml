@@ -1,0 +1,205 @@
+(* Tests for the Fekete lower-bound machinery (Section 3): K(R,D), optimal
+   budget partitions, the round lower bound, and the executable one-round
+   view chain. *)
+
+open Aat_lowerbound
+open Aat_realaa
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- partitions --- *)
+
+let test_optimal_partition_shapes () =
+  Alcotest.(check (list int)) "t=6 r=3" [ 2; 2; 2 ] (Fekete.optimal_partition ~t:6 ~r:3);
+  Alcotest.(check (list int)) "t=7 r=3" [ 3; 2; 2 ] (Fekete.optimal_partition ~t:7 ~r:3);
+  Alcotest.(check (list int)) "t=2 r=5" [ 1; 1 ] (Fekete.optimal_partition ~t:2 ~r:5);
+  Alcotest.(check (list int)) "t=0" [] (Fekete.optimal_partition ~t:0 ~r:3)
+
+let test_partition_sums () =
+  for t = 0 to 20 do
+    for r = 1 to 8 do
+      let parts = Fekete.optimal_partition ~t ~r in
+      check "sum <= t" true (List.fold_left ( + ) 0 parts <= t);
+      check "positive parts" true (List.for_all (fun p -> p >= 1) parts)
+    done
+  done
+
+let prop_balanced_beats_any_partition =
+  (* the balanced partition's product dominates random partitions *)
+  QCheck2.Test.make ~name:"balanced partition is optimal" ~count:300
+    QCheck2.Gen.(
+      pair (int_range 1 30)
+        (list_size (int_range 1 8) (int_range 1 10)))
+    (fun (t, candidate) ->
+      let r = List.length candidate in
+      QCheck2.assume (List.fold_left ( + ) 0 candidate <= t);
+      Fekete.log2_product (Fekete.optimal_partition ~t ~r)
+      >= Fekete.log2_product candidate -. 1e-9)
+
+(* --- K(R,D) --- *)
+
+let test_k_one_round () =
+  (* K(1, D) = D * t / (n + t) *)
+  check_float "n=4 t=1" (10. *. 1. /. 5.) (Fekete.k_bound ~n:4 ~t:1 ~r:1 ~d:10.);
+  check_float "n=10 t=3" (100. *. 3. /. 13.) (Fekete.k_bound ~n:10 ~t:3 ~r:1 ~d:100.)
+
+let test_k_decreasing_in_r () =
+  let d = 1e6 in
+  let rec go r prev =
+    if r > 12 then ()
+    else begin
+      let k = Fekete.log2_k ~n:10 ~t:3 ~r ~d in
+      check "K decreasing" true (k < prev);
+      go (r + 1) k
+    end
+  in
+  go 2 (Fekete.log2_k ~n:10 ~t:3 ~r:1 ~d)
+
+let test_k_zero_t () =
+  check "t=0 no bound" true (Fekete.log2_k ~n:5 ~t:0 ~r:2 ~d:100. = neg_infinity)
+
+let test_min_rounds_monotone_in_d () =
+  let r1 = Fekete.min_rounds ~n:10 ~t:3 ~d:1e2 ~eps:1. in
+  let r2 = Fekete.min_rounds ~n:10 ~t:3 ~d:1e6 ~eps:1. in
+  let r3 = Fekete.min_rounds ~n:10 ~t:3 ~d:1e12 ~eps:1. in
+  check "monotone" true (r1 <= r2 && r2 <= r3);
+  check "positive" true (r1 >= 1)
+
+let test_min_rounds_edge_cases () =
+  check_int "t=0" 0 (Fekete.min_rounds ~n:5 ~t:0 ~d:100. ~eps:1.);
+  check_int "d<=eps" 0 (Fekete.min_rounds ~n:5 ~t:1 ~d:0.5 ~eps:1.)
+
+let test_min_rounds_definition () =
+  (* minimality: K(R) <= eps < K(R-1) *)
+  List.iter
+    (fun (n, t, d) ->
+      let r = Fekete.min_rounds ~n ~t ~d ~eps:1. in
+      check "K(r) <= 1" true (Fekete.log2_k ~n ~t ~r ~d <= 0.);
+      if r > 1 then
+        check "K(r-1) > 1" true (Fekete.log2_k ~n ~t ~r:(r - 1) ~d > 0.))
+    [ (4, 1, 1e3); (10, 3, 1e6); (100, 33, 1e9); (7, 2, 50.) ]
+
+(* The protocol's upper bound always sits at or above the lower bound — the
+   two sides of the paper's optimality claim never cross. *)
+let test_upper_bound_dominates_lower () =
+  List.iter
+    (fun (n, t, d) ->
+      let lower = Fekete.min_rounds ~n ~t ~d ~eps:1. in
+      let upper = Rounds.bdh_rounds ~range:d ~eps:1. in
+      check (Printf.sprintf "n=%d t=%d d=%g" n t d) true (upper >= lower))
+    [ (4, 1, 1e2); (7, 2, 1e4); (10, 3, 1e6); (31, 10, 1e9); (100, 33, 1e12) ]
+
+let test_theorem2_closed_form () =
+  (* for t = Theta(n) and polynomial D, the closed form is within a constant
+     of the exact minimal R *)
+  List.iter
+    (fun d ->
+      let exact = float_of_int (Fekete.min_rounds ~n:12 ~t:3 ~d ~eps:1.) in
+      let closed = Fekete.theorem2_closed_form ~n:12 ~t:3 ~d in
+      check "within 4x" true (exact >= closed /. 4. && exact <= (4. *. closed) +. 4.))
+    [ 1e2; 1e4; 1e6; 1e9; 1e12 ];
+  check_float "degenerate" 0. (Fekete.theorem2_closed_form ~n:12 ~t:0 ~d:100.)
+
+let test_chain_length_formula () =
+  (* r=1: s = (n+t)/t *)
+  check_float "r=1" (Float.log2 (13. /. 3.)) (Fekete.chain_length ~n:10 ~t:3 ~r:1)
+
+(* --- the executable chain --- *)
+
+let test_chain_endpoints () =
+  let chain = Chain.one_round_chain ~n:7 ~t:2 ~a:0. ~b:10. in
+  let first = List.hd chain and last = List.nth chain (List.length chain - 1) in
+  check "starts all-a" true (Array.for_all (fun x -> x = 0.) first);
+  check "ends all-b" true (Array.for_all (fun x -> x = 10.) last);
+  check_int "length = ceil(n/t)+1" 5 (List.length chain)
+
+let test_chain_steps_realizable () =
+  List.iter
+    (fun (n, t) ->
+      let chain = Chain.one_round_chain ~n ~t ~a:0. ~b:1. in
+      check "adjacent realizable" true (Chain.adjacent_executions_valid ~n ~t chain))
+    [ (4, 1); (7, 2); (10, 3); (5, 4) ]
+
+let test_gap_of_trimmed_midpoint () =
+  (* the classic one-round rule must exhibit a gap >= D / ceil(n/t) *)
+  let n = 7 and t = 2 and d = 100. in
+  let f view = Option.get (Trim.trimmed_midpoint ~t (Array.to_list view)) in
+  let gap = Chain.max_adjacent_gap ~f ~n ~t ~a:0. ~b:d in
+  let s = float_of_int ((n + t - 1) / t) in
+  check "gap >= D/s" true (gap >= (d /. s) -. 1e-9);
+  (* and of course it cannot achieve 1-agreement in one round *)
+  check "gap > 1" true (gap > 1.)
+
+let prop_no_one_round_rule_beats_chain =
+  (* ANY output rule that respects validity at the chain's endpoints has a
+     large adjacent gap: qcheck over a family of "weighted trimmed average"
+     rules. *)
+  QCheck2.Test.make ~name:"one-round rules can't dodge the chain" ~count:200
+    QCheck2.Gen.(pair (float_bound_inclusive 1.) (int_range 0 2))
+    (fun (alpha, size_class) ->
+      let n, t = List.nth [ (4, 1); (7, 2); (10, 3) ] size_class in
+      let d = 1000. in
+      let f view =
+        let vs = Trim.trimmed ~t (Array.to_list view) in
+        match Trim.range vs with
+        | None -> 0.
+        | Some (lo, hi) -> lo +. (alpha *. (hi -. lo))
+      in
+      let gap = Chain.max_adjacent_gap ~f ~n ~t ~a:0. ~b:d in
+      let s = float_of_int ((n + t - 1) / t) in
+      gap >= (d /. s) -. 1e-6)
+
+let test_tree_chain () =
+  (* Corollary 1 on a long path: the tree-valued trimmed-median rule has an
+     adjacent gap of at least D(T)/s *)
+  let tree = Aat_tree.Generate.path 101 in
+  let n = 7 and t = 2 in
+  let f (view : int array) =
+    let sorted = Array.copy view in
+    Array.sort compare sorted;
+    sorted.(Array.length sorted / 2)
+  in
+  let gap = Chain.tree_max_adjacent_gap ~f ~tree ~n ~t in
+  let s = (n + t - 1) / t in
+  check "tree gap" true (gap >= 100 / s);
+  check "no 1-agreement" true (gap > 1)
+
+let () =
+  Alcotest.run "lowerbound"
+    [
+      ( "partitions",
+        [
+          Alcotest.test_case "shapes" `Quick test_optimal_partition_shapes;
+          Alcotest.test_case "sums" `Quick test_partition_sums;
+          QCheck_alcotest.to_alcotest prop_balanced_beats_any_partition;
+        ] );
+      ( "k-bound",
+        [
+          Alcotest.test_case "one round closed form" `Quick test_k_one_round;
+          Alcotest.test_case "decreasing in R" `Quick test_k_decreasing_in_r;
+          Alcotest.test_case "t=0" `Quick test_k_zero_t;
+          Alcotest.test_case "min_rounds monotone" `Quick
+            test_min_rounds_monotone_in_d;
+          Alcotest.test_case "min_rounds edges" `Quick
+            test_min_rounds_edge_cases;
+          Alcotest.test_case "min_rounds minimality" `Quick
+            test_min_rounds_definition;
+          Alcotest.test_case "upper >= lower" `Quick
+            test_upper_bound_dominates_lower;
+          Alcotest.test_case "Theorem 2 closed form" `Quick
+            test_theorem2_closed_form;
+          Alcotest.test_case "chain length" `Quick test_chain_length_formula;
+        ] );
+      ( "chain",
+        [
+          Alcotest.test_case "endpoints" `Quick test_chain_endpoints;
+          Alcotest.test_case "steps realizable" `Quick
+            test_chain_steps_realizable;
+          Alcotest.test_case "trimmed midpoint gap" `Quick
+            test_gap_of_trimmed_midpoint;
+          Alcotest.test_case "tree chain (Corollary 1)" `Quick test_tree_chain;
+          QCheck_alcotest.to_alcotest prop_no_one_round_rule_beats_chain;
+        ] );
+    ]

@@ -1,0 +1,81 @@
+(* Exercises the public umbrella API (library [treeagree]) exactly the way
+   the README and examples do — guards against the facade drifting from the
+   internals. *)
+
+open Treeagree
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_quick_agree_readme_snippet () =
+  let tree = Tree.of_labeled_edges [ ("a", "b"); ("b", "c"); ("c", "d") ] in
+  let inputs = [| 0; 3; 1; 2; 0; 3; 1 |] in
+  let outcome =
+    Quick.agree ~tree ~inputs ~t:2
+      ~adversary:(Strategies.silent ~victims:[ 5; 6 ])
+      ()
+  in
+  check "verdict" true (Verdict.all_ok outcome.verdict);
+  check_int "five honest outputs" 5 (List.length outcome.outputs);
+  check_int "labels match outputs" 5
+    (List.length (Quick.output_labels tree outcome));
+  List.iter
+    (fun (_, label) -> check "label exists" true (Tree.mem_label tree label))
+    (Quick.output_labels tree outcome)
+
+let test_quick_agree_default_adversary () =
+  let tree = Generate.star 20 in
+  let inputs = [| 1; 5; 9; 13 |] in
+  let outcome = Quick.agree ~tree ~inputs ~t:1 () in
+  check "verdict" true (Verdict.all_ok outcome.verdict);
+  check_int "rounds = schedule" (Tree_aa.rounds ~tree) outcome.rounds
+
+let test_umbrella_names_cover_the_stack () =
+  (* touch one entry point per re-exported module group *)
+  let rng = Rng.create 1 in
+  let tree = Generate.random rng 12 in
+  let rooted = Rooted.make tree in
+  let tour = Euler_tour.compute rooted in
+  let lca = Lca.build tour in
+  check_int "lca of root" (Tree.root tree) (Lca.query lca (Tree.root tree) 5);
+  let hull = Convex_hull.compute rooted [ 2; 7 ] in
+  check "hull nonempty" true (Convex_hull.size hull >= 1);
+  check "prufer count" true (Prufer.count ~n:5 = 125);
+  check "rounds formula" true (Rounds.bdh_rounds ~range:100. ~eps:1. > 0);
+  check "fekete" true (Fekete.min_rounds ~n:10 ~t:3 ~d:100. ~eps:1. >= 1);
+  check "chain" true
+    (List.length (Chain.one_round_chain ~n:4 ~t:1 ~a:0. ~b:1.) = 5);
+  check "closest int" true (Closest_int.closest_int 1.6 = 2);
+  check "trim" true (Trim.trimmed_mean ~t:1 [ 1.; 2.; 3. ] = Some 2.);
+  let ring = Auth.Keyring.setup ~n:3 in
+  check "auth" true (Auth.signer (Auth.sign (Auth.Keyring.key ring 1) "x") = 1);
+  check "tree io" true
+    (Tree.equal tree (Tree_io.of_edge_list (Tree_io.to_edge_list tree)));
+  check "metrics" true (Metrics.diameter tree >= 1)
+
+let test_report_fields_accessible () =
+  let tree = Generate.path 20 in
+  let inputs = [| 0; 19; 7; 12 |] in
+  let outcome =
+    Quick.agree ~tree ~inputs ~t:1 ~adversary:(Strategies.silent ~victims:[ 3 ]) ()
+  in
+  let report = outcome.report in
+  check "messages counted" true (report.Engine.honest_messages > 0);
+  Alcotest.(check (list int)) "corrupted" [ 3 ] report.Engine.corrupted;
+  check "termination rounds recorded" true
+    (List.length report.Engine.termination_rounds = 3)
+
+let () =
+  Alcotest.run "public-api"
+    [
+      ( "quick",
+        [
+          Alcotest.test_case "README snippet" `Quick
+            test_quick_agree_readme_snippet;
+          Alcotest.test_case "default adversary" `Quick
+            test_quick_agree_default_adversary;
+          Alcotest.test_case "umbrella coverage" `Quick
+            test_umbrella_names_cover_the_stack;
+          Alcotest.test_case "report fields" `Quick test_report_fields_accessible;
+        ] );
+    ]

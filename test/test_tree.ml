@@ -1,0 +1,399 @@
+(* Tests for the labeled-tree substrate: construction, rooted views, paths,
+   and metrics. *)
+
+open Aat_tree
+module LT = Labeled_tree
+module Rng = Aat_util.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* The tree of the paper's Figure 3: v1 at the root, v2 below it, with
+   subtrees {v3 -> v6, v7}, {v4 -> v8} and leaf v5. *)
+let fig3 () =
+  LT.of_labeled_edges
+    [
+      ("v1", "v2");
+      ("v2", "v3");
+      ("v3", "v6");
+      ("v3", "v7");
+      ("v2", "v4");
+      ("v4", "v8");
+      ("v2", "v5");
+    ]
+
+let v t l = LT.vertex_of_label t l
+
+(* --- construction --- *)
+
+let test_singleton () =
+  let t = LT.singleton "only" in
+  check_int "n" 1 (LT.n_vertices t);
+  check_int "root" 0 (LT.root t);
+  check "no edges" true (LT.edges t = []);
+  check "leaf" true (LT.is_leaf t 0)
+
+let test_vertices_sorted_by_label () =
+  let t = LT.of_labeled_edges [ ("b", "a"); ("b", "c") ] in
+  Alcotest.(check string) "vertex 0" "a" (LT.label t 0);
+  Alcotest.(check string) "vertex 1" "b" (LT.label t 1);
+  Alcotest.(check string) "vertex 2" "c" (LT.label t 2);
+  check_int "root is lowest label" 0 (LT.root t)
+
+let test_neighbors_sorted () =
+  let t = fig3 () in
+  let labels = List.map (LT.label t) (LT.neighbors t (v t "v2")) in
+  Alcotest.(check (list string)) "sorted" [ "v1"; "v3"; "v4"; "v5" ] labels
+
+let test_reject_cycle () =
+  Alcotest.check_raises "cycle" (LT.Invalid_tree "a tree on 3 vertices needs 2 edges, got 3")
+    (fun () -> ignore (LT.of_labeled_edges [ ("a", "b"); ("b", "c"); ("c", "a") ]))
+
+let test_reject_disconnected () =
+  (* 4 vertices, 3 edges, but one edge duplicated logically via a cycle on
+     three of them: a-b, b-c, c-a leaves d isolated. *)
+  check "disconnected rejected" true
+    (try
+       ignore (LT.of_labeled_edges ~isolated:[ "d"; "e" ] [ ("a", "b"); ("d", "e"); ("b", "c") ]);
+       false
+     with LT.Invalid_tree _ -> true)
+
+let test_reject_self_loop () =
+  check "self loop" true
+    (try
+       ignore (LT.of_labeled_edges [ ("a", "a"); ("a", "b") ]);
+       false
+     with LT.Invalid_tree _ -> true)
+
+let test_reject_duplicate_edge () =
+  check "dup edge" true
+    (try
+       ignore (LT.of_labeled_edges [ ("a", "b"); ("b", "a") ]);
+       false
+     with LT.Invalid_tree _ -> true)
+
+let test_of_parents () =
+  let t = LT.of_parents ~labels:[| "r"; "x"; "y" |] [| -1; 0; 1 |] in
+  check_int "n" 3 (LT.n_vertices t);
+  check "r-x" true (LT.adjacent t (v t "r") (v t "x"));
+  check "x-y" true (LT.adjacent t (v t "x") (v t "y"));
+  check "r-y not adjacent" false (LT.adjacent t (v t "r") (v t "y"))
+
+let test_of_parents_rejects_two_roots () =
+  check "two roots" true
+    (try
+       ignore (LT.of_parents ~labels:[| "a"; "b" |] [| -1; -1 |]);
+       false
+     with LT.Invalid_tree _ -> true)
+
+let test_equal () =
+  check "equal" true (LT.equal (fig3 ()) (fig3 ()));
+  check "not equal" false (LT.equal (fig3 ()) (Generate.path 8))
+
+(* --- rooted views --- *)
+
+let test_rooted_parents () =
+  let t = fig3 () in
+  let r = Rooted.make t in
+  check_int "root" (v t "v1") (Rooted.root r);
+  check "root has no parent" true (Rooted.parent r (v t "v1") = None);
+  check "parent of v8" true (Rooted.parent r (v t "v8") = Some (v t "v4"));
+  check_int "depth v8" 3 (Rooted.depth r (v t "v8"));
+  check_int "depth v1" 0 (Rooted.depth r (v t "v1"))
+
+let test_rooted_children_order () =
+  let t = fig3 () in
+  let r = Rooted.make t in
+  let kids = List.map (LT.label t) (Rooted.children r (v t "v2")) in
+  Alcotest.(check (list string)) "children of v2" [ "v3"; "v4"; "v5" ] kids
+
+let test_is_ancestor () =
+  let t = fig3 () in
+  let r = Rooted.make t in
+  check "v2 anc v8" true (Rooted.is_ancestor r (v t "v2") (v t "v8"));
+  check "reflexive" true (Rooted.is_ancestor r (v t "v3") (v t "v3"));
+  check "v3 not anc v8" false (Rooted.is_ancestor r (v t "v3") (v t "v8"));
+  check "child not anc of parent" false (Rooted.is_ancestor r (v t "v8") (v t "v4"))
+
+let test_subtree_vertices () =
+  let t = fig3 () in
+  let r = Rooted.make t in
+  let sub = List.map (LT.label t) (Rooted.subtree_vertices r (v t "v3")) in
+  Alcotest.(check (list string)) "subtree v3" [ "v3"; "v6"; "v7" ] sub;
+  let sub1 = Rooted.subtree_vertices r (v t "v1") in
+  check_int "whole tree" 8 (List.length sub1)
+
+let test_path_to_root () =
+  let t = fig3 () in
+  let r = Rooted.make t in
+  let p = List.map (LT.label t) (Rooted.path_to_root r (v t "v8")) in
+  Alcotest.(check (list string)) "path" [ "v1"; "v2"; "v4"; "v8" ] p
+
+let test_reroot () =
+  let t = fig3 () in
+  let r = Rooted.make ~root:(v t "v6") t in
+  check_int "root" (v t "v6") (Rooted.root r);
+  check_int "depth of v1" 3 (Rooted.depth r (v t "v1"))
+
+let test_deep_path_no_stack_overflow () =
+  let t = Generate.path 200_000 in
+  let r = Rooted.make t in
+  check_int "depth of far end" 199_999 (Rooted.depth r 199_999);
+  let tour = Euler_tour.compute r in
+  check_int "tour length" (2 * 200_000 - 1) (Euler_tour.length tour)
+
+(* --- paths and distances --- *)
+
+let test_path_between () =
+  let t = fig3 () in
+  let r = Rooted.make t in
+  let p = Paths.between r (v t "v6") (v t "v8") in
+  let labels = Array.to_list (Array.map (LT.label t) p) in
+  Alcotest.(check (list string)) "v6..v8" [ "v6"; "v3"; "v2"; "v4"; "v8" ] labels
+
+let test_path_between_ancestor () =
+  let t = fig3 () in
+  let r = Rooted.make t in
+  let p = Paths.between r (v t "v1") (v t "v8") in
+  let labels = Array.to_list (Array.map (LT.label t) p) in
+  Alcotest.(check (list string)) "v1..v8" [ "v1"; "v2"; "v4"; "v8" ] labels;
+  let q = Paths.between r (v t "v8") (v t "v1") in
+  Alcotest.(check (list string)) "reversed"
+    [ "v8"; "v4"; "v2"; "v1" ]
+    (Array.to_list (Array.map (LT.label t) q))
+
+let test_path_single () =
+  let t = fig3 () in
+  let r = Rooted.make t in
+  let p = Paths.between r (v t "v5") (v t "v5") in
+  check_int "singleton path" 1 (Array.length p)
+
+let test_distance () =
+  let t = fig3 () in
+  let r = Rooted.make t in
+  check_int "d(v6,v8)" 4 (Paths.distance r (v t "v6") (v t "v8"));
+  check_int "d(v1,v1)" 0 (Paths.distance r (v t "v1") (v t "v1"));
+  check_int "d(v6,v7)" 2 (Paths.distance r (v t "v6") (v t "v7"))
+
+let test_is_path () =
+  let t = fig3 () in
+  let r = Rooted.make t in
+  check "real path" true (Paths.is_path t (Paths.between r (v t "v6") (v t "v5")));
+  check "not adjacent" false (Paths.is_path t [| v t "v1"; v t "v3" |]);
+  check "repeat" false (Paths.is_path t [| v t "v1"; v t "v2"; v t "v1" |]);
+  check "empty" false (Paths.is_path t [||])
+
+let test_orient () =
+  let t = fig3 () in
+  let r = Rooted.make t in
+  let p = Paths.between r (v t "v8") (v t "v6") in
+  let o = Paths.orient t p in
+  Alcotest.(check string) "starts at lower label" "v6" (LT.label t o.(0))
+
+let test_extend_and_index () =
+  let t = fig3 () in
+  let r = Rooted.make t in
+  let p = Paths.between r (v t "v1") (v t "v4") in
+  let p' = Paths.extend p (v t "v8") in
+  check "extended is path" true (Paths.is_path t p');
+  check "mem" true (Paths.mem p' (v t "v8"));
+  check "index_of" true (Paths.index_of p' (v t "v8") = Some 3);
+  check "index_of missing" true (Paths.index_of p (v t "v7") = None)
+
+(* --- metrics --- *)
+
+let test_diameter_path () =
+  check_int "path diameter" 9 (Metrics.diameter (Generate.path 10))
+
+let test_diameter_star () =
+  check_int "star diameter" 2 (Metrics.diameter (Generate.star 10))
+
+let test_diameter_singleton () =
+  check_int "singleton" 0 (Metrics.diameter (LT.singleton "x"))
+
+let test_diameter_fig3 () =
+  check_int "fig3 diameter" 4 (Metrics.diameter (fig3 ()))
+
+let test_longest_path () =
+  let t = fig3 () in
+  let p = Metrics.longest_path t in
+  check_int "length" 5 (Array.length p);
+  check "is path" true (Paths.is_path t p)
+
+let test_center_path_even () =
+  let t = Generate.path 6 in
+  Alcotest.(check (list int)) "two centers" [ 2; 3 ] (Metrics.center t)
+
+let test_center_path_odd () =
+  let t = Generate.path 7 in
+  Alcotest.(check (list int)) "one center" [ 3 ] (Metrics.center t)
+
+let test_center_star () =
+  Alcotest.(check (list int)) "star center" [ 0 ] (Metrics.center (Generate.star 9))
+
+let test_radius () =
+  check_int "path radius" 3 (Metrics.radius (Generate.path 7));
+  check_int "star radius" 1 (Metrics.radius (Generate.star 9))
+
+let test_eccentricity () =
+  let t = fig3 () in
+  check_int "ecc v1" 3 (Metrics.eccentricity t (v t "v1"));
+  check_int "ecc v6" 4 (Metrics.eccentricity t (v t "v6"));
+  check_int "ecc v2" 2 (Metrics.eccentricity t (v t "v2"))
+
+(* --- qcheck properties --- *)
+
+let tree_gen_of_size size =
+  QCheck2.Gen.(
+    map2
+      (fun seed n ->
+        let rng = Rng.create seed in
+        Generate.random rng (max 1 n))
+      (int_bound 1_000_000) (int_bound size))
+
+let arb_tree = tree_gen_of_size 40
+
+let prop_distance_symmetric =
+  QCheck2.Test.make ~name:"distance symmetric" ~count:200 arb_tree (fun t ->
+      let r = Rooted.make t in
+      let n = LT.n_vertices t in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for w = u to min (n - 1) (u + 5) do
+          if Paths.distance r u w <> Paths.distance r w u then ok := false
+        done
+      done;
+      !ok)
+
+let prop_path_length_matches_distance =
+  QCheck2.Test.make ~name:"path length = distance + 1" ~count:200 arb_tree
+    (fun t ->
+      let r = Rooted.make t in
+      let n = LT.n_vertices t in
+      let ok = ref true in
+      for u = 0 to min (n - 1) 10 do
+        for w = 0 to n - 1 do
+          let p = Paths.between r u w in
+          if Array.length p <> Paths.distance r u w + 1 then ok := false;
+          if not (Paths.is_path t p) then ok := false;
+          if p.(0) <> u || p.(Array.length p - 1) <> w then ok := false
+        done
+      done;
+      !ok)
+
+let prop_bfs_consistent_with_rooted_distance =
+  QCheck2.Test.make ~name:"bfs distances = rooted distances" ~count:100
+    arb_tree (fun t ->
+      let r = Rooted.make t in
+      let n = LT.n_vertices t in
+      let src = (n - 1) / 2 in
+      let dist = Paths.bfs_distances t src in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        if dist.(u) <> Paths.distance r src u then ok := false
+      done;
+      !ok)
+
+let prop_triangle_equality_on_paths =
+  (* In a tree, w on P(u,v) iff d(u,w) + d(w,v) = d(u,v). *)
+  QCheck2.Test.make ~name:"path membership = metric equality" ~count:100
+    arb_tree (fun t ->
+      let r = Rooted.make t in
+      let n = LT.n_vertices t in
+      let u = 0 and w = n / 2 in
+      let p = Paths.between r u w in
+      let ok = ref true in
+      for x = 0 to n - 1 do
+        let on_path = Paths.mem p x in
+        let metric =
+          Paths.distance r u x + Paths.distance r x w = Paths.distance r u w
+        in
+        if on_path <> metric then ok := false
+      done;
+      !ok)
+
+let prop_diameter_is_max_eccentricity =
+  QCheck2.Test.make ~name:"diameter = max eccentricity" ~count:60
+    (tree_gen_of_size 25) (fun t ->
+      let eccs = Metrics.all_eccentricities t in
+      Metrics.diameter t = Array.fold_left max 0 eccs)
+
+let prop_center_minimizes_eccentricity =
+  QCheck2.Test.make ~name:"center = argmin eccentricity" ~count:60
+    (tree_gen_of_size 25) (fun t ->
+      let eccs = Metrics.all_eccentricities t in
+      let m = Array.fold_left min max_int eccs in
+      let argmins =
+        List.filter (fun v -> eccs.(v) = m) (LT.vertices t)
+      in
+      Metrics.center t = argmins)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "tree"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "singleton" `Quick test_singleton;
+          Alcotest.test_case "vertices sorted by label" `Quick
+            test_vertices_sorted_by_label;
+          Alcotest.test_case "neighbors sorted" `Quick test_neighbors_sorted;
+          Alcotest.test_case "reject cycle" `Quick test_reject_cycle;
+          Alcotest.test_case "reject disconnected" `Quick
+            test_reject_disconnected;
+          Alcotest.test_case "reject self-loop" `Quick test_reject_self_loop;
+          Alcotest.test_case "reject duplicate edge" `Quick
+            test_reject_duplicate_edge;
+          Alcotest.test_case "of_parents" `Quick test_of_parents;
+          Alcotest.test_case "of_parents two roots" `Quick
+            test_of_parents_rejects_two_roots;
+          Alcotest.test_case "equal" `Quick test_equal;
+        ] );
+      ( "rooted",
+        [
+          Alcotest.test_case "parents and depths" `Quick test_rooted_parents;
+          Alcotest.test_case "children in label order" `Quick
+            test_rooted_children_order;
+          Alcotest.test_case "is_ancestor" `Quick test_is_ancestor;
+          Alcotest.test_case "subtree_vertices" `Quick test_subtree_vertices;
+          Alcotest.test_case "path_to_root" `Quick test_path_to_root;
+          Alcotest.test_case "reroot" `Quick test_reroot;
+          Alcotest.test_case "200k-vertex path, no overflow" `Slow
+            test_deep_path_no_stack_overflow;
+        ] );
+      ( "paths",
+        [
+          Alcotest.test_case "between" `Quick test_path_between;
+          Alcotest.test_case "between ancestor" `Quick
+            test_path_between_ancestor;
+          Alcotest.test_case "single-vertex path" `Quick test_path_single;
+          Alcotest.test_case "distance" `Quick test_distance;
+          Alcotest.test_case "is_path" `Quick test_is_path;
+          Alcotest.test_case "orient" `Quick test_orient;
+          Alcotest.test_case "extend and index" `Quick test_extend_and_index;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "diameter path" `Quick test_diameter_path;
+          Alcotest.test_case "diameter star" `Quick test_diameter_star;
+          Alcotest.test_case "diameter singleton" `Quick
+            test_diameter_singleton;
+          Alcotest.test_case "diameter fig3" `Quick test_diameter_fig3;
+          Alcotest.test_case "longest path" `Quick test_longest_path;
+          Alcotest.test_case "center path even" `Quick test_center_path_even;
+          Alcotest.test_case "center path odd" `Quick test_center_path_odd;
+          Alcotest.test_case "center star" `Quick test_center_star;
+          Alcotest.test_case "radius" `Quick test_radius;
+          Alcotest.test_case "eccentricity" `Quick test_eccentricity;
+        ] );
+      qsuite "properties"
+        [
+          prop_distance_symmetric;
+          prop_path_length_matches_distance;
+          prop_bfs_consistent_with_rooted_distance;
+          prop_triangle_equality_on_paths;
+          prop_diameter_is_max_eccentricity;
+          prop_center_minimizes_eccentricity;
+        ];
+    ]
