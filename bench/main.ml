@@ -6,7 +6,9 @@
      dune exec bench/main.exe                 # all tables + micro-benchmarks
      dune exec bench/main.exe -- --table E3   # one table
      dune exec bench/main.exe -- --bechamel   # micro-benchmarks only
-     dune exec bench/main.exe -- --all        # tables + micro-benchmarks *)
+     dune exec bench/main.exe -- --all        # tables + micro-benchmarks
+     dune exec bench/main.exe -- --convergence [FILE]
+                                              # per-round convergence JSON *)
 
 open Treeagree
 
@@ -835,6 +837,89 @@ let table_ablations () =
     (a1 @ a2 @ a3)
 
 (* ------------------------------------------------------------------ *)
+(* convergence series: per-round honest-hull diameter via the telemetry
+   stats sink, exported as JSON for offline plotting (EXPERIMENTS.md) *)
+
+let convergence out_file =
+  let series = ref [] in
+  let add name tree_kind stats =
+    series := (name, tree_kind, Telemetry.Stats.convergence stats) :: !series
+  in
+  (* RealAA under the spoiler: the Lemma 5 contraction, round by round *)
+  List.iter
+    (fun (n, t, d) ->
+      let inputs =
+        Array.init n (fun i -> d *. float_of_int i /. float_of_int (n - 1))
+      in
+      let iterations = Rounds.bdh_iterations ~range:d ~eps:1. in
+      let stats = Telemetry.Stats.create () in
+      ignore
+        (Engine.run ~n ~t ~seed:1
+           ~max_rounds:(3 * iterations)
+           ~telemetry:(Telemetry.Stats.sink stats)
+           ~observe:Real_aa.observe
+           ~protocol:
+             (Real_aa.protocol ~inputs:(fun i -> inputs.(i)) ~t ~iterations ())
+           ~adversary:(Spoiler.realaa_spoiler ~t ~iterations)
+           ());
+      add
+        (Printf.sprintf "realaa-n%d-t%d-d%.0e-spoiler" n t d)
+        "real-line" stats)
+    [ (10, 3, 1e3); (10, 3, 1e6); (16, 5, 1e6) ];
+  (* TreeAA across families: phase-2 path-index spread per round *)
+  let n = 10 and t = 3 in
+  List.iter
+    (fun (family, tree) ->
+      let rng = Rng.create 7 in
+      let inputs = Array.init n (fun _ -> Rng.int rng (Tree.n_vertices tree)) in
+      let stats = Telemetry.Stats.create () in
+      ignore
+        (Tree_aa.run ~tree ~inputs ~t
+           ~telemetry:(Telemetry.Stats.sink stats)
+           ~adversary:(spoiler_for_tree ~tree ~t)
+           ());
+      add (Printf.sprintf "treeaa-%s-spoiler" family) family stats)
+    [
+      ("path-1000", Generate.path 1_000);
+      ("star-1000", Generate.star 1_000);
+      ("caterpillar-500x3", Generate.caterpillar ~spine:500 ~legs:3);
+      ("balanced-2ary-12", Generate.balanced ~arity:2 ~depth:12);
+    ];
+  let json =
+    Telemetry.Json.Obj
+      [
+        ("schema", Telemetry.Json.Str "treeagree-convergence/v1");
+        ( "series",
+          Telemetry.Json.Arr
+            (List.rev_map
+               (fun (name, tree_kind, points) ->
+                 Telemetry.Json.Obj
+                   [
+                     ("name", Telemetry.Json.Str name);
+                     ("space", Telemetry.Json.Str tree_kind);
+                     ( "points",
+                       Telemetry.Json.Arr
+                         (List.map
+                            (fun (round, spread) ->
+                              Telemetry.Json.Arr
+                                [
+                                  Telemetry.Json.Num (float_of_int round);
+                                  Telemetry.Json.Num spread;
+                                ])
+                            points) );
+                   ])
+               !series) );
+      ]
+  in
+  let emit oc = output_string oc (Telemetry.Json.to_string json ^ "\n") in
+  match out_file with
+  | None -> emit stdout
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> emit oc);
+      Printf.printf "convergence series written to %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks *)
 
 let bechamel () =
@@ -915,6 +1000,8 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | [ "--bechamel" ] -> bechamel ()
+  | [ "--convergence" ] -> convergence None
+  | [ "--convergence"; file ] -> convergence (Some file)
   | [ "--table"; name ] -> (
       match List.assoc_opt (String.uppercase_ascii name) tables with
       | Some f -> f ()
@@ -926,5 +1013,7 @@ let () =
       List.iter (fun (_, f) -> f ()) tables;
       bechamel ()
   | _ ->
-      Printf.eprintf "usage: main.exe [--table E1..E7 | --bechamel | --all]\n";
+      Printf.eprintf
+        "usage: main.exe [--table E1..E10 | --bechamel | --convergence \
+         [FILE] | --all]\n";
       exit 1

@@ -163,7 +163,16 @@ let run_cmd =
           ~doc:"Comma-separated input vertex labels, one per party \
                 (default: seeded random vertices).")
   in
-  let action tree n t adv_name inputs_spec seed =
+  let trace_out_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Stream per-round telemetry (message counts, corruptions, \
+                gradecast grades, convergence snapshots) to \
+                $(docv) as JSON lines; see docs/TELEMETRY.md.")
+  in
+  let action tree n t adv_name inputs_spec seed trace_out =
     let inputs =
       match inputs_spec with
       | None ->
@@ -177,10 +186,24 @@ let run_cmd =
     in
     match adversary_conv tree t adv_name with
     | Error m -> Error m
-    | Ok adversary ->
-        let outcome = Quick.agree ~seed ~tree ~inputs ~t ~adversary () in
+    | Ok adversary -> (
+        let run () =
+          match trace_out with
+          | None -> Quick.agree ~seed ~tree ~inputs ~t ~adversary ()
+          | Some path ->
+              let oc = open_out path in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () ->
+                  Quick.agree ~seed ~tree ~inputs ~t ~adversary
+                    ~telemetry:(Telemetry.Jsonl.sink oc) ())
+        in
+        match run () with
+        | exception Sys_error m -> Error ("cannot write trace: " ^ m)
+        | outcome ->
         Printf.printf "n=%d t=%d adversary=%s tree: |V|=%d D=%d\n" n t adv_name
           (Tree.n_vertices tree) (Metrics.diameter tree);
+        Option.iter (Printf.printf "telemetry trace: %s\n") trace_out;
         Printf.printf "rounds used: %d (schedule %d)\n" outcome.rounds
           (Tree_aa.rounds ~tree);
         Printf.printf "corrupted: %s\n"
@@ -191,14 +214,14 @@ let run_cmd =
           (Quick.output_labels tree outcome);
         Format.printf "verdict: %a@." Verdict.pp outcome.verdict;
         if Verdict.all_ok outcome.verdict then Ok ()
-        else Error "AA violated (expected when t >= n/3)"
+        else Error "AA violated (expected when t >= n/3)")
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run TreeAA on a tree against an adversary")
     Term.(
       term_result'
         (const action $ tree_term $ n_term $ t_term $ adversary_term
-       $ inputs_term $ seed_term))
+       $ inputs_term $ seed_term $ trace_out_term))
 
 (* ---------- bounds ---------- *)
 

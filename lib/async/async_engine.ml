@@ -108,10 +108,16 @@ let pick_index (type m) ~(scheduler : m scheduler) ~patience ~step ~rng
         let i = f (Pool.view pool) rng in
         if i < 0 || i >= pool.Pool.len then 0 else i
 
+module Telemetry = Aat_telemetry.Telemetry
+
 let run (type s m o) ~n ~t ?(max_events = 200_000) ?patience ?(seed = 0)
-    ~(reactor : (s, m, o) reactor) ~(adversary : m adversary) () =
+    ?(telemetry = Telemetry.Sink.null) ?(telemetry_stride = 256)
+    ?(observe : (s -> float option) option) ~(reactor : (s, m, o) reactor)
+    ~(adversary : m adversary) () =
   if n < 1 then invalid_arg "Async_engine.run: n < 1";
   if t < 0 || t >= n then invalid_arg "Async_engine.run: need 0 <= t < n";
+  if telemetry_stride < 1 then
+    invalid_arg "Async_engine.run: telemetry_stride < 1";
   let patience = match patience with Some p -> p | None -> 8 * n * n in
   let rng = Aat_util.Rng.create seed in
   let corrupted = Array.make n false in
@@ -130,11 +136,90 @@ let run (type s m o) ~n ~t ?(max_events = 200_000) ?patience ?(seed = 0)
   let injected_messages = ref 0 in
   let rejected_forgeries = ref 0 in
   let step = ref 0 in
+  (* Telemetry: there are no rounds here, so delivery events are aggregated
+     into chunks of [telemetry_stride] events, one telemetry event per
+     chunk. With the null sink all of this is skipped. *)
+  let live = not (Telemetry.Sink.is_null telemetry) in
+  if live then
+    telemetry.Telemetry.Sink.on_start
+      {
+        Telemetry.engine = "async";
+        protocol = reactor.name;
+        adversary = adversary.name;
+        n;
+        t;
+        seed;
+        initial_corruptions =
+          List.filter (fun p -> corrupted.(p)) (List.init n Fun.id);
+      };
+  let chunk = ref 0 in
+  let chunk_start = ref 0 in
+  let chunk_honest = ref 0 in
+  let chunk_injected = ref 0 in
+  let chunk_forgeries = ref 0 in
+  let chunk_honest_bytes = ref 0 in
+  let chunk_adversary_bytes = ref 0 in
+  let chunk_sent_by = if live then Array.make n 0 else [||] in
+  let flush_chunk () =
+    (* a chunk is emitted if anything happened in it — including messages
+       posted at init but never delivered (everyone decided immediately) *)
+    if
+      live
+      && (!step > !chunk_start || !chunk_honest > 0 || !chunk_injected > 0
+         || !chunk_forgeries > 0)
+    then begin
+      incr chunk;
+      let snapshot =
+        match observe with
+        | None -> []
+        | Some f ->
+            let acc = ref [] in
+            for p = n - 1 downto 0 do
+              if not corrupted.(p) then
+                match states.(p) with
+                | Some s -> (
+                    match f s with
+                    | Some v -> acc := (p, v) :: !acc
+                    | None -> ())
+                | None -> ()
+            done;
+            !acc
+      in
+      telemetry.Telemetry.Sink.on_round
+        {
+          Telemetry.round = !chunk;
+          honest_msgs = !chunk_honest;
+          adversary_msgs = !chunk_injected;
+          delivered_msgs = !step - !chunk_start;
+          rejected_forgeries = !chunk_forgeries;
+          honest_bytes = !chunk_honest_bytes;
+          adversary_bytes = !chunk_adversary_bytes;
+          sent_by = Array.copy chunk_sent_by;
+          corruptions = [];
+          grades = None;
+          marks = [];
+          snapshot;
+        };
+      chunk_start := !step;
+      chunk_honest := 0;
+      chunk_injected := 0;
+      chunk_forgeries := 0;
+      chunk_honest_bytes := 0;
+      chunk_adversary_bytes := 0;
+      Array.fill chunk_sent_by 0 n 0
+    end
+  in
   let post_from src letters =
     List.iter
       (fun ((dst, body) : Types.party_id * m) ->
         if dst >= 0 && dst < n then begin
           incr honest_messages;
+          if live then begin
+            incr chunk_honest;
+            chunk_sent_by.(src) <- chunk_sent_by.(src) + 1;
+            chunk_honest_bytes :=
+              !chunk_honest_bytes + Telemetry.payload_bytes body
+          end;
           Pool.add pool
             { letter = { Types.src; dst; body }; enqueued_at = !step }
         end)
@@ -169,9 +254,18 @@ let run (type s m o) ~n ~t ?(max_events = 200_000) ?patience ?(seed = 0)
         if l.dst < 0 || l.dst >= n then ()
         else if l.src >= 0 && l.src < n && corrupted.(l.src) then begin
           incr injected_messages;
+          if live then begin
+            incr chunk_injected;
+            chunk_sent_by.(l.src) <- chunk_sent_by.(l.src) + 1;
+            chunk_adversary_bytes :=
+              !chunk_adversary_bytes + Telemetry.payload_bytes l.body
+          end;
           Pool.add pool { letter = l; enqueued_at = !step }
         end
-        else incr rejected_forgeries)
+        else begin
+          incr rejected_forgeries;
+          if live then incr chunk_forgeries
+        end)
       (adversary.inject ~step:!step ~corrupted ~n ~rng);
     if Pool.is_empty pool then
       raise
@@ -200,8 +294,18 @@ let run (type s m o) ~n ~t ?(max_events = 200_000) ?patience ?(seed = 0)
           states.(dst) <- Some st;
           if outputs.(dst) = None then outputs.(dst) <- reactor.output st;
           post_from dst letters
-    end
+    end;
+    if live && !step - !chunk_start >= telemetry_stride then flush_chunk ()
   done;
+  if live then begin
+    flush_chunk ();
+    telemetry.Telemetry.Sink.on_stop
+      {
+        Telemetry.rounds = !chunk;
+        honest_messages = !honest_messages;
+        adversary_messages = !injected_messages;
+      }
+  end;
   let outs = ref [] in
   for p = n - 1 downto 0 do
     match outputs.(p) with

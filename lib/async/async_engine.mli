@@ -77,6 +77,9 @@ val run :
   ?max_events:int ->
   ?patience:int ->
   ?seed:int ->
+  ?telemetry:Aat_telemetry.Telemetry.Sink.t ->
+  ?telemetry_stride:int ->
+  ?observe:('s -> float option) ->
   reactor:('s, 'm, 'o) reactor ->
   adversary:'m adversary ->
   unit ->
@@ -84,4 +87,10 @@ val run :
 (** Runs until every honest party has an output. [patience] (default 8·n²)
     bounds deferral; [max_events] (default 200_000) bounds the run. Raises
     {!Exceeded_max_events} if honest parties are still undecided — a
-    liveness failure of the protocol under test. *)
+    liveness failure of the protocol under test.
+
+    There are no rounds in this model, so [telemetry] (default null sink —
+    zero cost) aggregates delivery events into chunks of [telemetry_stride]
+    (default 256) events; each chunk emits one event whose [round] is the
+    1-based chunk index. [observe] samples undecided honest reactors' states
+    at each chunk boundary for the convergence snapshot. *)

@@ -11,7 +11,7 @@
       {!Lca}, {!Convex_hull}, {!Projection}, {!Generate}, {!Prufer},
       {!Tree_io}
     - simulation: {!Engine}, {!Protocol}, {!Adversary}, {!Verdict},
-      {!Strategies}, {!Spoiler}, {!Wedge}
+      {!Strategies}, {!Spoiler}, {!Wedge}, {!Telemetry}
     - protocols: {!Gradecast}, {!Real_aa} (the [6] building block),
       {!Iterated_midpoint} (baselines), {!Path_aa}, {!Known_path_aa},
       {!Paths_finder}, {!Tree_aa} (the paper's contribution),
@@ -35,6 +35,7 @@ module Tree_io = Aat_tree.Tree_io
 
 (* simulation *)
 module Types = Aat_engine.Types
+module Telemetry = Aat_telemetry.Telemetry
 module Protocol = Aat_engine.Protocol
 module Composed = Aat_engine.Composed
 module Engine = Aat_engine.Sync_engine
@@ -86,14 +87,16 @@ module Quick = struct
       parties where party [i] inputs vertex [inputs.(i)], against
       [adversary] (default: none), and checks Definition 2. Requires
       [t < n/3] for the guarantees to hold (not enforced — the resilience
-      experiments deliberately cross the boundary). *)
-  let agree ?(seed = 0) ?adversary ~tree ~inputs ~t () =
+      experiments deliberately cross the boundary). [telemetry] streams
+      per-round events (message counts, convergence snapshots) into the
+      given sink; see {!Telemetry}. *)
+  let agree ?(seed = 0) ?adversary ?telemetry ~tree ~inputs ~t () =
     let adversary =
       match adversary with
       | Some a -> a
       | None -> Adversary.passive "none"
     in
-    let report = Tree_aa.run ~seed ~tree ~inputs ~t ~adversary () in
+    let report = Tree_aa.run ~seed ?telemetry ~tree ~inputs ~t ~adversary () in
     (* Validity's hull: inputs of initially-honest parties (an adaptively
        corrupted party contributed its input while honest). Termination:
        every finally-honest party decided. *)

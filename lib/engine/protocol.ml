@@ -55,6 +55,7 @@ let sequential ~name ~first ~rounds_of_first ~second =
       else
         match phase with
         | Bridged o1 ->
+            Aat_telemetry.Telemetry.Probe.mark "phase2-entered";
             let p2 = second o1 in
             Phase2 (o1, p2.init ~self ~n:state.n)
         | Phase1 _ ->

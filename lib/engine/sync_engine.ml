@@ -16,12 +16,15 @@ let log_src = Logs.Src.create "aat.engine" ~doc:"synchronous engine"
 
 module Log = (val Logs.src_log log_src)
 
+module Telemetry = Aat_telemetry.Telemetry
+
 type ('s, 'o) slot =
   | Live of 's
   | Done of 'o * Types.round
   | Corrupt
 
 let run (type s m o) ~n ~t ?max_rounds ?(seed = 0) ?(record_trace = false)
+    ?(telemetry = Telemetry.Sink.null) ?(observe : (s -> float option) option)
     ~(protocol : (s, m, o) Protocol.t) ~(adversary : m Adversary.t) () =
   if n < 1 then invalid_arg "Sync_engine.run: n < 1";
   if t < 0 || t >= n then invalid_arg "Sync_engine.run: need 0 <= t < n";
@@ -39,6 +42,29 @@ let run (type s m o) ~n ~t ?max_rounds ?(seed = 0) ?(record_trace = false)
     end
   in
   List.iter corrupt (adversary.initial_corruptions ~n ~t rng);
+  (* Telemetry: with the null sink every per-round emission below is skipped
+     wholesale ([live] is false), so untelemetered runs pay nothing. *)
+  let live = not (Telemetry.Sink.is_null telemetry) in
+  if live then
+    telemetry.Telemetry.Sink.on_start
+      {
+        Telemetry.engine = "sync";
+        protocol = protocol.name;
+        adversary = adversary.name;
+        n;
+        t;
+        seed;
+        initial_corruptions =
+          List.filter (fun p -> corrupted.(p)) (List.init n Fun.id);
+      };
+  let probe = if live then Some (Telemetry.Probe.fresh ()) else None in
+  let saved_probe = if live then Some (Telemetry.Probe.swap probe) else None in
+  let restore_probe () =
+    match saved_probe with
+    | Some prev -> ignore (Telemetry.Probe.swap prev)
+    | None -> ()
+  in
+  Fun.protect ~finally:restore_probe @@ fun () ->
   let slots =
     Array.init n (fun p ->
         if corrupted.(p) then Corrupt else Live (protocol.init ~self:p ~n))
@@ -65,6 +91,7 @@ let run (type s m o) ~n ~t ?max_rounds ?(seed = 0) ?(record_trace = false)
   while undecided () do
     incr round;
     let r = !round in
+    let forgeries_before = !rejected_forgeries in
     if r > max_rounds then
       raise
         (Exceeded_max_rounds
@@ -155,7 +182,11 @@ let run (type s m o) ~n ~t ?max_rounds ?(seed = 0) ?(record_trace = false)
     adversary_messages := !adversary_messages + List.length byz_letters;
     history := delivered :: !history;
     if record_trace then trace := delivered :: !trace;
-    (* 5. honest receive + termination *)
+    (* 5. honest receive + termination. On telemetered runs with an
+       [observe] function, each party's post-receive state is sampled here —
+       including parties deciding this round, whose state is about to be
+       discarded. *)
+    let snapshot_rev = ref [] in
     Array.iteri
       (fun p slot ->
         match slot with
@@ -166,12 +197,63 @@ let run (type s m o) ~n ~t ?max_rounds ?(seed = 0) ?(record_trace = false)
                      compare a.sender b.sender)
             in
             let s' = protocol.receive ~round:r ~self:p ~inbox s in
+            (if live then
+               match observe with
+               | Some f -> (
+                   match f s' with
+                   | Some v -> snapshot_rev := (p, v) :: !snapshot_rev
+                   | None -> ())
+               | None -> ());
             (match protocol.output s' with
             | Some o -> slots.(p) <- Done (o, r)
             | None -> slots.(p) <- Live s')
         | Done _ | Corrupt -> ())
-      slots
+      slots;
+    (* 6. telemetry: one event per round, after receives so that probes
+       fired inside [receive] and post-round state snapshots are included *)
+    if live then begin
+      let sent_by = Array.make n 0 in
+      let honest_bytes = ref 0 and adversary_bytes = ref 0 in
+      List.iter
+        (fun (l : m Types.letter) ->
+          sent_by.(l.src) <- sent_by.(l.src) + 1;
+          honest_bytes := !honest_bytes + Telemetry.payload_bytes l.body)
+        !honest_outbox;
+      List.iter
+        (fun (l : m Types.letter) ->
+          sent_by.(l.src) <- sent_by.(l.src) + 1;
+          adversary_bytes := !adversary_bytes + Telemetry.payload_bytes l.body)
+        byz_letters;
+      let grades, marks =
+        match probe with
+        | Some c -> Telemetry.Probe.flush c
+        | None -> (None, [])
+      in
+      telemetry.Telemetry.Sink.on_round
+        {
+          Telemetry.round = r;
+          honest_msgs = List.length !honest_outbox;
+          adversary_msgs = List.length byz_letters;
+          delivered_msgs = List.length delivered;
+          rejected_forgeries = !rejected_forgeries - forgeries_before;
+          honest_bytes = !honest_bytes;
+          adversary_bytes = !adversary_bytes;
+          sent_by;
+          corruptions =
+            List.filter (fun p -> corrupted_round.(p) = r) (List.init n Fun.id);
+          grades;
+          marks;
+          snapshot = List.rev !snapshot_rev;
+        }
+    end
   done;
+  if live then
+    telemetry.Telemetry.Sink.on_stop
+      {
+        Telemetry.rounds = !round;
+        honest_messages = !honest_messages;
+        adversary_messages = !adversary_messages;
+      };
   let outputs = ref [] and terms = ref [] in
   Array.iteri
     (fun p slot ->

@@ -47,6 +47,8 @@ val run :
   ?max_rounds:int ->
   ?seed:int ->
   ?record_trace:bool ->
+  ?telemetry:Aat_telemetry.Telemetry.Sink.t ->
+  ?observe:('s -> float option) ->
   protocol:('s, 'm, 'o) Protocol.t ->
   adversary:'m Adversary.t ->
   unit ->
@@ -55,7 +57,15 @@ val run :
     pass the protocol's round bound to assert sharp termination. [seed]
     (default 0) feeds the adversary's RNG; honest protocols are
     deterministic. Raises {!Exceeded_max_rounds} when some honest party is
-    still undecided after [max_rounds]. *)
+    still undecided after [max_rounds].
+
+    [telemetry] (default {!Aat_telemetry.Telemetry.Sink.null}) receives one
+    structured event per round — message/byte counts, corruptions, probe
+    data — without affecting the execution in any way; with the null sink no
+    telemetry work is done at all. [observe], if given, samples each live
+    party's post-receive state once per telemetered round into the event's
+    honest-value snapshot (the convergence curve's raw data); it is only
+    called on telemetered runs. *)
 
 val output_of : ('o, 'm) report -> Types.party_id -> 'o
 (** Output of an honest party. Raises [Not_found] for corrupted ids. *)

@@ -113,6 +113,17 @@ module Multi = struct
               | Some (v, c) when c >= st.t + 1 -> { value = Some v; grade = G1 }
               | Some _ | None -> { value = None; grade = G0 })
         in
+        (if Aat_telemetry.Telemetry.Probe.active () then begin
+           let g0 = ref 0 and g1 = ref 0 and g2 = ref 0 in
+           Array.iter
+             (fun r ->
+               match r.grade with
+               | G0 -> incr g0
+               | G1 -> incr g1
+               | G2 -> incr g2)
+             finished;
+           Aat_telemetry.Telemetry.Probe.grade_histogram ~g0:!g0 ~g1:!g1 ~g2:!g2
+         end);
         { st with votes; finished = Some finished }
     | _ -> invalid_arg "Gradecast.Multi.receive: round out of range"
 

@@ -145,6 +145,8 @@ let receive ~round ~inbox st =
       let st = { st with mstate } in
       if sub = 3 then finish_iteration st else st
 
+let observe st = Some st.value
+
 let protocol ?(knobs = faithful) ~inputs ~t ~iterations () =
   {
     Protocol.name = "realaa-bdh";

@@ -60,6 +60,10 @@ type knobs = { blacklist : bool; adaptive_trim : bool; averaging : averaging }
 
 val faithful : knobs
 
+val observe : state -> float option
+(** The party's current value — pass as [Sync_engine.run ~observe] to record
+    per-round honest-value snapshots (convergence curves) in telemetry. *)
+
 val protocol :
   ?knobs:knobs ->
   inputs:(Types.party_id -> float) ->

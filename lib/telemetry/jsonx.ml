@@ -1,0 +1,227 @@
+(* Minimal JSON: just enough to stream telemetry lines and to read them back
+   in tests and offline tooling. Deliberately dependency-free — the rest of
+   the tree never needs a full JSON stack. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* emission *)
+
+let add_escaped buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_num buf f =
+  if not (Float.is_finite f) then
+    (* not representable in JSON; telemetry values are finite in practice *)
+    Buffer.add_string buf "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" f)
+  else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+
+let rec add buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f -> add_num buf f
+  | Str s ->
+      Buffer.add_char buf '"';
+      add_escaped buf s;
+      Buffer.add_char buf '"'
+  | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          add buf v)
+        items;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          add_escaped buf k;
+          Buffer.add_string buf "\":";
+          add buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  add buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* parsing: recursive descent over the whole string *)
+
+exception Parse_error of string
+
+let of_string s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < len
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= len && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= len then fail "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char buf '"'; advance ()
+               | '\\' -> Buffer.add_char buf '\\'; advance ()
+               | '/' -> Buffer.add_char buf '/'; advance ()
+               | 'b' -> Buffer.add_char buf '\b'; advance ()
+               | 'f' -> Buffer.add_char buf '\012'; advance ()
+               | 'n' -> Buffer.add_char buf '\n'; advance ()
+               | 'r' -> Buffer.add_char buf '\r'; advance ()
+               | 't' -> Buffer.add_char buf '\t'; advance ()
+               | 'u' ->
+                   advance ();
+                   if !pos + 4 > len then fail "truncated \\u escape";
+                   let hex = String.sub s !pos 4 in
+                   let code =
+                     try int_of_string ("0x" ^ hex)
+                     with _ -> fail "bad \\u escape"
+                   in
+                   pos := !pos + 4;
+                   Buffer.add_utf_8_uchar buf
+                     (if Uchar.is_valid code then Uchar.of_int code
+                      else Uchar.rep)
+               | _ -> fail "unknown escape");
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let numeric c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < len && numeric s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let value = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((key, value) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((key, value) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); Arr [] end
+        else begin
+          let rec items acc =
+            let value = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items (value :: acc)
+            | Some ']' -> advance (); Arr (List.rev (value :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          items []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  try
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> len then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
+    else Ok v
+  with Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* accessors *)
+
+let member name = function
+  | Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let to_float = function Num f -> Some f | _ -> None
+
+let to_int = function
+  | Num f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+
+let to_list = function Arr items -> Some items | _ -> None

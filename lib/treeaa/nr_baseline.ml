@@ -159,10 +159,10 @@ let protocol ~tree ~inputs ~t ~iterations =
     output = (fun st -> st.decided);
   }
 
-let run ?(seed = 0) ~tree ~inputs ~t ~adversary () =
+let run ?(seed = 0) ?telemetry ~tree ~inputs ~t ~adversary () =
   let n = Array.length inputs in
   let iterations = iterations_for tree in
-  Sync_engine.run ~n ~t ~seed
+  Sync_engine.run ~n ~t ~seed ?telemetry
     ~max_rounds:(max 1 (3 * iterations))
     ~protocol:(protocol ~tree ~inputs:(fun self -> inputs.(self)) ~t ~iterations)
     ~adversary ()

@@ -50,6 +50,7 @@ val rounds : tree:Labeled_tree.t -> int
 
 val run :
   ?seed:int ->
+  ?telemetry:Aat_telemetry.Telemetry.Sink.t ->
   tree:Labeled_tree.t ->
   inputs:Labeled_tree.vertex array ->
   t:int ->

@@ -70,9 +70,19 @@ let protocol ~tree ~inputs ~t : (state, msg, Labeled_tree.vertex) Protocol.t =
     }
   end
 
-let run ?(seed = 0) ~tree ~inputs ~t ~adversary () =
+(* The party's phase-2 RealAA value — its current position (path index) on
+   its own candidate path. Phase 1 and the trivial protocol have no
+   real-valued state to observe. *)
+let observe = function
+  | Trivial _ -> None
+  | Running st -> (
+      match st.Composed.phase with
+      | Composed.Phase2 (_, bdh) -> Bdh.observe bdh
+      | Composed.Phase1 _ | Composed.Bridged _ -> None)
+
+let run ?(seed = 0) ?telemetry ~tree ~inputs ~t ~adversary () =
   let n = Array.length inputs in
-  Sync_engine.run ~n ~t ~seed
+  Sync_engine.run ~n ~t ~seed ?telemetry ~observe
     ~max_rounds:(max 1 (rounds ~tree))
     ~protocol:(protocol ~tree ~inputs:(fun self -> inputs.(self)) ~t)
     ~adversary ()

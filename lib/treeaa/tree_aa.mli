@@ -43,8 +43,16 @@ val rounds : tree:Labeled_tree.t -> int
 (** The exact fixed schedule (0 for trivial trees): what
     [Sync_engine.run ~max_rounds] can be pinned to. *)
 
+val observe : state -> float option
+(** The party's current RealAA value (its position on its candidate path)
+    during phase 2; [None] during path-finding and for trivial trees. {!run}
+    installs this automatically, so telemetered TreeAA runs get per-round
+    honest-value snapshots — the hull-diameter convergence curve — for
+    free. *)
+
 val run :
   ?seed:int ->
+  ?telemetry:Aat_telemetry.Telemetry.Sink.t ->
   tree:Labeled_tree.t ->
   inputs:Labeled_tree.vertex array ->
   t:int ->
@@ -52,4 +60,5 @@ val run :
   unit ->
   (Labeled_tree.vertex, msg) Sync_engine.report
 (** Convenience wrapper: [inputs.(i)] is party [i]'s input vertex,
-    [n = Array.length inputs]. *)
+    [n = Array.length inputs]. [telemetry] streams per-round events (with
+    {!observe} snapshots) into the given sink. *)

@@ -254,6 +254,52 @@ let test_verdict_spread () =
   Alcotest.(check (float 1e-9)) "spread" 2.5 (Verdict.spread [ 1.; 3.5; 2. ]);
   Alcotest.(check (float 1e-9)) "empty" 0. (Verdict.spread [])
 
+let test_trace_agrees_with_telemetry () =
+  (* record_trace and the telemetry sink are two views of the same delivery:
+     each recorded round's letter count must equal the sink's [delivered_msgs]
+     for that round. The adversary double-sends to one destination so the
+     per-(src,dst) dedup actually bites: submissions > deliveries. *)
+  let doubler =
+    Adversary.static ~name:"doubler"
+      ~pick:(fun ~n:_ ~t:_ _ -> [ 3 ])
+      ~deliver:(fun view ->
+        if view.Adversary.round <= 2 then
+          [
+            { Types.src = 3; dst = 0; body = 9 };
+            { Types.src = 3; dst = 0; body = 8 };
+          ]
+        else [])
+  in
+  let stats = Aat_telemetry.Telemetry.Stats.create () in
+  let report =
+    Sync_engine.run ~n:4 ~t:1 ~record_trace:true
+      ~telemetry:(Aat_telemetry.Telemetry.Stats.sink stats)
+      ~protocol:(countdown 3) ~adversary:doubler ()
+  in
+  let events = Aat_telemetry.Telemetry.Stats.events stats in
+  check_int "one event per recorded round" (List.length report.trace)
+    (List.length events);
+  List.iter2
+    (fun row (e : Aat_telemetry.Telemetry.event) ->
+      check_int "trace row length = delivered_msgs" (List.length row)
+        e.delivered_msgs)
+    report.trace events;
+  (* both submitted letters count against the adversary (2 per round for 2
+     rounds), but only one per (src,dst) is delivered — the first two events
+     must show submissions exceeding deliveries by exactly the duplicate *)
+  check_int "submissions all counted" 4 report.adversary_messages;
+  List.iteri
+    (fun i (e : Aat_telemetry.Telemetry.event) ->
+      if i < 2 then
+        check_int "one duplicate dropped"
+          (e.honest_msgs + e.adversary_msgs - 1)
+          e.delivered_msgs)
+    events;
+  check_int "sink saw the same honest total" report.honest_messages
+    (Aat_telemetry.Telemetry.Stats.total_honest stats);
+  check_int "sink saw the same adversary total" report.adversary_messages
+    (Aat_telemetry.Telemetry.Stats.total_adversary stats)
+
 let test_corruption_rounds_recorded () =
   (* initial corruption is stamped round 0; adaptive corruption with the
      round it happened — the distinction Validity-under-adaptivity needs *)
@@ -293,6 +339,11 @@ let () =
             test_crash_retracts_current_round;
           Alcotest.test_case "corruption rounds recorded" `Quick
             test_corruption_rounds_recorded;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "trace agrees with telemetry" `Quick
+            test_trace_agrees_with_telemetry;
         ] );
       ( "termination",
         [

@@ -53,6 +53,81 @@ let test_umbrella_names_cover_the_stack () =
     (Tree.equal tree (Tree_io.of_edge_list (Tree_io.to_edge_list tree)));
   check "metrics" true (Metrics.diameter tree >= 1)
 
+let test_async_entry_points () =
+  (* the asynchronous model, via the umbrella names only *)
+  let fifo () = Async_engine.passive "fifo" in
+  let bcast =
+    Async_engine.run ~n:4 ~t:1
+      ~reactor:(Bracha.reactor ~sender:0 ~inputs:(fun _ -> 7) ~t:1)
+      ~adversary:(fifo ()) ()
+  in
+  check_int "bracha: all deliver" 4 (List.length bcast.Async_engine.outputs);
+  List.iter
+    (fun (_, v) -> check_int "bracha: sender's value" 7 v)
+    bcast.Async_engine.outputs;
+  let aa =
+    Async_engine.run ~n:4 ~t:1
+      ~reactor:
+        (Async_aa.real ~inputs:(fun i -> float_of_int (10 * i)) ~t:1
+           ~iterations:3)
+      ~adversary:(fifo ()) ()
+  in
+  check_int "async real AA: all decide" 4 (List.length aa.Async_engine.outputs);
+  let tree = Generate.path 8 in
+  let nr =
+    Async_engine.run ~n:4 ~t:1
+      ~reactor:
+        (Async_aa.tree ~tree
+           ~inputs:(fun i -> 2 * i)
+           ~t:1
+           ~iterations:(Nr_baseline.iterations_for tree))
+      ~adversary:(fifo ()) ()
+  in
+  List.iter
+    (fun (_, (r : Tree.vertex Async_aa.result)) ->
+      check "async tree AA: vertex output" true
+        (r.Async_aa.value >= 0 && r.Async_aa.value < Tree.n_vertices tree))
+    nr.Async_engine.outputs
+
+let test_adversary_entry_points () =
+  (* every adversary module reachable under its umbrella name *)
+  let tree = Generate.star 10 in
+  let inputs = [| 3; 5; 7; 9 |] in
+  let outcome =
+    Quick.agree ~tree ~inputs ~t:1
+      ~adversary:(Strategies.random_silent ~count:1) ()
+  in
+  check "random-silent verdict" true (Verdict.all_ok outcome.verdict);
+  let crashed =
+    Quick.agree ~tree ~inputs ~t:1
+      ~adversary:(Strategies.crash ~at_round:2 ~victims:[ 0 ]) ()
+  in
+  check "crash verdict" true (Verdict.all_ok crashed.verdict);
+  Alcotest.(check (list int)) "spoiler corruption set" [ 8; 9 ]
+    (Spoiler.parties_of ~n:10 ~t:2);
+  (* constructing the wedges and a phased composition is the smoke test:
+     their wire types must keep matching the protocols' *)
+  let (_ : float Adversary.t) = Wedge.naive_wedge () in
+  let (_ : float Gradecast.Multi.msg Adversary.t) = Wedge.gradecast_wedge () in
+  let (_ : (int, int) Composed.msg Adversary.t) =
+    Compose_adversary.phased ~name:"both-silent" ~barrier:3
+      ~first:(Strategies.silent ~victims:[ 3 ])
+      ~second:(Strategies.silent ~victims:[ 3 ])
+  in
+  ()
+
+let test_telemetry_entry_points () =
+  let stats = Telemetry.Stats.create () in
+  let tree = Generate.path 6 in
+  let outcome =
+    Quick.agree ~tree ~inputs:[| 0; 5; 2; 4 |] ~t:1
+      ~telemetry:(Telemetry.Stats.sink stats) ()
+  in
+  check_int "stats counted the run" outcome.report.Engine.honest_messages
+    (Telemetry.Stats.total_honest stats);
+  check "null sink is recognisable" true
+    (Telemetry.Sink.is_null Telemetry.Sink.null)
+
 let test_report_fields_accessible () =
   let tree = Generate.path 20 in
   let inputs = [| 0; 19; 7; 12 |] in
@@ -77,5 +152,14 @@ let () =
           Alcotest.test_case "umbrella coverage" `Quick
             test_umbrella_names_cover_the_stack;
           Alcotest.test_case "report fields" `Quick test_report_fields_accessible;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "async entry points" `Quick
+            test_async_entry_points;
+          Alcotest.test_case "adversary entry points" `Quick
+            test_adversary_entry_points;
+          Alcotest.test_case "telemetry entry points" `Quick
+            test_telemetry_entry_points;
         ] );
     ]
