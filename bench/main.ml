@@ -654,7 +654,7 @@ let table_e9 () =
               string_of_int nv;
               sched_name;
               string_of_int iterations;
-              string_of_int report.Async_engine.events;
+              string_of_int report.Async_engine.rounds_used;
               string_of_int report.Async_engine.honest_messages;
               string_of_int (Tree_aa.rounds ~tree);
               ok_of verdict;

@@ -2,7 +2,13 @@
 
     These work against any protocol because they either send nothing or
     replay/mutate the honest algorithm itself. Protocol-specific attacks
-    (equivocation inside gradecast) live in {!Spoiler} and {!Wedge}. *)
+    (equivocation inside gradecast) live in {!Spoiler} and {!Wedge}.
+
+    They are also engine-agnostic: every strategy here is an
+    [Aat_runtime.Adversary.t], the interface shared by the synchronous and
+    asynchronous engines, so it can be handed to [Sync_engine.run] directly
+    or lifted to the asynchronous engine unchanged via
+    [Async_engine.with_scheduler]. *)
 
 open Aat_engine
 

@@ -1,4 +1,5 @@
 open Aat_engine
+module Runtime = Aat_runtime
 
 type ('state, 'msg, 'out) reactor = {
   name : string;
@@ -21,32 +22,28 @@ type 'msg scheduler =
   | Custom of ('msg pending array -> Aat_util.Rng.t -> int)
 
 type 'msg adversary = {
-  name : string;
-  corrupt : n:int -> t:int -> Aat_util.Rng.t -> Types.party_id list;
+  core : 'msg Adversary.t;
   scheduler : 'msg scheduler;
-  inject :
-    step:int ->
-    corrupted:bool array ->
-    n:int ->
-    rng:Aat_util.Rng.t ->
-    'msg Types.letter list;
 }
 
 let passive ?(scheduler = Fifo) name =
-  {
-    name;
-    corrupt = (fun ~n:_ ~t:_ _ -> []);
-    scheduler;
-    inject = (fun ~step:_ ~corrupted:_ ~n:_ ~rng:_ -> []);
-  }
+  { core = Adversary.passive name; scheduler }
 
-type ('out, 'msg) report = {
+let with_scheduler ?(scheduler = Fifo) core = { core; scheduler }
+
+type ('out, 'msg) report = ('out, 'msg) Runtime.Report.t = {
+  engine : string;
+  n : int;
+  t : int;
   outputs : (Types.party_id * 'out) list;
-  events : int;
-  honest_messages : int;
-  injected_messages : int;
-  rejected_forgeries : int;
+  termination_rounds : (Types.party_id * Types.round) list;
+  rounds_used : int;
   corrupted : Types.party_id list;
+  corruption_rounds : (Types.party_id * Types.round) list;
+  honest_messages : int;
+  adversary_messages : int;
+  rejected_forgeries : int;
+  trace : 'msg Types.letter list list;
 }
 
 exception Exceeded_max_events of string
@@ -110,32 +107,34 @@ let pick_index (type m) ~(scheduler : m scheduler) ~patience ~step ~rng
 
 module Telemetry = Aat_telemetry.Telemetry
 
-let run (type s m o) ~n ~t ?(max_events = 200_000) ?patience ?(seed = 0)
-    ?(telemetry = Telemetry.Sink.null) ?(telemetry_stride = 256)
+let run (type s m o) ~n ~t ?(max_events = Runtime.Defaults.max_events)
+    ?patience ?(seed = 0) ?(record_trace = false)
+    ?(telemetry = Telemetry.Sink.null)
+    ?(telemetry_stride = Runtime.Defaults.telemetry_stride)
     ?(observe : (s -> float option) option) ~(reactor : (s, m, o) reactor)
     ~(adversary : m adversary) () =
   if n < 1 then invalid_arg "Async_engine.run: n < 1";
   if t < 0 || t >= n then invalid_arg "Async_engine.run: need 0 <= t < n";
   if telemetry_stride < 1 then
     invalid_arg "Async_engine.run: telemetry_stride < 1";
-  let patience = match patience with Some p -> p | None -> 8 * n * n in
+  let patience =
+    match patience with Some p -> p | None -> Runtime.Defaults.patience ~n
+  in
   let rng = Aat_util.Rng.create seed in
-  let corrupted = Array.make n false in
-  let budget = ref t in
-  List.iter
-    (fun p ->
-      if p >= 0 && p < n && (not corrupted.(p)) && !budget > 0 then begin
-        corrupted.(p) <- true;
-        decr budget
-      end)
-    (adversary.corrupt ~n ~t rng);
+  let corruption = Runtime.Corruption.create ~n ~t in
+  let mailbox : m Runtime.Mailbox.t = Runtime.Mailbox.create ~n in
+  Runtime.Corruption.corrupt_all corruption ~at:0
+    (adversary.core.initial_corruptions ~n ~t rng);
+  let corrupted p = Runtime.Corruption.is_corrupted corruption p in
   let states : s option array = Array.make n None in
   let outputs : o option array = Array.make n None in
+  let decided_at = Array.make n (-1) in
   let pool : m Pool.t = Pool.create () in
-  let honest_messages = ref 0 in
-  let injected_messages = ref 0 in
-  let rejected_forgeries = ref 0 in
   let step = ref 0 in
+  (* Delivered-letter history, most recent first, one singleton list per
+     delivery event — the adversary view's [history] (and, reversed, the
+     trace). *)
+  let history = ref [] in
   (* Telemetry: there are no rounds here, so delivery events are aggregated
      into chunks of [telemetry_stride] events, one telemetry event per
      chunk. With the null sink all of this is skipped. *)
@@ -145,12 +144,11 @@ let run (type s m o) ~n ~t ?(max_events = 200_000) ?patience ?(seed = 0)
       {
         Telemetry.engine = "async";
         protocol = reactor.name;
-        adversary = adversary.name;
+        adversary = adversary.core.name;
         n;
         t;
         seed;
-        initial_corruptions =
-          List.filter (fun p -> corrupted.(p)) (List.init n Fun.id);
+        initial_corruptions = Runtime.Corruption.corrupted_list corruption;
       };
   let chunk = ref 0 in
   let chunk_start = ref 0 in
@@ -175,7 +173,7 @@ let run (type s m o) ~n ~t ?(max_events = 200_000) ?patience ?(seed = 0)
         | Some f ->
             let acc = ref [] in
             for p = n - 1 downto 0 do
-              if not corrupted.(p) then
+              if not (corrupted p) then
                 match states.(p) with
                 | Some s -> (
                     match f s with
@@ -213,7 +211,7 @@ let run (type s m o) ~n ~t ?(max_events = 200_000) ?patience ?(seed = 0)
     List.iter
       (fun ((dst, body) : Types.party_id * m) ->
         if dst >= 0 && dst < n then begin
-          incr honest_messages;
+          Runtime.Mailbox.note_honest mailbox 1;
           if live then begin
             incr chunk_honest;
             chunk_sent_by.(src) <- chunk_sent_by.(src) + 1;
@@ -227,19 +225,34 @@ let run (type s m o) ~n ~t ?(max_events = 200_000) ?patience ?(seed = 0)
   in
   (* initialize honest reactors *)
   for p = 0 to n - 1 do
-    if not corrupted.(p) then begin
+    if not (corrupted p) then begin
       let st, letters = reactor.init ~self:p ~n in
       states.(p) <- Some st;
-      outputs.(p) <- reactor.output st;
+      (match reactor.output st with
+      | Some o ->
+          outputs.(p) <- Some o;
+          decided_at.(p) <- 0
+      | None -> ());
       post_from p letters
     end
   done;
   let all_decided () =
     let ok = ref true in
     for p = 0 to n - 1 do
-      if (not corrupted.(p)) && outputs.(p) = None then ok := false
+      if (not (corrupted p)) && outputs.(p) = None then ok := false
     done;
     !ok
+  in
+  let view () =
+    {
+      Adversary.round = !step;
+      n;
+      t;
+      corrupted = Array.copy (Runtime.Corruption.flags corruption);
+      honest_outbox = [];
+      history = !history;
+      rng;
+    }
   in
   while not (all_decided ()) do
     incr step;
@@ -248,25 +261,38 @@ let run (type s m o) ~n ~t ?(max_events = 200_000) ?patience ?(seed = 0)
         (Exceeded_max_events
            (Printf.sprintf "%s: undecided after %d delivery events"
               reactor.name max_events));
-    (* adversarial injections *)
+    (* adaptive corruptions: a party corrupted at event [e] stops reacting —
+       its in-flight messages were sent while honest and stay deliverable *)
+    List.iter
+      (fun p ->
+        if Runtime.Corruption.corrupt corruption ~at:!step p then begin
+          states.(p) <- None;
+          outputs.(p) <- None;
+          decided_at.(p) <- -1
+        end)
+      (adversary.core.corrupt_more (view ()));
+    (* adversarial injections, authenticated-channel screening *)
+    let forgeries_before = Runtime.Mailbox.rejected_forgeries mailbox in
+    let injected =
+      Runtime.Mailbox.screen mailbox ~adversary:adversary.core.name
+        ~corrupted:(Runtime.Corruption.flags corruption)
+        (adversary.core.deliver (view ()))
+    in
+    if live then
+      chunk_forgeries :=
+        !chunk_forgeries
+        + (Runtime.Mailbox.rejected_forgeries mailbox - forgeries_before);
     List.iter
       (fun (l : m Types.letter) ->
-        if l.dst < 0 || l.dst >= n then ()
-        else if l.src >= 0 && l.src < n && corrupted.(l.src) then begin
-          incr injected_messages;
-          if live then begin
-            incr chunk_injected;
-            chunk_sent_by.(l.src) <- chunk_sent_by.(l.src) + 1;
-            chunk_adversary_bytes :=
-              !chunk_adversary_bytes + Telemetry.payload_bytes l.body
-          end;
-          Pool.add pool { letter = l; enqueued_at = !step }
-        end
-        else begin
-          incr rejected_forgeries;
-          if live then incr chunk_forgeries
-        end)
-      (adversary.inject ~step:!step ~corrupted ~n ~rng);
+        Runtime.Mailbox.note_adversary mailbox 1;
+        if live then begin
+          incr chunk_injected;
+          chunk_sent_by.(l.Types.src) <- chunk_sent_by.(l.Types.src) + 1;
+          chunk_adversary_bytes :=
+            !chunk_adversary_bytes + Telemetry.payload_bytes l.Types.body
+        end;
+        Pool.add pool { letter = l; enqueued_at = !step })
+      injected;
     if Pool.is_empty pool then
       raise
         (Exceeded_max_events
@@ -277,12 +303,13 @@ let run (type s m o) ~n ~t ?(max_events = 200_000) ?patience ?(seed = 0)
       pick_index ~scheduler:adversary.scheduler ~patience ~step:!step ~rng pool
     in
     let { letter; _ } = Pool.take pool idx in
+    history := [ letter ] :: !history;
     let dst = letter.Types.dst in
     (* A decided party keeps reacting: in the asynchronous model "output"
        does not mean "halt" — its echoes may still be needed for other
        parties' liveness (e.g. the READY quorums of reliable broadcast).
        The run ends once every honest party has decided. *)
-    if not corrupted.(dst) then begin
+    if not (corrupted dst) then begin
       match states.(dst) with
       | None -> ()
       | Some st ->
@@ -292,7 +319,12 @@ let run (type s m o) ~n ~t ?(max_events = 200_000) ?patience ?(seed = 0)
               st
           in
           states.(dst) <- Some st;
-          if outputs.(dst) = None then outputs.(dst) <- reactor.output st;
+          (if outputs.(dst) = None then
+             match reactor.output st with
+             | Some o ->
+                 outputs.(dst) <- Some o;
+                 decided_at.(dst) <- !step
+             | None -> ());
           post_from dst letters
     end;
     if live && !step - !chunk_start >= telemetry_stride then flush_chunk ()
@@ -302,21 +334,29 @@ let run (type s m o) ~n ~t ?(max_events = 200_000) ?patience ?(seed = 0)
     telemetry.Telemetry.Sink.on_stop
       {
         Telemetry.rounds = !chunk;
-        honest_messages = !honest_messages;
-        adversary_messages = !injected_messages;
+        honest_messages = Runtime.Mailbox.honest_messages mailbox;
+        adversary_messages = Runtime.Mailbox.adversary_messages mailbox;
       }
   end;
-  let outs = ref [] in
+  let outs = ref [] and terms = ref [] in
   for p = n - 1 downto 0 do
     match outputs.(p) with
-    | Some o when not corrupted.(p) -> outs := (p, o) :: !outs
+    | Some o when not (corrupted p) ->
+        outs := (p, o) :: !outs;
+        terms := (p, decided_at.(p)) :: !terms
     | _ -> ()
   done;
   {
+    engine = "async";
+    n;
+    t;
     outputs = !outs;
-    events = !step;
-    honest_messages = !honest_messages;
-    injected_messages = !injected_messages;
-    rejected_forgeries = !rejected_forgeries;
-    corrupted = List.filter (fun p -> corrupted.(p)) (List.init n Fun.id);
+    termination_rounds = !terms;
+    rounds_used = !step;
+    corrupted = Runtime.Corruption.corrupted_list corruption;
+    corruption_rounds = Runtime.Corruption.rounds_list corruption;
+    honest_messages = Runtime.Mailbox.honest_messages mailbox;
+    adversary_messages = Runtime.Mailbox.adversary_messages mailbox;
+    rejected_forgeries = Runtime.Mailbox.rejected_forgeries mailbox;
+    trace = (if record_trace then List.rev !history else []);
   }

@@ -7,19 +7,28 @@
     (chosen by the adversary) decides which in-flight message is delivered
     next, subject to {e eventual delivery}, which the engine enforces with
     a patience bound — a message deferred for [patience] consecutive events
-    is delivered regardless of the scheduler's wishes. The adversary may
-    additionally inject messages from corrupted senders at any step
-    (authenticated channels: injected letters claiming honest senders are
-    dropped and counted).
+    is delivered regardless of the scheduler's wishes.
 
     Honest parties are {e reactors}: an initialization burst of messages,
     then a pure handler invoked per delivered message, producing follow-up
     messages; [output] signals the party's decision — the reactor keeps
     reacting afterwards (deciding is not halting in the asynchronous model;
     a decided party's echoes may be needed for others' liveness) and the
-    run ends once every honest party has decided. There is no clock, so protocols
-    cannot count rounds — exactly the constraint that forces the
-    iteration/witness structure of asynchronous AA. *)
+    run ends once every honest party has decided. There is no clock, so
+    protocols cannot count rounds — exactly the constraint that forces the
+    iteration/witness structure of asynchronous AA.
+
+    The engine shares the [lib/runtime] substrate with the synchronous one:
+    the {b adversary} is the same engine-agnostic
+    {!Aat_runtime.Adversary.t} (corruption policy + message injector) plus
+    this model's one extra power, the {!scheduler}; forgery screening and
+    accounting run through the shared {!Aat_runtime.Mailbox}; and {!run}
+    returns the unified {!Aat_runtime.Report.t} ([engine = "async"], all
+    "round" fields counted in delivery events). The adversary's view at
+    each event has [round] = event number, an empty [honest_outbox] (no
+    round barrier to rush) and [history] = one singleton list per past
+    delivery — so every strategy in [lib/adversary] runs here unchanged,
+    wrapped by {!with_scheduler}. *)
 
 open Aat_engine
 
@@ -46,27 +55,42 @@ type 'msg scheduler =
   | Custom of ('msg pending array -> Aat_util.Rng.t -> int)
 
 type 'msg adversary = {
-  name : string;
-  corrupt : n:int -> t:int -> Aat_util.Rng.t -> Types.party_id list;
+  core : 'msg Adversary.t;
+      (** corruption policy + injector, shared with the synchronous
+          engine; injected letters claiming honest senders are dropped
+          and counted (authenticated channels) *)
   scheduler : 'msg scheduler;
-  inject :
-    step:int ->
-    corrupted:bool array ->
-    n:int ->
-    rng:Aat_util.Rng.t ->
-    'msg Types.letter list;
-      (** called before every delivery event; senders must be corrupted *)
+      (** the asynchronous model's extra adversarial power: delivery
+          order *)
 }
 
 val passive : ?scheduler:'msg scheduler -> string -> 'msg adversary
+(** No corruptions, no injections; [scheduler] defaults to [Fifo]. *)
 
-type ('out, 'msg) report = {
+val with_scheduler : ?scheduler:'msg scheduler -> 'msg Adversary.t -> 'msg adversary
+(** Run any synchronous-world strategy under this engine ([scheduler]
+    defaults to [Fifo]) — the adapter behind "every [lib/adversary]
+    strategy runs against either engine". *)
+
+type ('out, 'msg) report = ('out, 'msg) Aat_runtime.Report.t = {
+  engine : string;  (** ["async"] *)
+  n : int;
+  t : int;
   outputs : (Types.party_id * 'out) list;
-  events : int;  (** total delivery events *)
-  honest_messages : int;
-  injected_messages : int;
-  rejected_forgeries : int;
+  termination_rounds : (Types.party_id * Types.round) list;
+      (** the delivery event at which each honest party decided; [0] for a
+          party that decided at initialization *)
+  rounds_used : int;  (** total delivery events *)
   corrupted : Types.party_id list;
+  corruption_rounds : (Types.party_id * Types.round) list;
+      (** the delivery event at which each corruption happened; [0] =
+          initially corrupted *)
+  honest_messages : int;
+  adversary_messages : int;  (** injected letters that survived screening *)
+  rejected_forgeries : int;
+  trace : 'msg Types.letter list list;
+      (** one singleton list per delivery event, oldest first (empty unless
+          [~record_trace:true]) *)
 }
 
 exception Exceeded_max_events of string
@@ -77,6 +101,7 @@ val run :
   ?max_events:int ->
   ?patience:int ->
   ?seed:int ->
+  ?record_trace:bool ->
   ?telemetry:Aat_telemetry.Telemetry.Sink.t ->
   ?telemetry_stride:int ->
   ?observe:('s -> float option) ->
@@ -84,13 +109,15 @@ val run :
   adversary:'m adversary ->
   unit ->
   ('o, 'm) report
-(** Runs until every honest party has an output. [patience] (default 8·n²)
-    bounds deferral; [max_events] (default 200_000) bounds the run. Raises
+(** Runs until every honest party has an output. [patience] (default
+    {!Aat_runtime.Defaults.patience}, 8·n²) bounds deferral; [max_events]
+    (default {!Aat_runtime.Defaults.max_events}) bounds the run. Raises
     {!Exceeded_max_events} if honest parties are still undecided — a
     liveness failure of the protocol under test.
 
     There are no rounds in this model, so [telemetry] (default null sink —
     zero cost) aggregates delivery events into chunks of [telemetry_stride]
-    (default 256) events; each chunk emits one event whose [round] is the
-    1-based chunk index. [observe] samples undecided honest reactors' states
-    at each chunk boundary for the convergence snapshot. *)
+    (default {!Aat_runtime.Defaults.telemetry_stride}) events; each chunk
+    emits one event whose [round] is the 1-based chunk index. [observe]
+    samples undecided honest reactors' states at each chunk boundary for
+    the convergence snapshot. *)

@@ -1,0 +1,55 @@
+(** Round simulation: running the same protocol under both engines.
+
+    The classic simulation argument — a synchronous protocol can be run
+    over an asynchronous network by tagging every message with its round
+    and releasing round [r] only when all round-[r-1] deliveries have
+    completed — implemented as an adapter pair, enabling differential
+    execution of one protocol text under both engines (the cross-engine
+    qcheck properties in the test suite are built on it).
+
+    {!reactor_of_protocol} is exact in the benign (no-corruption) setting:
+    each party sends one {!batch} per round to {e every} party — a [None]
+    payload is a keep-alive carrying only the round number — and advances
+    its simulated round once all [n] batches for it have arrived. The
+    per-round inboxes it reconstructs (at most one message per sender,
+    sorted by sender ascending) coincide with the synchronous engine's, so
+    honest state evolution, outputs, and decision rounds match the
+    synchronous execution {e bit for bit, regardless of the scheduler}.
+    Parties that decide keep emitting (empty) batches so the lock-step
+    keeps turning for the others — deciding is not halting in the
+    asynchronous model. With corrupted parties the simulation stalls (their
+    batches never arrive): Byzantine differential testing should drive the
+    native engines instead.
+
+    {!protocol_of_reactor} is the cheap converse: deliver each round's
+    inbox to the reactor message by message (sender-ascending). It is
+    faithful exactly for reactors that send at most one message per
+    recipient per burst — the synchronous engine's per-pair dedup drops the
+    rest — and whose parties all decide in the same round (the synchronous
+    engine freezes a party at its decision; a frozen party's later echoes
+    are lost). Honest-sender reliable broadcast (Bracha) satisfies both. *)
+
+open Aat_engine
+
+type 'm batch = { round : Types.round; payload : 'm option }
+(** The wire type of a lifted protocol: a round-stamped optional message.
+    Every party sends one batch per (round, recipient) pair. *)
+
+type ('s, 'm, 'o) state
+
+val reactor_of_protocol :
+  ('s, 'm, 'o) Protocol.t ->
+  (('s, 'm, 'o) state, 'm batch, 'o * Types.round) Async_engine.reactor
+(** Lift a synchronous protocol into an async reactor. The reactor's
+    output pairs the protocol's decision with the simulated round at which
+    it fell (0 for a zero-communication decision), so termination structure
+    can be compared against the synchronous report directly. *)
+
+type ('s, 'm) sync_state
+
+val protocol_of_reactor :
+  ('s, 'm, 'o) Async_engine.reactor ->
+  (('s, 'm) sync_state, 'm, 'o) Protocol.t
+(** Run an async reactor under the synchronous engine: round 1 delivers the
+    init bursts, round [r+1] delivers what round [r]'s receives emitted.
+    See the faithfulness caveats above. *)

@@ -10,8 +10,11 @@
     - trees: {!Tree}, {!Rooted}, {!Paths}, {!Metrics}, {!Euler_tour},
       {!Lca}, {!Convex_hull}, {!Projection}, {!Generate}, {!Prufer},
       {!Tree_io}
-    - simulation: {!Engine}, {!Protocol}, {!Adversary}, {!Verdict},
-      {!Strategies}, {!Spoiler}, {!Wedge}, {!Telemetry}
+    - runtime substrate (shared by both engines): {!Types}, {!Mailbox},
+      {!Report}, {!Defaults}, {!Adversary}
+    - simulation: {!Engine} (synchronous), {!Async_engine} + {!Round_sim}
+      (asynchronous), {!Protocol}, {!Verdict}, {!Strategies}, {!Spoiler},
+      {!Wedge}, {!Telemetry}
     - protocols: {!Gradecast}, {!Real_aa} (the [6] building block),
       {!Iterated_midpoint} (baselines), {!Path_aa}, {!Known_path_aa},
       {!Paths_finder}, {!Tree_aa} (the paper's contribution),
@@ -33,8 +36,14 @@ module Generate = Aat_tree.Generate
 module Prufer = Aat_tree.Prufer
 module Tree_io = Aat_tree.Tree_io
 
-(* simulation *)
+(* runtime substrate — one transport/adversary/report layer under both
+   engines; [Engine.run] and [Async_engine.run] both return [Report.t] *)
 module Types = Aat_engine.Types
+module Mailbox = Aat_runtime.Mailbox
+module Report = Aat_runtime.Report
+module Defaults = Aat_runtime.Defaults
+
+(* simulation *)
 module Telemetry = Aat_telemetry.Telemetry
 module Protocol = Aat_engine.Protocol
 module Composed = Aat_engine.Composed
@@ -63,6 +72,7 @@ module Tree_verdict = Aat_treeaa.Tree_verdict
 
 (* asynchronous model *)
 module Async_engine = Aat_async.Async_engine
+module Round_sim = Aat_async.Round_sim
 module Bracha = Aat_async.Bracha
 module Async_aa = Aat_async.Async_aa
 

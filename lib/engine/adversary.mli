@@ -1,23 +1,14 @@
-(** The Byzantine adversary.
+(** The Byzantine adversary — an alias of the runtime-layer
+    {!Aat_runtime.Adversary}, re-exported so strategy code keeps its
+    historical [Aat_engine.Adversary] spelling.
 
-    The adversary of the paper is adaptive (it may corrupt parties at any
-    point, up to [t] in total), computationally unbounded, and — in the
-    strongest synchronous reading — {e rushing}: in every round it sees the
-    messages honest parties are about to send before choosing what the
-    corrupted parties send. This interface gives a strategy exactly those
-    powers and nothing more:
+    The interface is engine-agnostic: the same record drives the
+    synchronous engine directly and the asynchronous engine via
+    [Aat_async.Async_engine.adversary] (which adds only a scheduler). See
+    {!Aat_runtime.Adversary} for the full contract, including how the view
+    fields read under each engine. *)
 
-    - it observes the full traffic history and the current round's honest
-      outbox (rushing),
-    - it may request additional corruptions each round (the engine enforces
-      the budget [t]),
-    - it emits arbitrary messages {e from corrupted senders only}
-      (authenticated channels: the engine rejects forged honest senders).
-
-    It cannot read honest parties' private state — everything it could
-    legitimately infer is a function of the traffic, which it has. *)
-
-type 'msg view = {
+type 'msg view = 'msg Aat_runtime.Adversary.view = {
   round : Types.round;
   n : int;
   t : int;
@@ -29,7 +20,7 @@ type 'msg view = {
   rng : Aat_util.Rng.t;  (** adversary's private randomness *)
 }
 
-type 'msg t = {
+type 'msg t = 'msg Aat_runtime.Adversary.t = {
   name : string;
   initial_corruptions : n:int -> t:int -> Aat_util.Rng.t -> Types.party_id list;
       (** Corrupted set at round 1; may be empty for a purely adaptive

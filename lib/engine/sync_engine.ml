@@ -1,4 +1,9 @@
-type ('out, 'msg) report = {
+module Runtime = Aat_runtime
+
+type ('out, 'msg) report = ('out, 'msg) Runtime.Report.t = {
+  engine : string;
+  n : int;
+  t : int;
   outputs : (Types.party_id * 'out) list;
   termination_rounds : (Types.party_id * Types.round) list;
   rounds_used : int;
@@ -12,10 +17,6 @@ type ('out, 'msg) report = {
 
 exception Exceeded_max_rounds of string
 
-let log_src = Logs.Src.create "aat.engine" ~doc:"synchronous engine"
-
-module Log = (val Logs.src_log log_src)
-
 module Telemetry = Aat_telemetry.Telemetry
 
 type ('s, 'o) slot =
@@ -28,20 +29,16 @@ let run (type s m o) ~n ~t ?max_rounds ?(seed = 0) ?(record_trace = false)
     ~(protocol : (s, m, o) Protocol.t) ~(adversary : m Adversary.t) () =
   if n < 1 then invalid_arg "Sync_engine.run: n < 1";
   if t < 0 || t >= n then invalid_arg "Sync_engine.run: need 0 <= t < n";
-  let max_rounds = match max_rounds with Some r -> r | None -> (4 * n) + 64 in
-  let rng = Aat_util.Rng.create seed in
-  let corrupted = Array.make n false in
-  let corrupted_round = Array.make n (-1) in
-  let budget = ref t in
-  let round = ref 0 in
-  let corrupt p =
-    if p >= 0 && p < n && (not corrupted.(p)) && !budget > 0 then begin
-      corrupted.(p) <- true;
-      corrupted_round.(p) <- !round;
-      decr budget
-    end
+  let max_rounds =
+    match max_rounds with Some r -> r | None -> Runtime.Defaults.max_rounds ~n
   in
-  List.iter corrupt (adversary.initial_corruptions ~n ~t rng);
+  let rng = Aat_util.Rng.create seed in
+  let corruption = Runtime.Corruption.create ~n ~t in
+  let mailbox : m Runtime.Mailbox.t = Runtime.Mailbox.create ~n in
+  let round = ref 0 in
+  Runtime.Corruption.corrupt_all corruption ~at:0
+    (adversary.initial_corruptions ~n ~t rng);
+  let corrupted p = Runtime.Corruption.is_corrupted corruption p in
   (* Telemetry: with the null sink every per-round emission below is skipped
      wholesale ([live] is false), so untelemetered runs pay nothing. *)
   let live = not (Telemetry.Sink.is_null telemetry) in
@@ -54,8 +51,7 @@ let run (type s m o) ~n ~t ?max_rounds ?(seed = 0) ?(record_trace = false)
         n;
         t;
         seed;
-        initial_corruptions =
-          List.filter (fun p -> corrupted.(p)) (List.init n Fun.id);
+        initial_corruptions = Runtime.Corruption.corrupted_list corruption;
       };
   let probe = if live then Some (Telemetry.Probe.fresh ()) else None in
   let saved_probe = if live then Some (Telemetry.Probe.swap probe) else None in
@@ -67,13 +63,10 @@ let run (type s m o) ~n ~t ?max_rounds ?(seed = 0) ?(record_trace = false)
   Fun.protect ~finally:restore_probe @@ fun () ->
   let slots =
     Array.init n (fun p ->
-        if corrupted.(p) then Corrupt else Live (protocol.init ~self:p ~n))
+        if corrupted p then Corrupt else Live (protocol.init ~self:p ~n))
   in
   let history = ref [] in
   let trace = ref [] in
-  let honest_messages = ref 0 in
-  let adversary_messages = ref 0 in
-  let rejected_forgeries = ref 0 in
   let undecided () =
     Array.exists (function Live _ -> true | Done _ | Corrupt -> false) slots
   in
@@ -91,7 +84,7 @@ let run (type s m o) ~n ~t ?max_rounds ?(seed = 0) ?(record_trace = false)
   while undecided () do
     incr round;
     let r = !round in
-    let forgeries_before = !rejected_forgeries in
+    let forgeries_before = Runtime.Mailbox.rejected_forgeries mailbox in
     if r > max_rounds then
       raise
         (Exceeded_max_rounds
@@ -118,7 +111,7 @@ let run (type s m o) ~n ~t ?max_rounds ?(seed = 0) ?(record_trace = false)
         Adversary.round = r;
         n;
         t;
-        corrupted = Array.copy corrupted;
+        corrupted = Array.copy (Runtime.Corruption.flags corruption);
         honest_outbox = List.rev !honest_outbox;
         history = !history;
         rng;
@@ -130,56 +123,31 @@ let run (type s m o) ~n ~t ?max_rounds ?(seed = 0) ?(record_trace = false)
     let extra = adversary.corrupt_more (view ()) in
     List.iter
       (fun p ->
-        corrupt p;
-        if corrupted.(p) then begin
-          (match slots.(p) with
-          | Live _ -> slots.(p) <- Corrupt
-          | Done _ | Corrupt -> slots.(p) <- Corrupt);
+        ignore (Runtime.Corruption.corrupt corruption ~at:r p);
+        if p >= 0 && p < n && corrupted p then begin
+          slots.(p) <- Corrupt;
           honest_outbox :=
             List.filter (fun (l : m Types.letter) -> l.src <> p) !honest_outbox
         end)
       extra;
     (* 3. adversary messages, authenticated-channel check *)
     let byz_letters =
-      List.filter
-        (fun (l : m Types.letter) ->
-          if l.dst < 0 || l.dst >= n then false
-          else if corrupted.(l.src) then true
-          else begin
-            incr rejected_forgeries;
-            Log.warn (fun f ->
-                f "adversary %s tried to forge honest sender p%d" adversary.name
-                  l.src);
-            false
-          end)
+      Runtime.Mailbox.screen mailbox ~adversary:adversary.name
+        ~corrupted:(Runtime.Corruption.flags corruption)
         (adversary.deliver (view ()))
     in
-    (* 4. delivery: at most one letter per (src, dst) pair; for the
-       adversary the last letter submitted wins, and an adversary letter
-       from a newly-corrupted party overrides the retracted honest one
-       (already removed above). *)
-    let inboxes : (Types.party_id, m Types.envelope list) Hashtbl.t =
-      Hashtbl.create n
-    in
-    let seen_pairs = Hashtbl.create 64 in
-    let accepted = ref [] in
-    let post (l : m Types.letter) =
-      if not (Hashtbl.mem seen_pairs (l.src, l.dst)) then begin
-        Hashtbl.replace seen_pairs (l.src, l.dst) ();
-        accepted := l :: !accepted;
-        let prev = Option.value ~default:[] (Hashtbl.find_opt inboxes l.dst) in
-        Hashtbl.replace inboxes l.dst
-          ({ Types.sender = l.src; payload = l.body } :: prev)
-      end
-    in
-    (* Adversary letters are posted first so that a Byzantine double-send to
-       the same recipient resolves to the adversary's *last* choice:
-       reverse, then first-posted wins. *)
-    List.iter post (List.rev byz_letters);
-    List.iter post (List.rev !honest_outbox);
-    let delivered = !accepted in
-    honest_messages := !honest_messages + List.length !honest_outbox;
-    adversary_messages := !adversary_messages + List.length byz_letters;
+    (* 4. delivery through the shared mailbox: at most one letter per
+       (src, dst) pair. Adversary letters are posted first so that a
+       Byzantine double-send to the same recipient resolves to the
+       adversary's *last* choice, and an adversary letter from a
+       newly-corrupted party overrides the retracted honest one (already
+       removed above). *)
+    Runtime.Mailbox.begin_round mailbox;
+    Runtime.Mailbox.post_last_wins mailbox byz_letters;
+    Runtime.Mailbox.post_last_wins mailbox !honest_outbox;
+    let delivered = Runtime.Mailbox.delivered mailbox in
+    Runtime.Mailbox.note_honest mailbox (List.length !honest_outbox);
+    Runtime.Mailbox.note_adversary mailbox (List.length byz_letters);
     history := delivered :: !history;
     if record_trace then trace := delivered :: !trace;
     (* 5. honest receive + termination. On telemetered runs with an
@@ -191,11 +159,7 @@ let run (type s m o) ~n ~t ?max_rounds ?(seed = 0) ?(record_trace = false)
       (fun p slot ->
         match slot with
         | Live s ->
-            let inbox =
-              Option.value ~default:[] (Hashtbl.find_opt inboxes p)
-              |> List.sort (fun (a : m Types.envelope) b ->
-                     compare a.sender b.sender)
-            in
+            let inbox = Runtime.Mailbox.inbox mailbox p in
             let s' = protocol.receive ~round:r ~self:p ~inbox s in
             (if live then
                match observe with
@@ -235,12 +199,15 @@ let run (type s m o) ~n ~t ?max_rounds ?(seed = 0) ?(record_trace = false)
           honest_msgs = List.length !honest_outbox;
           adversary_msgs = List.length byz_letters;
           delivered_msgs = List.length delivered;
-          rejected_forgeries = !rejected_forgeries - forgeries_before;
+          rejected_forgeries =
+            Runtime.Mailbox.rejected_forgeries mailbox - forgeries_before;
           honest_bytes = !honest_bytes;
           adversary_bytes = !adversary_bytes;
           sent_by;
           corruptions =
-            List.filter (fun p -> corrupted_round.(p) = r) (List.init n Fun.id);
+            List.filter_map
+              (fun (p, cr) -> if cr = r then Some p else None)
+              (Runtime.Corruption.rounds_list corruption);
           grades;
           marks;
           snapshot = List.rev !snapshot_rev;
@@ -251,8 +218,8 @@ let run (type s m o) ~n ~t ?max_rounds ?(seed = 0) ?(record_trace = false)
     telemetry.Telemetry.Sink.on_stop
       {
         Telemetry.rounds = !round;
-        honest_messages = !honest_messages;
-        adversary_messages = !adversary_messages;
+        honest_messages = Runtime.Mailbox.honest_messages mailbox;
+        adversary_messages = Runtime.Mailbox.adversary_messages mailbox;
       };
   let outputs = ref [] and terms = ref [] in
   Array.iteri
@@ -265,26 +232,22 @@ let run (type s m o) ~n ~t ?max_rounds ?(seed = 0) ?(record_trace = false)
       | Live _ -> assert false)
     slots;
   {
+    engine = "sync";
+    n;
+    t;
     outputs = List.rev !outputs;
     termination_rounds = List.rev !terms;
     rounds_used = !round;
-    corrupted =
-      List.filter (fun p -> corrupted.(p)) (List.init n Fun.id);
-    corruption_rounds =
-      List.filter_map
-        (fun p -> if corrupted.(p) then Some (p, corrupted_round.(p)) else None)
-        (List.init n Fun.id);
-    honest_messages = !honest_messages;
-    adversary_messages = !adversary_messages;
-    rejected_forgeries = !rejected_forgeries;
+    corrupted = Runtime.Corruption.corrupted_list corruption;
+    corruption_rounds = Runtime.Corruption.rounds_list corruption;
+    honest_messages = Runtime.Mailbox.honest_messages mailbox;
+    adversary_messages = Runtime.Mailbox.adversary_messages mailbox;
+    rejected_forgeries = Runtime.Mailbox.rejected_forgeries mailbox;
     trace = List.rev !trace;
   }
 
-let output_of report p = List.assoc p report.outputs
+let output_of = Runtime.Report.output_of
 
-let honest_outputs report = List.map snd report.outputs
+let honest_outputs = Runtime.Report.honest_outputs
 
-let initially_corrupted report =
-  List.filter_map
-    (fun (p, r) -> if r = 0 then Some p else None)
-    report.corruption_rounds
+let initially_corrupted = Runtime.Report.initially_corrupted

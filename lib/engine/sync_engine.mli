@@ -7,16 +7,26 @@
     + the adversary, having seen them (rushing), may adaptively corrupt more
       parties — a party corrupted in round [r] has its round-[r] honest
       messages retracted — and submits the corrupted parties' messages;
-    + the engine delivers: each party receives at most one message per
-      sender (authenticated channels), honest letters first;
+    + the engine delivers through the shared {!Aat_runtime.Mailbox}: each
+      party receives at most one message per sender (authenticated
+      channels), adversary letters resolved last-submitted-wins;
     + every live honest party folds its inbox ([receive]) and is frozen as
       terminated once [output] returns [Some].
 
     The run ends when all honest parties have terminated, or fails after
     [max_rounds] (a protocol-under-test violating Termination is a test
-    failure, not a hang). *)
+    failure, not a hang).
 
-type ('out, 'msg) report = {
+    The engine is a thin round-barrier loop over the [lib/runtime]
+    substrate — transport, corruption bookkeeping and reporting are shared
+    with the asynchronous engine, and {!run} returns the unified
+    {!Aat_runtime.Report.t} (re-exported below; [engine = "sync"], all
+    times in round numbers). *)
+
+type ('out, 'msg) report = ('out, 'msg) Aat_runtime.Report.t = {
+  engine : string;  (** ["sync"] *)
+  n : int;
+  t : int;
   outputs : (Types.party_id * 'out) list;
       (** honest parties' outputs, by party id (ascending) *)
   termination_rounds : (Types.party_id * Types.round) list;
@@ -53,7 +63,7 @@ val run :
   adversary:'m Adversary.t ->
   unit ->
   ('o, 'm) report
-(** [max_rounds] defaults to [4 * n + 64] plus a protocol-independent slack;
+(** [max_rounds] defaults to {!Aat_runtime.Defaults.max_rounds} ([4n + 64]);
     pass the protocol's round bound to assert sharp termination. [seed]
     (default 0) feeds the adversary's RNG; honest protocols are
     deterministic. Raises {!Exceeded_max_rounds} when some honest party is
@@ -68,7 +78,8 @@ val run :
     called on telemetered runs. *)
 
 val output_of : ('o, 'm) report -> Types.party_id -> 'o
-(** Output of an honest party. Raises [Not_found] for corrupted ids. *)
+(** Output of an honest party. Raises [Not_found] for corrupted ids.
+    Alias of {!Aat_runtime.Report.output_of}. *)
 
 val honest_outputs : ('o, 'm) report -> 'o list
 

@@ -1,20 +1,27 @@
-(** Shared vocabulary of the synchronous simulator.
+(** Shared vocabulary of the synchronous simulator — an alias of the
+    runtime-layer {!Aat_runtime.Types}, re-exported here so engine-level
+    code (and everything built on it) keeps its historical
+    [Aat_engine.Types] spelling. Both engines speak the same letter and
+    envelope types; see {!Aat_runtime.Types} for the model. *)
 
-    The model is the paper's (Section 2): [n] parties [p_0 .. p_{n-1}] in a
-    fully connected network of authenticated channels, lock-step rounds, and
-    an adaptive adversary corrupting at most [t] parties. *)
-
-type party_id = int
+type party_id = Aat_runtime.Types.party_id
 (** Party identifier in [\[0, n)]. The paper's [p_i] is our [i - 1]. *)
 
-type round = int
+type round = Aat_runtime.Types.round
 (** Round counter, starting at 1 for the first communication round. *)
 
-type 'msg envelope = { sender : party_id; payload : 'msg }
+type 'msg envelope = 'msg Aat_runtime.Types.envelope = {
+  sender : party_id;
+  payload : 'msg;
+}
 (** A delivered message. [sender] is stamped by the engine — channels are
     authenticated, so not even a Byzantine party can forge it. *)
 
-type 'msg letter = { src : party_id; dst : party_id; body : 'msg }
+type 'msg letter = 'msg Aat_runtime.Types.letter = {
+  src : party_id;
+  dst : party_id;
+  body : 'msg;
+}
 (** An in-flight message: what a party (or the adversary, on behalf of a
     corrupted party) hands to the network for delivery next tick. *)
 

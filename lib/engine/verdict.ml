@@ -29,3 +29,15 @@ let real ~eps ~n_honest ~honest_inputs ~honest_outputs =
   in
   let agreement = spread honest_outputs <= eps +. 1e-9 in
   { termination; validity; agreement }
+
+let real_of_report ~eps ~inputs ~value (report : _ Aat_runtime.Report.t) =
+  let initially_corrupted = Aat_runtime.Report.initially_corrupted report in
+  let honest_inputs =
+    List.init report.n Fun.id
+    |> List.filter_map (fun p ->
+           if List.mem p initially_corrupted then None else Some (inputs p))
+  in
+  real ~eps
+    ~n_honest:(Aat_runtime.Report.finally_honest report)
+    ~honest_inputs
+    ~honest_outputs:(List.map (fun (_, o) -> value o) report.outputs)

@@ -24,6 +24,18 @@ val real :
     within [eps]. [n_honest] is the number of parties that were honest at
     the end of the run; termination fails if fewer outputs were produced. *)
 
+val real_of_report :
+  eps:float ->
+  inputs:(Types.party_id -> float) ->
+  value:('o -> float) ->
+  ('o, 'm) Aat_runtime.Report.t ->
+  t
+(** {!real} applied straight to a unified run report, from either engine:
+    the Validity hull is over the inputs of {e initially}-honest parties
+    and Termination quantifies over {e finally}-honest ones, per the
+    conventions of {!Aat_runtime.Report}. [inputs] maps a party to its
+    input; [value] extracts the agreed-upon real from a protocol output. *)
+
 val spread : float list -> float
 (** [max - min] of a non-empty list; 0. for []. The honest range the
     convergence experiments track. *)

@@ -1,0 +1,72 @@
+(** The Byzantine adversary — one interface for both engines.
+
+    The adversary of the paper is adaptive (it may corrupt parties at any
+    point, up to [t] in total), computationally unbounded, and — in the
+    strongest synchronous reading — {e rushing}: in every round it sees the
+    messages honest parties are about to send before choosing what the
+    corrupted parties send. This interface gives a strategy exactly those
+    powers and nothing more:
+
+    - it observes the full traffic history and the current round's honest
+      outbox (rushing),
+    - it may request additional corruptions at any point (the engine
+      enforces the budget [t]),
+    - it emits arbitrary messages {e from corrupted senders only}
+      (authenticated channels: the engine rejects forged honest senders).
+
+    It cannot read honest parties' private state — everything it could
+    legitimately infer is a function of the traffic, which it has.
+
+    {b Both engines consume this type.} Under the synchronous engine the
+    view is per round: [round] is the round number, [honest_outbox] is the
+    rushing power, [history] groups delivered letters round by round. Under
+    the asynchronous engine ({!Aat_async.Async_engine}) the view is per
+    delivery event: [round] is the event counter, [honest_outbox] is empty
+    (there is no round barrier to rush), and [history] holds one singleton
+    list per past delivery. A strategy written against this interface —
+    everything in [lib/adversary] — therefore runs against either engine
+    unchanged; the async engine adds only a scheduler on top. *)
+
+type 'msg view = {
+  round : Types.round;
+      (** synchronous: round number; asynchronous: delivery-event number *)
+  n : int;
+  t : int;
+  corrupted : bool array;  (** current corruption set, length [n] *)
+  honest_outbox : 'msg Types.letter list;
+      (** what honest parties are sending this round (rushing power);
+          always [[]] under the asynchronous engine *)
+  history : 'msg Types.letter list list;
+      (** delivered traffic, most recent first — grouped per round
+          (synchronous) or one singleton per delivery event (asynchronous) *)
+  rng : Aat_util.Rng.t;  (** adversary's private randomness *)
+}
+
+type 'msg t = {
+  name : string;
+  initial_corruptions : n:int -> t:int -> Aat_util.Rng.t -> Types.party_id list;
+      (** Corrupted set at the start of the run; may be empty for a purely
+          adaptive strategy. Lists longer than [t] are truncated by the
+          engine. *)
+  corrupt_more : 'msg view -> Types.party_id list;
+      (** Additional corruptions, requested after seeing the view
+          (adaptivity). Budget-capped by the engine. *)
+  deliver : 'msg view -> 'msg Types.letter list;
+      (** The corrupted parties' messages. Letters whose [src] is not
+          corrupted are dropped (and logged) — authenticated channels make
+          them impossible. *)
+}
+
+val passive : string -> 'msg t
+(** No corruptions at all: the fault-free baseline case. *)
+
+val static :
+  name:string ->
+  pick:(n:int -> t:int -> Aat_util.Rng.t -> Types.party_id list) ->
+  deliver:('msg view -> 'msg Types.letter list) ->
+  'msg t
+(** Static adversary: fixed corruption set, no adaptive corruptions. *)
+
+val corrupted_parties : 'msg view -> Types.party_id list
+
+val honest_parties : 'msg view -> Types.party_id list

@@ -1,0 +1,32 @@
+type t = {
+  n : int;
+  flags : bool array;
+  round_of : int array;
+  mutable budget : int;
+}
+
+let create ~n ~t =
+  { n; flags = Array.make n false; round_of = Array.make n (-1); budget = t }
+
+let corrupt c ~at p =
+  if p >= 0 && p < c.n && (not c.flags.(p)) && c.budget > 0 then begin
+    c.flags.(p) <- true;
+    c.round_of.(p) <- at;
+    c.budget <- c.budget - 1;
+    true
+  end
+  else false
+
+let corrupt_all c ~at ps = List.iter (fun p -> ignore (corrupt c ~at p)) ps
+
+let is_corrupted c p = c.flags.(p)
+
+let flags c = c.flags
+
+let corrupted_list c =
+  List.filter (fun p -> c.flags.(p)) (List.init c.n Fun.id)
+
+let rounds_list c =
+  List.filter_map
+    (fun p -> if c.flags.(p) then Some (p, c.round_of.(p)) else None)
+    (List.init c.n Fun.id)

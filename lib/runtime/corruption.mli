@@ -1,0 +1,34 @@
+(** Corruption bookkeeping, shared by both engines.
+
+    Tracks which parties are corrupted, when each fell (round number under
+    the synchronous engine, delivery-event number under the asynchronous
+    one; [0] means corrupted before the run started), and enforces the
+    adversary's budget of [t] total corruptions. *)
+
+type t
+
+val create : n:int -> t:int -> t
+
+val corrupt : t -> at:Types.round -> Types.party_id -> bool
+(** [corrupt c ~at p] corrupts [p] at time [at] if [p] is in range, not
+    already corrupted, and budget remains; returns whether [p] was {e newly}
+    corrupted by this call (so engines know to drop its state exactly
+    once). *)
+
+val corrupt_all : t -> at:Types.round -> Types.party_id list -> unit
+(** [corrupt] over a list, ignoring the per-party result. Out-of-budget
+    requests are silently dropped — the cap is the engine's to enforce, not
+    the strategy's to respect. *)
+
+val is_corrupted : t -> Types.party_id -> bool
+
+val flags : t -> bool array
+(** The live corruption flags, length [n]. Shared, not a copy — callers
+    building an adversary view must copy before exposing it. *)
+
+val corrupted_list : t -> Types.party_id list
+(** Corrupted parties, ascending. *)
+
+val rounds_list : t -> (Types.party_id * Types.round) list
+(** [(party, time it fell)] for every corrupted party, ascending by party;
+    time [0] means initially corrupted. *)

@@ -1,0 +1,7 @@
+let max_rounds ~n = (4 * n) + 64
+
+let patience ~n = 8 * n * n
+
+let max_events = 200_000
+
+let telemetry_stride = 256

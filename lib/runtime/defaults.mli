@@ -1,0 +1,27 @@
+(** Default resource bounds, shared by both engines.
+
+    These are liveness back-stops, not protocol parameters: every protocol
+    in the repository terminates well inside them, so hitting a bound is a
+    liveness failure of the protocol under test (or an adversary win), never
+    an artefact of the harness. Centralizing them here keeps the two engines
+    and the sharp-termination tests in agreement about what "ran too long"
+    means. *)
+
+val max_rounds : n:int -> int
+(** Synchronous round budget, [4n + 64]: linear head-room for the
+    round-optimal protocols (TreeAA's schedule is [O(log(D/eps))] rounds,
+    gradecast a constant) plus constant slack for tiny [n]. *)
+
+val patience : n:int -> int
+(** Asynchronous fairness bound, [8n^2]: a message deferred for this many
+    consecutive delivery events is delivered regardless of the scheduler —
+    the engine's finite stand-in for "messages get delivered eventually".
+    One reliable-broadcast wave is [Theta(n^2)] messages, so the bound lets
+    a scheduler starve a victim for several full waves but not forever. *)
+
+val max_events : int
+(** Asynchronous delivery-event budget per run. *)
+
+val telemetry_stride : int
+(** Delivery events aggregated per telemetry chunk in the asynchronous
+    engine (which has no rounds to hang telemetry events on). *)

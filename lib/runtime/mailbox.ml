@@ -1,0 +1,69 @@
+let log_src = Logs.Src.create "aat.runtime" ~doc:"unified runtime transport core"
+
+module Log = (val Logs.src_log log_src)
+
+type 'msg t = {
+  n : int;
+  mutable honest_messages : int;
+  mutable adversary_messages : int;
+  mutable rejected_forgeries : int;
+  seen : (Types.party_id * Types.party_id, unit) Hashtbl.t;
+  inboxes : (Types.party_id, 'msg Types.envelope list) Hashtbl.t;
+  mutable delivered_rev : 'msg Types.letter list;
+}
+
+let create ~n =
+  {
+    n;
+    honest_messages = 0;
+    adversary_messages = 0;
+    rejected_forgeries = 0;
+    seen = Hashtbl.create 64;
+    inboxes = Hashtbl.create 16;
+    delivered_rev = [];
+  }
+
+let screen mb ~adversary ~corrupted letters =
+  List.filter
+    (fun (l : _ Types.letter) ->
+      if l.dst < 0 || l.dst >= mb.n then false
+      else if l.src >= 0 && l.src < mb.n && corrupted.(l.src) then true
+      else begin
+        mb.rejected_forgeries <- mb.rejected_forgeries + 1;
+        Log.warn (fun f ->
+            f "adversary %s tried to forge honest sender p%d" adversary l.src);
+        false
+      end)
+    letters
+
+let note_honest mb k = mb.honest_messages <- mb.honest_messages + k
+
+let note_adversary mb k = mb.adversary_messages <- mb.adversary_messages + k
+
+let begin_round mb =
+  Hashtbl.reset mb.seen;
+  Hashtbl.reset mb.inboxes;
+  mb.delivered_rev <- []
+
+let post mb (l : 'msg Types.letter) =
+  if not (Hashtbl.mem mb.seen (l.src, l.dst)) then begin
+    Hashtbl.replace mb.seen (l.src, l.dst) ();
+    mb.delivered_rev <- l :: mb.delivered_rev;
+    let prev = Option.value ~default:[] (Hashtbl.find_opt mb.inboxes l.dst) in
+    Hashtbl.replace mb.inboxes l.dst
+      ({ Types.sender = l.src; payload = l.body } :: prev)
+  end
+
+let post_last_wins mb letters = List.iter (post mb) (List.rev letters)
+
+let inbox mb p =
+  Option.value ~default:[] (Hashtbl.find_opt mb.inboxes p)
+  |> List.sort (fun (a : _ Types.envelope) b -> compare a.sender b.sender)
+
+let delivered mb = mb.delivered_rev
+
+let honest_messages mb = mb.honest_messages
+
+let adversary_messages mb = mb.adversary_messages
+
+let rejected_forgeries mb = mb.rejected_forgeries

@@ -1,0 +1,73 @@
+(** The transport core shared by both engines.
+
+    One mailbox per run holds the three pieces of network mechanics that
+    used to be duplicated across the engines:
+
+    - {b authenticated-channel screening}: adversary letters claiming an
+      honest (or out-of-range) sender are dropped, counted and logged —
+      forgeries are impossible in the model, so the engine enforces it;
+      letters to out-of-range recipients vanish silently (sending into the
+      void is pointless, not forbidden);
+    - {b per-pair delivery dedup} (synchronous rounds only): at most one
+      letter per [(src, dst)] pair per round, first posted wins;
+    - {b accounting}: cumulative honest / adversarial message counts and
+      rejected-forgery counts, reported identically by both engines in the
+      unified {!Report.t}.
+
+    The asynchronous engine uses only screening and accounting — its
+    delivery is the scheduler's business; the synchronous engine also runs
+    its per-round delivery ([begin_round] / [post] / [inbox]) through the
+    mailbox. *)
+
+type 'msg t
+
+val create : n:int -> 'msg t
+
+(** {1 Screening and accounting (both engines)} *)
+
+val screen :
+  'msg t ->
+  adversary:string ->
+  corrupted:bool array ->
+  'msg Types.letter list ->
+  'msg Types.letter list
+(** Filter adversary-submitted letters: keep those from corrupted in-range
+    senders to in-range recipients; count (and log, tagged with the
+    adversary's [name]) each honest-sender forgery; silently drop
+    out-of-range recipients. *)
+
+val note_honest : 'msg t -> int -> unit
+(** Count honest message submissions (pre-dedup: what was handed to the
+    network, not what survived delivery). *)
+
+val note_adversary : 'msg t -> int -> unit
+(** Count adversarial messages accepted by [screen] (again pre-dedup). *)
+
+val honest_messages : 'msg t -> int
+
+val adversary_messages : 'msg t -> int
+
+val rejected_forgeries : 'msg t -> int
+
+(** {1 Per-round delivery (synchronous engine)} *)
+
+val begin_round : 'msg t -> unit
+(** Reset the round-local delivery state (dedup table, inboxes, delivered
+    list). Accounting is cumulative and survives. *)
+
+val post : 'msg t -> 'msg Types.letter -> unit
+(** Deliver a letter unless the [(src, dst)] pair already delivered this
+    round — first posted wins. *)
+
+val post_last_wins : 'msg t -> 'msg Types.letter list -> unit
+(** Post a submission batch so that the {e last} submitted letter per pair
+    wins (reverse, then first-posted-wins): the rule for adversary batches,
+    where a Byzantine double-send resolves to the adversary's final
+    choice. *)
+
+val inbox : 'msg t -> Types.party_id -> 'msg Types.envelope list
+(** The recipient's inbox for this round, sorted by sender ascending. *)
+
+val delivered : 'msg t -> 'msg Types.letter list
+(** All letters delivered this round, most recently posted first — the
+    shape stored in adversary history and traces. *)

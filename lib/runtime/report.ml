@@ -1,0 +1,25 @@
+type ('out, 'msg) t = {
+  engine : string;
+  n : int;
+  t : int;
+  outputs : (Types.party_id * 'out) list;
+  termination_rounds : (Types.party_id * Types.round) list;
+  rounds_used : int;
+  corrupted : Types.party_id list;
+  corruption_rounds : (Types.party_id * Types.round) list;
+  honest_messages : int;
+  adversary_messages : int;
+  rejected_forgeries : int;
+  trace : 'msg Types.letter list list;
+}
+
+let output_of report p = List.assoc p report.outputs
+
+let honest_outputs report = List.map snd report.outputs
+
+let initially_corrupted report =
+  List.filter_map
+    (fun (p, r) -> if r = 0 then Some p else None)
+    report.corruption_rounds
+
+let finally_honest report = report.n - List.length report.corrupted

@@ -1,0 +1,60 @@
+(** The unified run report: both [Sync_engine.run] and [Async_engine.run]
+    return this one type, so verdict checkers, telemetry consumers, the
+    bench harness and the CLI are written once against one shape.
+
+    Time is engine-relative: under the synchronous engine "round" means
+    lock-step round number; under the asynchronous one it means
+    delivery-event number (the only logical clock that model has). The
+    [engine] tag ("sync" / "async") records which reading applies.
+
+    Conventions shared by both engines:
+
+    - [outputs] / [termination_rounds] cover exactly the finally-honest
+      parties, ascending; a party deciding at initialization (zero
+      communication) terminates at round [0];
+    - [corruption_rounds] pairs each corrupted party with the time it fell,
+      [0] meaning initially corrupted. Validity is judged against the
+      inputs of {e initially}-honest parties ({!initially_corrupted}): a
+      party corrupted mid-run exposes its input to the adversary, but its
+      input was honest when contributed;
+    - [honest_messages] counts honest submissions to the network and
+      [adversary_messages] counts adversary letters that survived forgery
+      screening — both {e before} per-pair dedup, so a Byzantine
+      double-send is two adversary messages even though one letter
+      delivers;
+    - [trace] (opt-in via [~record_trace]) groups delivered letters
+      per round (synchronous) or one singleton list per delivery event
+      (asynchronous), oldest first. *)
+
+type ('out, 'msg) t = {
+  engine : string;  (** ["sync"] or ["async"] *)
+  n : int;
+  t : int;  (** the corruption budget the run was configured with *)
+  outputs : (Types.party_id * 'out) list;
+      (** finally-honest parties' decisions, ascending by party *)
+  termination_rounds : (Types.party_id * Types.round) list;
+      (** when each finally-honest party decided *)
+  rounds_used : int;
+      (** rounds (sync) or delivery events (async) consumed by the run *)
+  corrupted : Types.party_id list;  (** final corruption set, ascending *)
+  corruption_rounds : (Types.party_id * Types.round) list;
+      (** when each corrupted party fell; [0] = initially corrupted *)
+  honest_messages : int;
+  adversary_messages : int;
+  rejected_forgeries : int;
+  trace : 'msg Types.letter list list;
+      (** delivered letters, oldest group first; [[]] unless recording was
+          requested *)
+}
+
+val output_of : ('out, 'msg) t -> Types.party_id -> 'out
+(** Raises [Not_found] if the party is corrupted (it has no output). *)
+
+val honest_outputs : ('out, 'msg) t -> 'out list
+
+val initially_corrupted : ('out, 'msg) t -> Types.party_id list
+(** The parties corrupted before round 1 — the set whose inputs validity
+    judgments must exclude. *)
+
+val finally_honest : ('out, 'msg) t -> int
+(** [n] minus the number of (ever-)corrupted parties. *)

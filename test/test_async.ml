@@ -55,24 +55,24 @@ let test_engine_patience_beats_starvation () =
     report.outputs
 
 let test_engine_rejects_forged_injections () =
+  (* unified interface: the async adversary is a sync-style core plus a
+     scheduler; its view's [round] is the delivery-event counter *)
   let adversary =
-    {
-      Async_engine.name = "forger";
-      corrupt = (fun ~n:_ ~t:_ _ -> [ 4 ]);
-      scheduler = Async_engine.Fifo;
-      inject =
-        (fun ~step ~corrupted:_ ~n ~rng:_ ->
-          if step = 1 then
-            { Types.src = 0; dst = 1; body = 999 } (* forged: honest src *)
-            :: List.init n (fun dst -> { Types.src = 4; dst; body = 444 })
-          else []);
-    }
+    Async_engine.with_scheduler
+      (Adversary.static ~name:"forger"
+         ~pick:(fun ~n:_ ~t:_ _ -> [ 4 ])
+         ~deliver:(fun view ->
+           if view.Adversary.round = 1 then
+             { Types.src = 0; dst = 1; body = 999 } (* forged: honest src *)
+             :: List.init view.Adversary.n (fun dst ->
+                    { Types.src = 4; dst; body = 444 })
+           else []))
   in
   let report =
     Async_engine.run ~n:5 ~t:1 ~reactor:(gather_reactor ~quota:5) ~adversary ()
   in
   check_int "forgery rejected" 1 report.rejected_forgeries;
-  check_int "injections accepted" 5 report.injected_messages;
+  check_int "injections accepted" 5 report.adversary_messages;
   (* party 1 heard: 4 honest pings (0..3; byz 4 sends nothing itself) + 444 *)
   Alcotest.(check (list int)) "inbox" [ 0; 1; 2; 3; 444 ] (List.assoc 1 report.outputs)
 
@@ -95,7 +95,7 @@ let test_engine_determinism () =
       ()
   in
   let a = run () and b = run () in
-  check "same events" true (a.events = b.events);
+  check "same events" true (a.rounds_used = b.rounds_used);
   check "same outputs" true (a.outputs = b.outputs)
 
 (* --- Bracha reliable broadcast --- *)
@@ -117,12 +117,10 @@ let test_bracha_honest_sender () =
 
 let test_bracha_silent_sender_no_delivery () =
   let adversary =
-    {
-      Async_engine.name = "silent-sender";
-      corrupt = (fun ~n:_ ~t:_ _ -> [ 0 ]);
-      scheduler = Async_engine.Fifo;
-      inject = (fun ~step:_ ~corrupted:_ ~n:_ ~rng:_ -> []);
-    }
+    Async_engine.with_scheduler
+      (Adversary.static ~name:"silent-sender"
+         ~pick:(fun ~n:_ ~t:_ _ -> [ 0 ])
+         ~deliver:(fun _ -> []))
   in
   check "no delivery, liveness exception" true
     (try
@@ -138,24 +136,22 @@ let test_bracha_silent_sender_no_delivery () =
    scheduling. *)
 let equivocating_sender ~scheduler =
   let key = { Bracha.origin = 6; tag = 0 } in
-  {
-    Async_engine.name = "equivocator";
-    corrupt = (fun ~n:_ ~t:_ _ -> [ 5; 6 ]);
-    scheduler;
-    inject =
-      (fun ~step ~corrupted:_ ~n ~rng:_ ->
-        if step = 1 then
-          List.concat
-            [
-              List.init n (fun dst ->
-                  let v = if dst < 3 then 111 else 222 in
-                  { Types.src = 6; dst; body = Bracha.Init (key, v) });
-              (* the helper echoes 111 to everyone *)
-              List.init n (fun dst ->
-                  { Types.src = 5; dst; body = Bracha.Echo (key, 111) });
-            ]
-        else [])
-  }
+  Async_engine.with_scheduler ~scheduler
+    (Adversary.static ~name:"equivocator"
+       ~pick:(fun ~n:_ ~t:_ _ -> [ 5; 6 ])
+       ~deliver:(fun view ->
+         let n = view.Adversary.n in
+         if view.Adversary.round = 1 then
+           List.concat
+             [
+               List.init n (fun dst ->
+                   let v = if dst < 3 then 111 else 222 in
+                   { Types.src = 6; dst; body = Bracha.Init (key, v) });
+               (* the helper echoes 111 to everyone *)
+               List.init n (fun dst ->
+                   { Types.src = 5; dst; body = Bracha.Echo (key, 111) });
+             ]
+         else []))
 
 let test_bracha_equivocator_agreement () =
   (* Some runs deliver 111 everywhere, some deliver nothing before the
@@ -183,19 +179,13 @@ let test_bracha_equivocator_agreement () =
 
 (* --- async AA on reals --- *)
 
+(* the unified report lets the sync-world verdict checker consume async
+   runs directly *)
 let async_real_verdict values report ~eps =
-  let honest_inputs =
-    Array.to_list (Array.mapi (fun i v -> (i, v)) values)
-    |> List.filter_map (fun (i, v) ->
-           if List.mem i report.Async_engine.corrupted then None else Some v)
-  in
-  let honest_outputs =
-    List.map
-      (fun (_, (r : float Async_aa.result)) -> r.value)
-      report.Async_engine.outputs
-  in
-  Verdict.real ~eps ~n_honest:(List.length honest_inputs) ~honest_inputs
-    ~honest_outputs
+  Verdict.real_of_report ~eps
+    ~inputs:(fun i -> values.(i))
+    ~value:(fun (r : float Async_aa.result) -> r.value)
+    report
 
 let test_async_real_converges () =
   let values = [| 0.; 100.; 20.; 60.; 40.; 90.; 10. |] in
@@ -217,12 +207,10 @@ let test_async_real_with_silent_byz () =
   let values = [| 0.; 100.; 20.; 60.; 40.; 90.; 10. |] in
   let iterations = Aat_realaa.Rounds.halving_iterations ~range:100. ~eps:1. in
   let adversary =
-    {
-      Async_engine.name = "silent";
-      corrupt = (fun ~n:_ ~t:_ _ -> [ 5; 6 ]);
-      scheduler = Async_engine.Random_order;
-      inject = (fun ~step:_ ~corrupted:_ ~n:_ ~rng:_ -> []);
-    }
+    Async_engine.with_scheduler ~scheduler:Async_engine.Random_order
+      (Adversary.static ~name:"silent"
+         ~pick:(fun ~n:_ ~t:_ _ -> [ 5; 6 ])
+         ~deliver:(fun _ -> []))
   in
   let report =
     Async_engine.run ~n:7 ~t:2
@@ -247,36 +235,34 @@ let test_async_real_laggard_scheduler () =
    junk RBC traffic, equivocating broadcasts of their own instances). *)
 let random_async_byz ~seed =
   let rng = Rng.create seed in
-  {
-    Async_engine.name = "random-async-byz";
-    corrupt = (fun ~n:_ ~t:_ _ -> [ 5; 6 ]);
-    scheduler = Async_engine.Random_order;
-    inject =
-      (fun ~step ~corrupted:_ ~n ~rng:_ ->
-        if step > 600 || step mod 3 <> 0 then []
-        else
-          let src = if Rng.bool rng then 5 else 6 in
-          let key = { Bracha.origin = src; tag = 1 + Rng.int rng 8 } in
-          let junk_value () = float_of_int (Rng.int rng 1000) -. 200. in
-          List.init n (fun dst ->
-              let body =
-                match Rng.int rng 5 with
-                | 0 -> Async_aa.Rbc (Bracha.Init (key, junk_value ()))
-                | 1 -> Async_aa.Rbc (Bracha.Echo (key, junk_value ()))
-                | 2 -> Async_aa.Rbc (Bracha.Ready (key, junk_value ()))
-                | 3 ->
-                    Async_aa.Report
-                      { iteration = 1 + Rng.int rng 8; ids = [ 0; 1 ] }
-                      (* malformed: too small *)
-                | _ ->
-                    Async_aa.Report
-                      {
-                        iteration = 1 + Rng.int rng 8;
-                        ids = List.init (n - 2) Fun.id;
-                      }
-              in
-              { Types.src; dst; body }));
-  }
+  Async_engine.with_scheduler ~scheduler:Async_engine.Random_order
+    (Adversary.static ~name:"random-async-byz"
+       ~pick:(fun ~n:_ ~t:_ _ -> [ 5; 6 ])
+       ~deliver:(fun view ->
+         let step = view.Adversary.round and n = view.Adversary.n in
+         if step > 600 || step mod 3 <> 0 then []
+         else
+           let src = if Rng.bool rng then 5 else 6 in
+           let key = { Bracha.origin = src; tag = 1 + Rng.int rng 8 } in
+           let junk_value () = float_of_int (Rng.int rng 1000) -. 200. in
+           List.init n (fun dst ->
+               let body =
+                 match Rng.int rng 5 with
+                 | 0 -> Async_aa.Rbc (Bracha.Init (key, junk_value ()))
+                 | 1 -> Async_aa.Rbc (Bracha.Echo (key, junk_value ()))
+                 | 2 -> Async_aa.Rbc (Bracha.Ready (key, junk_value ()))
+                 | 3 ->
+                     Async_aa.Report
+                       { iteration = 1 + Rng.int rng 8; ids = [ 0; 1 ] }
+                       (* malformed: too small *)
+                 | _ ->
+                     Async_aa.Report
+                       {
+                         iteration = 1 + Rng.int rng 8;
+                         ids = List.init (n - 2) Fun.id;
+                       }
+               in
+               { Types.src; dst; body })))
 
 let prop_async_real_random_byz =
   QCheck2.Test.make ~name:"async AA under random byzantine injections"
@@ -333,12 +319,10 @@ let test_async_tree_long_path () =
   let inputs = [| 0; 199; 50; 120; 75; 30; 160 |] in
   let iterations = Aat_treeaa.Nr_baseline.iterations_for tree in
   let adversary =
-    {
-      Async_engine.name = "silent";
-      corrupt = (fun ~n:_ ~t:_ _ -> [ 5; 6 ]);
-      scheduler = Async_engine.Lifo;
-      inject = (fun ~step:_ ~corrupted:_ ~n:_ ~rng:_ -> []);
-    }
+    Async_engine.with_scheduler ~scheduler:Async_engine.Lifo
+      (Adversary.static ~name:"silent"
+         ~pick:(fun ~n:_ ~t:_ _ -> [ 5; 6 ])
+         ~deliver:(fun _ -> []))
   in
   let report =
     Async_engine.run ~n:7 ~t:2

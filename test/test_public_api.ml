@@ -116,6 +116,54 @@ let test_adversary_entry_points () =
   in
   ()
 
+let test_runtime_entry_points () =
+  (* the shared runtime substrate, via the umbrella names only *)
+  check_int "defaults: max_rounds" ((4 * 9) + 64) (Defaults.max_rounds ~n:9);
+  check_int "defaults: patience" (8 * 9 * 9) (Defaults.patience ~n:9);
+  let mb = Mailbox.create ~n:3 in
+  Mailbox.post mb { Types.src = 0; dst = 1; body = "hi" };
+  Mailbox.post mb { Types.src = 0; dst = 1; body = "dup" };
+  Alcotest.(check (list (pair int string)))
+    "mailbox dedups per pair" [ (0, "hi") ]
+    (List.map
+       (fun (e : string Types.envelope) -> (e.Types.sender, e.Types.payload))
+       (Mailbox.inbox mb 1));
+  (* both engines return the one report type: a sync report is readable
+     through [Report], and a sync protocol runs under the async engine via
+     [Round_sim] with identical honest outputs *)
+  let inputs = (fun i -> float_of_int (3 * i)) in
+  let protocol = Real_aa.protocol ~inputs ~t:1 ~iterations:2 () in
+  let sync =
+    Engine.run ~n:4 ~t:1 ~protocol ~adversary:(Adversary.passive "none") ()
+  in
+  check "report engine tag" true (String.equal sync.Report.engine "sync");
+  check_int "report finally honest" 4 (Report.finally_honest sync);
+  let async =
+    Async_engine.run ~n:4 ~t:1
+      ~reactor:(Round_sim.reactor_of_protocol protocol)
+      ~adversary:(Async_engine.passive "fifo") ()
+  in
+  check "report engine tag (async)" true
+    (String.equal async.Report.engine "async");
+  let values outs = List.map (fun (p, (r : Real_aa.result)) -> (p, r.Real_aa.value)) outs in
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "differential: identical honest outputs" (values sync.Report.outputs)
+    (values (List.map (fun (p, (o, _)) -> (p, o)) async.Report.outputs));
+  (* any sync adversary strategy runs against the async engine unchanged *)
+  let lifted =
+    Async_engine.with_scheduler ~scheduler:Async_engine.Fifo
+      (Strategies.silent ~victims:[ 3 ])
+  in
+  let silenced =
+    Async_engine.run ~n:4 ~t:1
+      ~reactor:(Bracha.reactor ~sender:0 ~inputs:(fun _ -> 7) ~t:1)
+      ~adversary:lifted ()
+  in
+  Alcotest.(check (list int))
+    "lifted strategy corrupts" [ 3 ] silenced.Report.corrupted;
+  check_int "honest parties still decide" 3
+    (List.length silenced.Report.outputs)
+
 let test_telemetry_entry_points () =
   let stats = Telemetry.Stats.create () in
   let tree = Generate.path 6 in
@@ -159,6 +207,8 @@ let () =
             test_async_entry_points;
           Alcotest.test_case "adversary entry points" `Quick
             test_adversary_entry_points;
+          Alcotest.test_case "runtime entry points" `Quick
+            test_runtime_entry_points;
           Alcotest.test_case "telemetry entry points" `Quick
             test_telemetry_entry_points;
         ] );

@@ -260,7 +260,7 @@ let test_async_stats () =
   in
   check_int "chunk totals = honest messages" report.Async_engine.honest_messages
     (Telemetry.Stats.total_honest stats);
-  check_int "chunk totals = injected" report.Async_engine.injected_messages
+  check_int "chunk totals = injected" report.Async_engine.adversary_messages
     (Telemetry.Stats.total_adversary stats);
   check "chunks emitted" true (Telemetry.Stats.rounds stats > 0);
   check "chunk indices contiguous from 1" true
