@@ -45,10 +45,7 @@ let sci x = Printf.sprintf "%.2e" x
 (* hull inputs: initially-honest parties (adaptive corruption keeps the
    victim's input in the provable hull) *)
 let honest_inputs_of inputs (report : (_, _) Engine.report) =
-  let initially = Engine.initially_corrupted report in
-  Array.to_list (Array.mapi (fun i v -> (i, v)) inputs)
-  |> List.filter_map (fun (i, v) ->
-         if List.mem i initially then None else Some v)
+  Report.honest_inputs ~inputs report
 
 (* ------------------------------------------------------------------ *)
 (* E1: RealAA convergence and round complexity (Theorem 3, Lemma 5) *)
@@ -61,56 +58,54 @@ let lemma5_log2_bound ~n ~t ~r ~d =
         -. Float.log2 (float_of_int r)
         -. Float.log2 (float_of_int (n - (2 * t)))))
 
-let run_realaa ~n ~t ~d ~adversary ~seed =
-  let inputs = Array.init n (fun i -> d *. float_of_int i /. float_of_int (n - 1)) in
+(* E1's cells ride the campaign Pool: each (n, t, D) cell is an
+   independent task, so `--workers` spreads the grid over domains without
+   changing a single digit of the table. *)
+let realaa_runner ~n ~t ~d ~adversary =
+  let inputs =
+    Array.init n (fun i -> d *. float_of_int i /. float_of_int (n - 1))
+  in
   let iterations = Rounds.bdh_iterations ~range:d ~eps:1. in
-  let report =
-    Engine.run ~n ~t ~seed
-      ~max_rounds:(max 1 (3 * iterations))
-      ~protocol:(Real_aa.protocol ~inputs:(fun i -> inputs.(i)) ~t ~iterations ())
-      ~adversary ()
-  in
-  let outputs = Engine.honest_outputs report in
-  let spread = Verdict.spread (List.map (fun (r : Real_aa.result) -> r.value) outputs) in
-  let honest_inputs = honest_inputs_of inputs report in
-  let n_honest = n - List.length report.Engine.corrupted in
-  let verdict =
-    Verdict.real ~eps:1. ~n_honest ~honest_inputs
-      ~honest_outputs:(List.map (fun (r : Real_aa.result) -> r.value) outputs)
-  in
-  (report, spread, verdict, iterations)
+  (Runner.real_aa ~eps:1. ~inputs ~t ~iterations ~adversary (), iterations)
 
-let table_e1 () =
-  let rows =
+let table_e1 ?(workers = 1) () =
+  let cells =
     List.concat_map
-      (fun (n, t) ->
-        List.map
-          (fun d ->
-            let _, spread_passive, v1, iterations =
-              run_realaa ~n ~t ~d ~adversary:(Adversary.passive "none") ~seed:1
-            in
-            let report, spread_spoiler, v2, _ =
-              run_realaa ~n ~t ~d
-                ~adversary:(Spoiler.realaa_spoiler ~t ~iterations)
-                ~seed:1
-            in
-            let bound = Float.pow 2. (lemma5_log2_bound ~n ~t ~r:iterations ~d) in
-            [
-              string_of_int n;
-              string_of_int t;
-              sci d;
-              string_of_int iterations;
-              string_of_int report.Engine.rounds_used;
-              string_of_int (Rounds.paper_round_bound ~range:d ~eps:1.);
-              sci spread_passive;
-              sci spread_spoiler;
-              sci bound;
-              (if spread_spoiler <= bound +. 1e-9 && Verdict.all_ok v1 && Verdict.all_ok v2
-               then "ok"
-               else "VIOLATED");
-            ])
-          [ 1e2; 1e3; 1e4; 1e6 ])
+      (fun (n, t) -> List.map (fun d -> (n, t, d)) [ 1e2; 1e3; 1e4; 1e6 ])
       [ (4, 1); (7, 2); (10, 3); (16, 5) ]
+  in
+  let rows =
+    Pool.map ~workers (List.length cells) (fun i ->
+        let n, t, d = List.nth cells i in
+        let passive, iterations =
+          realaa_runner ~n ~t ~d ~adversary:(fun () -> Adversary.passive "none")
+        in
+        let o_passive = passive.Runner.run ~seed:1 () in
+        let spoiler, _ =
+          realaa_runner ~n ~t ~d ~adversary:(fun () ->
+              Spoiler.realaa_spoiler ~t ~iterations)
+        in
+        let o_spoiler = spoiler.Runner.run ~seed:1 () in
+        let spread_passive = Option.value o_passive.Runner.spread ~default:nan in
+        let spread_spoiler = Option.value o_spoiler.Runner.spread ~default:nan in
+        let bound = Float.pow 2. (lemma5_log2_bound ~n ~t ~r:iterations ~d) in
+        [
+          string_of_int n;
+          string_of_int t;
+          sci d;
+          string_of_int iterations;
+          string_of_int o_spoiler.Runner.rounds_used;
+          string_of_int (Rounds.paper_round_bound ~range:d ~eps:1.);
+          sci spread_passive;
+          sci spread_spoiler;
+          sci bound;
+          (if
+             spread_spoiler <= bound +. 1e-9
+             && Runner.ok o_passive && Runner.ok o_spoiler
+           then "ok"
+           else "VIOLATED");
+        ])
+    |> Array.to_list
   in
   print_table
     ~title:
@@ -153,43 +148,38 @@ let table_e1 () =
     ~header:[ "iteration"; "honest spread" ] rows;
   (* E1c: short schedules R <= t — the regime where Lemma 5's bound is
      nonzero; measured spread must stay below it. *)
-  let rows =
+  let cells =
     List.concat_map
       (fun (n, t) ->
         List.filter_map
-          (fun r ->
-            if r > t then None
-            else begin
-              let d = 1e3 in
-              let inputs =
-                Array.init n (fun i -> d *. float_of_int i /. float_of_int (n - 1))
-              in
-              let report =
-                Engine.run ~n ~t ~seed:1 ~max_rounds:(3 * r)
-                  ~protocol:
-                    (Real_aa.protocol ~inputs:(fun i -> inputs.(i)) ~t ~iterations:r ())
-                  ~adversary:(Spoiler.realaa_spoiler ~t ~iterations:r)
-                  ()
-              in
-              let spread =
-                Verdict.spread
-                  (List.map
-                     (fun (x : Real_aa.result) -> x.value)
-                     (Engine.honest_outputs report))
-              in
-              let bound = Float.pow 2. (lemma5_log2_bound ~n ~t ~r ~d) in
-              Some
-                [
-                  string_of_int n;
-                  string_of_int t;
-                  string_of_int r;
-                  sci spread;
-                  sci bound;
-                  (if spread <= bound +. 1e-9 then "ok" else "VIOLATED");
-                ]
-            end)
+          (fun r -> if r > t then None else Some (n, t, r))
           [ 1; 2; 3 ])
       [ (10, 3); (16, 5); (22, 7) ]
+  in
+  let rows =
+    Pool.map ~workers (List.length cells) (fun i ->
+        let n, t, r = List.nth cells i in
+        let d = 1e3 in
+        let inputs =
+          Array.init n (fun i -> d *. float_of_int i /. float_of_int (n - 1))
+        in
+        let runner =
+          Runner.real_aa ~eps:1. ~inputs ~t ~iterations:r
+            ~adversary:(fun () -> Spoiler.realaa_spoiler ~t ~iterations:r)
+            ()
+        in
+        let o = runner.Runner.run ~seed:1 () in
+        let spread = Option.value o.Runner.spread ~default:nan in
+        let bound = Float.pow 2. (lemma5_log2_bound ~n ~t ~r ~d) in
+        [
+          string_of_int n;
+          string_of_int t;
+          string_of_int r;
+          sci spread;
+          sci bound;
+          (if spread <= bound +. 1e-9 then "ok" else "VIOLATED");
+        ])
+    |> Array.to_list
   in
   print_table
     ~title:
@@ -280,29 +270,33 @@ let table_e2 () =
 (* ------------------------------------------------------------------ *)
 (* E3: the lower bound (Theorem 2 / Corollary 1) vs the upper bound *)
 
-let table_e3 () =
-  let rows =
+let table_e3 ?(workers = 1) () =
+  (* Pure computation, but the (1000, 333) cells dominate the wall clock —
+     worth fanning over the Pool like the measured tables. *)
+  let cells =
     List.concat_map
-      (fun (n, t) ->
-        List.map
-          (fun d ->
-            let lower = Fekete.min_rounds ~n ~t ~d ~eps:1. in
-            let closed = Fekete.theorem2_closed_form ~n ~t ~d in
-            let upper = Rounds.bdh_rounds ~range:d ~eps:1. in
-            let parts = Fekete.optimal_partition ~t ~r:(max 1 lower) in
-            [
-              string_of_int n;
-              string_of_int t;
-              sci d;
-              string_of_int lower;
-              f2 closed;
-              string_of_int upper;
-              f2 (float_of_int upper /. float_of_int (max 1 lower));
-              Printf.sprintf "[%s]" (String.concat ";" (List.map string_of_int parts));
-              f2 (Fekete.chain_length ~n ~t ~r:(max 1 lower));
-            ])
-          [ 1e1; 1e3; 1e6; 1e9 ])
+      (fun (n, t) -> List.map (fun d -> (n, t, d)) [ 1e1; 1e3; 1e6; 1e9 ])
       [ (4, 1); (10, 3); (100, 33); (1000, 333) ]
+  in
+  let rows =
+    Pool.map ~workers (List.length cells) (fun i ->
+        let n, t, d = List.nth cells i in
+        let lower = Fekete.min_rounds ~n ~t ~d ~eps:1. in
+        let closed = Fekete.theorem2_closed_form ~n ~t ~d in
+        let upper = Rounds.bdh_rounds ~range:d ~eps:1. in
+        let parts = Fekete.optimal_partition ~t ~r:(max 1 lower) in
+        [
+          string_of_int n;
+          string_of_int t;
+          sci d;
+          string_of_int lower;
+          f2 closed;
+          string_of_int upper;
+          f2 (float_of_int upper /. float_of_int (max 1 lower));
+          Printf.sprintf "[%s]" (String.concat ";" (List.map string_of_int parts));
+          f2 (Fekete.chain_length ~n ~t ~r:(max 1 lower));
+        ])
+    |> Array.to_list
   in
   print_table
     ~title:
@@ -981,11 +975,11 @@ let bechamel () =
 
 (* ------------------------------------------------------------------ *)
 
-let tables =
+let tables ~workers =
   [
-    ("E1", table_e1);
+    ("E1", fun () -> table_e1 ~workers ());
     ("E2", table_e2);
-    ("E3", table_e3);
+    ("E3", fun () -> table_e3 ~workers ());
     ("E4", table_e4);
     ("E5", table_e5);
     ("E6", table_e6);
@@ -998,6 +992,16 @@ let tables =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (* --workers N may appear anywhere; it only affects scheduling, never the
+     numbers (the parallel tables run on the deterministic Pool). *)
+  let rec extract_workers acc = function
+    | "--workers" :: n :: rest -> (int_of_string n, List.rev_append acc rest)
+    | x :: rest -> extract_workers (x :: acc) rest
+    | [] -> (1, List.rev acc)
+  in
+  let workers, args = extract_workers [] args in
+  let workers = if workers <= 0 then Pool.default_workers () else workers in
+  let tables = tables ~workers in
   match args with
   | [ "--bechamel" ] -> bechamel ()
   | [ "--convergence" ] -> convergence None
@@ -1015,5 +1019,5 @@ let () =
   | _ ->
       Printf.eprintf
         "usage: main.exe [--table E1..E10 | --bechamel | --convergence \
-         [FILE] | --all]\n";
+         [FILE] | --all] [--workers N]\n";
       exit 1

@@ -2,180 +2,153 @@
    random trees, inputs, adversaries and schedulers, and report any
    violation of its specification. Exit code 0 = clean campaign.
 
-     dune exec bin/soak.exe -- [runs] [seed]     (defaults: 200 runs, seed 0)
+     dune exec bin/soak.exe -- --runs 200 --seed 0 --workers 2
+
+   The old positional form `soak.exe [runs] [seed]` is still accepted for
+   one release. Built on the Campaign subsystem: each protocol family is a
+   declarative spec, runs fan out over the Pool, and results are
+   bit-identical whatever --workers says.
 
    This is the long-running complement to the qcheck properties in the test
    suite: same oracles, bigger and more varied search space, one summary
    line per protocol family. *)
 
 open Treeagree
+open Cmdliner
 
-type tally = { mutable runs : int; mutable violations : int }
+let family_specs ~runs ~seed =
+  (* Spread the run budget evenly; every family derives its own base seed
+     by splitting the campaign seed, so families are independent streams. *)
+  let share i = (runs / 4) + if i < runs mod 4 then 1 else 0 in
+  let base i = Campaign.split_seed ~base:seed ~index:i in
+  let open Campaign.Spec in
+  [
+    {
+      name = "tree-aa";
+      protocol = Tree_aa;
+      tree = Any_tree;
+      n = Between (4, 13);
+      t_budget = Up_to_third;
+      inputs = Random_vertices;
+      adversary = Any_tree_adversary;
+      repetitions = share 0;
+      base_seed = base 0;
+    };
+    {
+      name = "nr-baseline";
+      protocol = Nr_baseline;
+      tree = Any_tree;
+      n = Between (4, 13);
+      t_budget = Up_to_third;
+      inputs = Random_vertices;
+      adversary = Random_silent;
+      repetitions = share 1;
+      base_seed = base 1;
+    };
+    {
+      name = "realaa";
+      protocol = Real_aa { eps = 1. };
+      tree = Any_tree;
+      n = Between (4, 18);
+      t_budget = Up_to_third;
+      inputs = Log_uniform_reals { log10_min = 1.; log10_max = 6. };
+      adversary = Any_real_adversary;
+      repetitions = share 2;
+      base_seed = base 2;
+    };
+    {
+      name = "async-tree-aa";
+      protocol = Async_tree_aa;
+      tree = Random_tree (Between (2, 61));
+      n = Exactly 7;
+      t_budget = Fixed_t 2;
+      inputs = Random_vertices;
+      adversary = Passive;
+      repetitions = share 3;
+      base_seed = base 3;
+    };
+  ]
 
-let tally () = { runs = 0; violations = 0 }
-
-let record t ok =
-  t.runs <- t.runs + 1;
-  if not ok then t.violations <- t.violations + 1
-
-let random_tree rng =
-  match Rng.int rng 6 with
-  | 0 -> Generate.path (2 + Rng.int rng 300)
-  | 1 -> Generate.star (3 + Rng.int rng 200)
-  | 2 ->
-      Generate.caterpillar ~spine:(1 + Rng.int rng 40) ~legs:(Rng.int rng 4)
-  | 3 -> Generate.spider ~legs:(1 + Rng.int rng 8) ~leg_length:(1 + Rng.int rng 20)
-  | 4 -> Generate.balanced ~arity:(2 + Rng.int rng 2) ~depth:(1 + Rng.int rng 5)
-  | _ -> Generate.random rng (2 + Rng.int rng 250)
-
-let tree_adversary rng ~tree ~t =
-  let barrier = max 1 (Paths_finder.rounds ~tree) in
-  match Rng.int rng 4 with
-  | 0 -> Adversary.passive "none"
-  | 1 -> Strategies.random_silent ~count:t
-  | 2 ->
-      Strategies.crash
-        ~at_round:(1 + Rng.int rng (max 1 (Tree_aa.rounds ~tree)))
-        ~victims:(Aat_util.Rng.sample_without_replacement rng t (t + 3))
-  | _ ->
-      let nv = Tree.n_vertices tree in
-      Compose_adversary.phased ~name:"spoiler" ~barrier
-        ~first:
-          (Spoiler.realaa_spoiler ~t
-             ~iterations:
-               (Rounds.bdh_iterations ~range:(float_of_int ((2 * nv) - 2)) ~eps:1.))
-        ~second:
-          (Spoiler.realaa_spoiler ~t
-             ~iterations:
-               (Rounds.bdh_iterations
-                  ~range:(float_of_int (max 2 (Metrics.diameter tree)))
-                  ~eps:1.))
-
-let check_tree_run ~tree ~inputs (report : (Tree.vertex, _) Engine.report) =
-  let initially = Engine.initially_corrupted report in
-  let hull_inputs =
-    Array.to_list (Array.mapi (fun i v -> (i, v)) inputs)
-    |> List.filter_map (fun (i, v) ->
-           if List.mem i initially then None else Some v)
-  in
-  Verdict.all_ok
-    (Tree_verdict.check ~tree
-       ~n_honest:(Array.length inputs - List.length report.Engine.corrupted)
-       ~honest_inputs:hull_inputs
-       ~honest_outputs:(Engine.honest_outputs report))
-
-let soak_tree_aa rng t_tally =
-  let tree = random_tree rng in
-  let nv = Tree.n_vertices tree in
-  let n = 4 + Rng.int rng 10 in
-  let t = Rng.int rng ((n - 1) / 3 + 1) in
-  let inputs = Array.init n (fun _ -> Rng.int rng nv) in
-  let adversary = tree_adversary rng ~tree ~t in
-  let report = Tree_aa.run ~seed:(Rng.int rng 1_000_000) ~tree ~inputs ~t ~adversary () in
-  record t_tally (check_tree_run ~tree ~inputs report)
-
-let soak_nr rng t_tally =
-  let tree = random_tree rng in
-  let nv = Tree.n_vertices tree in
-  let n = 4 + Rng.int rng 10 in
-  let t = Rng.int rng ((n - 1) / 3 + 1) in
-  let inputs = Array.init n (fun _ -> Rng.int rng nv) in
-  let report =
-    Nr_baseline.run ~seed:(Rng.int rng 1_000_000) ~tree ~inputs ~t
-      ~adversary:(Strategies.random_silent ~count:t) ()
-  in
-  record t_tally (check_tree_run ~tree ~inputs report)
-
-let soak_realaa rng t_tally =
-  let n = 4 + Rng.int rng 15 in
-  let t = Rng.int rng ((n - 1) / 3 + 1) in
-  let d = Float.pow 10. (1. +. Rng.float rng 5.) in
-  let values = Array.init n (fun _ -> Rng.float rng d) in
-  let iterations = Rounds.bdh_iterations ~range:d ~eps:1. in
-  let adversary =
-    match Rng.int rng 3 with
-    | 0 -> Adversary.passive "none"
-    | 1 -> Strategies.random_silent ~count:t
-    | _ -> Spoiler.realaa_spoiler ~t ~iterations
-  in
-  let report =
-    Engine.run ~n ~t ~seed:(Rng.int rng 1_000_000)
-      ~max_rounds:(max 1 (3 * iterations))
-      ~protocol:(Real_aa.protocol ~inputs:(fun i -> values.(i)) ~t ~iterations ())
-      ~adversary ()
-  in
-  let hull_inputs =
-    let initially = Engine.initially_corrupted report in
-    Array.to_list (Array.mapi (fun i v -> (i, v)) values)
-    |> List.filter_map (fun (i, v) ->
-           if List.mem i initially then None else Some v)
-  in
-  record t_tally
-    (Verdict.all_ok
-       (Verdict.real ~eps:1.
-          ~n_honest:(n - List.length report.Engine.corrupted)
-          ~honest_inputs:hull_inputs
-          ~honest_outputs:
-            (List.map
-               (fun (r : Real_aa.result) -> r.value)
-               (Engine.honest_outputs report))))
-
-let soak_async rng t_tally =
-  let tree = Generate.random rng (2 + Rng.int rng 60) in
-  let nv = Tree.n_vertices tree in
-  let inputs = Array.init 7 (fun _ -> Rng.int rng nv) in
-  let iterations = Nr_baseline.iterations_for tree in
-  let scheduler =
-    match Rng.int rng 3 with
-    | 0 -> Async_engine.Fifo
-    | 1 -> Async_engine.Lifo
-    | _ -> Async_engine.Random_order
-  in
-  let report =
-    Async_engine.run ~n:7 ~t:2 ~seed:(Rng.int rng 1_000_000)
-      ~max_events:2_000_000
-      ~reactor:(Async_aa.tree ~tree ~inputs:(fun i -> inputs.(i)) ~t:2 ~iterations)
-      ~adversary:(Async_engine.passive ~scheduler "none")
-      ()
-  in
-  let honest_inputs = Array.to_list inputs in
-  record t_tally
-    (Verdict.all_ok
-       (Tree_verdict.check ~tree ~n_honest:7 ~honest_inputs
-          ~honest_outputs:
-            (List.map
-               (fun (_, (r : Tree.vertex Async_aa.result)) -> r.value)
-               report.Async_engine.outputs)))
-
-let () =
+let soak runs_flag seed_flag workers pos_runs pos_seed =
+  if pos_runs <> None || pos_seed <> None then
+    prerr_endline
+      "soak: positional RUNS/SEED are deprecated; use --runs and --seed";
   let runs =
-    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 200
+    match runs_flag with
+    | Some r -> r
+    | None -> Option.value pos_runs ~default:200
   in
-  let seed = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 0 in
-  let rng = Rng.create seed in
-  let families =
-    [
-      ("tree-aa", soak_tree_aa, tally ());
-      ("nr-baseline", soak_nr, tally ());
-      ("realaa", soak_realaa, tally ());
-      ("async-tree-aa", soak_async, tally ());
-    ]
+  let seed =
+    match seed_flag with
+    | Some s -> s
+    | None -> Option.value pos_seed ~default:0
   in
-  for i = 1 to runs do
-    let name, f, t = List.nth families (i mod List.length families) in
-    (try f rng t
-     with exn ->
-       record t false;
-       Printf.eprintf "[%s] run %d raised %s\n" name i (Printexc.to_string exn))
-  done;
+  let workers = if workers <= 0 then Pool.default_workers () else workers in
   let failures = ref 0 in
+  let total = ref 0 in
   List.iter
-    (fun (name, _, t) ->
-      failures := !failures + t.violations;
-      Printf.printf "%-14s %5d runs  %d violations\n" name t.runs t.violations)
-    families;
+    (fun (spec : Campaign.Spec.t) ->
+      let result = Campaign.run ~workers spec in
+      Array.iter
+        (fun (tr : Campaign.task_result) ->
+          match tr.Campaign.result with
+          | Ok _ -> ()
+          | Error e ->
+              Printf.eprintf "[%s] task %d (seed %d) raised %s\n"
+                spec.Campaign.Spec.name tr.Campaign.task tr.Campaign.task_seed
+                e)
+        result.Campaign.results;
+      let agg = result.Campaign.aggregate in
+      failures := !failures + agg.Campaign.violations;
+      total := !total + agg.Campaign.tasks;
+      Printf.printf "%-14s %5d runs  %d violations\n" spec.Campaign.Spec.name
+        agg.Campaign.tasks agg.Campaign.violations)
+    (family_specs ~runs ~seed);
   if !failures > 0 then begin
     Printf.printf "SOAK FAILED: %d violations\n" !failures;
     exit 1
   end
-  else Printf.printf "soak clean (%d runs, seed %d)\n" runs seed
+  else Printf.printf "soak clean (%d runs, seed %d)\n" !total seed
+
+let runs_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "runs" ]
+        ~docv:"N"
+        ~doc:"Total number of runs across all protocol families (default 200).")
+
+let seed_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Base campaign seed (default 0).")
+
+let workers_t =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "workers"; "j" ] ~docv:"W"
+        ~doc:
+          "Worker domains for the campaign pool (default 1; 0 means all \
+           cores). Results are identical for every value.")
+
+let pos_runs_t =
+  Arg.(
+    value
+    & pos 0 (some int) None
+    & info [] ~docv:"RUNS" ~doc:"Deprecated positional form of $(b,--runs).")
+
+let pos_seed_t =
+  Arg.(
+    value
+    & pos 1 (some int) None
+    & info [] ~docv:"SEED" ~doc:"Deprecated positional form of $(b,--seed).")
+
+let cmd =
+  let doc = "randomized soak campaign over every protocol family" in
+  Cmd.v
+    (Cmd.info "soak" ~doc)
+    Term.(const soak $ runs_t $ seed_t $ workers_t $ pos_runs_t $ pos_seed_t)
+
+let () = exit (Cmd.eval cmd)

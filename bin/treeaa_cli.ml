@@ -4,6 +4,7 @@
      gen      generate a tree of a named family (edge list or DOT)
      inspect  print metrics and the Euler-tour list of a tree
      run      execute TreeAA on a tree against a chosen adversary
+     campaign run a declarative batch campaign (JSONL out, --workers N)
      bounds   print upper/lower round bounds for given n, t, D *)
 
 open Treeagree
@@ -223,6 +224,223 @@ let run_cmd =
         (const action $ tree_term $ n_term $ t_term $ adversary_term
        $ inputs_term $ seed_term $ trace_out_term))
 
+(* ---------- campaign ---------- *)
+
+(* SIZE is either N or LO-HI (drawn uniformly per task) *)
+let parse_size s =
+  match String.index_opt s '-' with
+  | Some i ->
+      let lo = int_of_string (String.sub s 0 i) in
+      let hi = int_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+      Campaign.Spec.Between (lo, hi)
+  | None -> Campaign.Spec.Exactly (int_of_string s)
+
+let parse_tree_family s =
+  let open Campaign.Spec in
+  match String.split_on_char ':' s with
+  | [ "any" ] -> Any_tree
+  | [ "path"; n ] -> Path_tree (parse_size n)
+  | [ "star"; n ] -> Star_tree (parse_size n)
+  | [ "caterpillar"; spine; legs ] ->
+      Caterpillar_tree { spine = parse_size spine; legs = parse_size legs }
+  | [ "spider"; legs; len ] ->
+      Spider_tree { legs = parse_size legs; leg_length = parse_size len }
+  | [ "balanced"; arity; depth ] ->
+      Balanced_tree { arity = parse_size arity; depth = parse_size depth }
+  | [ "random"; n ] -> Random_tree (parse_size n)
+  | _ ->
+      raise
+        (Invalid_argument
+           (Printf.sprintf
+              "unknown tree family %S (try any, path:SIZE, star:SIZE, \
+               caterpillar:SIZE:SIZE, spider:SIZE:SIZE, balanced:SIZE:SIZE, \
+               random:SIZE; SIZE is N or LO-HI)"
+              s))
+
+let parse_campaign_protocol ~eps s =
+  let open Campaign.Spec in
+  match s with
+  | "tree-aa" -> Ok Tree_aa
+  | "nr-baseline" -> Ok Nr_baseline
+  | "path-aa" -> Ok Path_aa
+  | "known-path-aa" -> Ok Known_path_aa
+  | "realaa" -> Ok (Real_aa { eps })
+  | "iterated-midpoint" -> Ok (Iterated_midpoint { eps })
+  | "async-tree-aa" -> Ok Async_tree_aa
+  | "round-sim-tree-aa" -> Ok Round_sim_tree_aa
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown protocol %S (have: tree-aa, nr-baseline, path-aa, \
+            known-path-aa, realaa, iterated-midpoint, async-tree-aa, \
+            round-sim-tree-aa)"
+           other)
+
+let parse_campaign_adversary s =
+  let open Campaign.Spec in
+  match s with
+  | "none" -> Ok Passive
+  | "silent" -> Ok Random_silent
+  | "crash" -> Ok Random_crash
+  | "spoiler" -> Ok Tree_spoiler
+  | "real-spoiler" -> Ok Real_spoiler
+  | "wedge" -> Ok Gradecast_wedge
+  | "any-tree" -> Ok Any_tree_adversary
+  | "any-real" -> Ok Any_real_adversary
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown adversary family %S (have: none, silent, crash, spoiler, \
+            real-spoiler, wedge, any-tree, any-real)"
+           other)
+
+let parse_campaign_inputs s =
+  let open Campaign.Spec in
+  match String.split_on_char ':' s with
+  | [ "vertices" ] -> Ok Random_vertices
+  | [ "linspace"; d ] -> Ok (Linspace_reals (float_of_string d))
+  | [ "loguniform"; lo; hi ] ->
+      Ok
+        (Log_uniform_reals
+           { log10_min = float_of_string lo; log10_max = float_of_string hi })
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown input distribution %S (try vertices, linspace:D, \
+            loguniform:LOG10MIN:LOG10MAX)"
+           s)
+
+let campaign_cmd =
+  let protocol_term =
+    Arg.(
+      value & opt string "tree-aa"
+      & info [ "p"; "protocol" ] ~docv:"PROTO"
+          ~doc:
+            "Protocol family: tree-aa, nr-baseline, path-aa, known-path-aa, \
+             realaa, iterated-midpoint, async-tree-aa, round-sim-tree-aa.")
+  in
+  let tree_term =
+    Arg.(
+      value & opt string "any"
+      & info [ "tree" ] ~docv:"FAMILY"
+          ~doc:
+            "Tree family: any, path:SIZE, star:SIZE, caterpillar:SIZE:SIZE, \
+             spider:SIZE:SIZE, balanced:SIZE:SIZE, random:SIZE. SIZE is N or \
+             LO-HI (drawn per task).")
+  in
+  let n_term =
+    Arg.(
+      value & opt string "4-13"
+      & info [ "n" ] ~docv:"SIZE" ~doc:"Parties per task: N or LO-HI.")
+  in
+  let t_term =
+    Arg.(
+      value & opt string "third"
+      & info [ "t" ] ~docv:"T"
+          ~doc:
+            "Byzantine budget: an integer, or 'third' to draw uniformly from \
+             [0, (n-1)/3] per task.")
+  in
+  let inputs_term =
+    Arg.(
+      value & opt string "vertices"
+      & info [ "i"; "inputs" ] ~docv:"DIST"
+          ~doc:
+            "Input distribution: vertices (tree protocols), linspace:D or \
+             loguniform:LOG10MIN:LOG10MAX (real-valued protocols).")
+  in
+  let adversary_term =
+    Arg.(
+      value & opt string "none"
+      & info [ "a"; "adversary" ] ~docv:"ADV"
+          ~doc:
+            "Adversary family: none, silent, crash, spoiler (TreeAA), \
+             real-spoiler, wedge, any-tree, any-real.")
+  in
+  let eps_term =
+    Arg.(
+      value & opt float 1.0
+      & info [ "eps" ] ~docv:"EPS"
+          ~doc:"Agreement distance for realaa / iterated-midpoint.")
+  in
+  let reps_term =
+    Arg.(
+      value & opt int 100
+      & info [ "reps" ] ~docv:"N" ~doc:"Number of independent tasks.")
+  in
+  let workers_term =
+    Arg.(
+      value & opt int 1
+      & info [ "workers"; "j" ] ~docv:"W"
+          ~doc:
+            "Worker domains (default 1; 0 means all cores). The JSONL stream \
+             and aggregates are identical for every value.")
+  in
+  let name_term =
+    Arg.(
+      value & opt string "cli"
+      & info [ "name" ] ~docv:"NAME" ~doc:"Campaign name for the JSONL header.")
+  in
+  let out_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the JSONL result stream to $(docv) (default: stdout).")
+  in
+  let action protocol tree n t inputs adversary eps reps workers name out seed =
+    let ( let* ) = Result.bind in
+    let* protocol = parse_campaign_protocol ~eps protocol in
+    let* adversary = parse_campaign_adversary adversary in
+    let* inputs = parse_campaign_inputs inputs in
+    let* tree =
+      try Ok (parse_tree_family tree) with Invalid_argument m -> Error m
+    in
+    let* n =
+      try Ok (parse_size n) with _ -> Error (Printf.sprintf "bad --n %S" n)
+    in
+    let* t_budget =
+      if t = "third" then Ok Campaign.Spec.Up_to_third
+      else
+        try Ok (Campaign.Spec.Fixed_t (int_of_string t))
+        with _ -> Error (Printf.sprintf "bad --t %S" t)
+    in
+    let spec =
+      {
+        Campaign.Spec.name;
+        protocol;
+        tree;
+        n;
+        t_budget;
+        inputs;
+        adversary;
+        repetitions = max 0 reps;
+        base_seed = seed;
+      }
+    in
+    let* () = Campaign.Spec.validate spec in
+    let workers = if workers <= 0 then Pool.default_workers () else workers in
+    let result = Campaign.run ~workers spec in
+    (match out with
+    | None -> Campaign.write_jsonl stdout result
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> Campaign.write_jsonl oc result));
+    let agg = result.Campaign.aggregate in
+    Printf.eprintf "campaign %s: %d tasks, %d violations, %d errors\n" name
+      agg.Campaign.tasks agg.Campaign.violations agg.Campaign.errors;
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~doc:"Run a declarative batch campaign, JSONL out")
+    Term.(
+      term_result'
+        (const action $ protocol_term $ tree_term $ n_term $ t_term
+       $ inputs_term $ adversary_term $ eps_term $ reps_term $ workers_term
+       $ name_term $ out_term $ seed_term))
+
 (* ---------- bounds ---------- *)
 
 let bounds_cmd =
@@ -294,4 +512,5 @@ let () =
   let info = Cmd.info "treeaa" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ gen_cmd; inspect_cmd; run_cmd; bounds_cmd; chain_cmd ]))
+       (Cmd.group info
+          [ gen_cmd; inspect_cmd; run_cmd; campaign_cmd; bounds_cmd; chain_cmd ]))

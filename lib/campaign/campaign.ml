@@ -1,0 +1,568 @@
+module Rng = Aat_util.Rng
+module Json = Aat_telemetry.Jsonx
+module Tree = Aat_tree.Labeled_tree
+module Generate = Aat_tree.Generate
+module Metrics = Aat_tree.Metrics
+module Paths = Aat_tree.Paths
+module Adversary = Aat_engine.Adversary
+module Strategies = Aat_adversary.Strategies
+module Spoiler = Aat_adversary.Spoiler
+module Wedge = Aat_adversary.Wedge
+module Compose = Aat_adversary.Compose
+module Rounds = Aat_realaa.Rounds
+module Tree_aa = Aat_treeaa.Tree_aa
+module Nr_baseline = Aat_treeaa.Nr_baseline
+module Path_aa = Aat_treeaa.Path_aa
+module Known_path_aa = Aat_treeaa.Known_path_aa
+module Paths_finder = Aat_treeaa.Paths_finder
+
+module Spec = struct
+  type size = Exactly of int | Between of int * int
+
+  type tree_family =
+    | Path_tree of size
+    | Star_tree of size
+    | Caterpillar_tree of { spine : size; legs : size }
+    | Spider_tree of { legs : size; leg_length : size }
+    | Balanced_tree of { arity : size; depth : size }
+    | Random_tree of size
+    | Any_tree
+
+  type budget = Fixed_t of int | Up_to_third
+
+  type input_dist =
+    | Random_vertices
+    | Linspace_reals of float
+    | Log_uniform_reals of { log10_min : float; log10_max : float }
+
+  type adversary_family =
+    | Passive
+    | Random_silent
+    | Random_crash
+    | Tree_spoiler
+    | Real_spoiler
+    | Gradecast_wedge
+    | Any_tree_adversary
+    | Any_real_adversary
+
+  type protocol =
+    | Tree_aa
+    | Nr_baseline
+    | Path_aa
+    | Known_path_aa
+    | Real_aa of { eps : float }
+    | Iterated_midpoint of { eps : float }
+    | Async_tree_aa
+    | Round_sim_tree_aa
+
+  type t = {
+    name : string;
+    protocol : protocol;
+    tree : tree_family;
+    n : size;
+    t_budget : budget;
+    inputs : input_dist;
+    adversary : adversary_family;
+    repetitions : int;
+    base_seed : int;
+  }
+
+  let protocol_label = function
+    | Tree_aa -> "tree-aa"
+    | Nr_baseline -> "nr-baseline"
+    | Path_aa -> "path-aa"
+    | Known_path_aa -> "known-path-aa"
+    | Real_aa _ -> "realaa"
+    | Iterated_midpoint _ -> "iterated-midpoint"
+    | Async_tree_aa -> "async-tree-aa"
+    | Round_sim_tree_aa -> "round-sim-tree-aa"
+
+  let generic_family = function
+    | Passive | Random_silent | Random_crash -> true
+    | _ -> false
+
+  let real_family = function
+    | Real_spoiler | Gradecast_wedge | Any_real_adversary -> true
+    | f -> generic_family f
+
+  let vertex_inputs = function Random_vertices -> true | _ -> false
+
+  let validate s =
+    let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+    let label = protocol_label s.protocol in
+    if s.repetitions < 0 then err "repetitions must be non-negative"
+    else
+      match s.protocol with
+      | Tree_aa ->
+          if not (vertex_inputs s.inputs) then
+            err "%s takes vertex inputs (Random_vertices)" label
+          else if real_family s.adversary && not (generic_family s.adversary)
+          then
+            err
+              "%s speaks the composed TreeAA wire type; real-valued \
+               adversary families do not apply"
+              label
+          else Ok ()
+      | Nr_baseline ->
+          if not (vertex_inputs s.inputs) then
+            err "%s takes vertex inputs (Random_vertices)" label
+          else if not (generic_family s.adversary) then
+            err "%s supports only the protocol-agnostic adversary families"
+              label
+          else Ok ()
+      | Path_aa ->
+          if not (vertex_inputs s.inputs) then
+            err "%s takes vertex inputs (Random_vertices)" label
+          else if not (match s.tree with Path_tree _ -> true | _ -> false)
+          then err "%s requires a Path_tree family" label
+          else if not (real_family s.adversary) then
+            err "%s cannot face tree-composed adversary families" label
+          else Ok ()
+      | Known_path_aa ->
+          if not (vertex_inputs s.inputs) then
+            err "%s takes vertex inputs (Random_vertices)" label
+          else if not (real_family s.adversary) then
+            err "%s cannot face tree-composed adversary families" label
+          else Ok ()
+      | Real_aa _ | Iterated_midpoint _ ->
+          if vertex_inputs s.inputs then
+            err "%s takes real inputs (Linspace_reals or Log_uniform_reals)"
+              label
+          else if not (real_family s.adversary) then
+            err "%s cannot face tree-composed adversary families" label
+          else Ok ()
+      | Async_tree_aa | Round_sim_tree_aa ->
+          if not (vertex_inputs s.inputs) then
+            err "%s takes vertex inputs (Random_vertices)" label
+          else if s.adversary <> Passive then
+            err "%s currently runs only under the passive adversary" label
+          else Ok ()
+end
+
+type task_result = {
+  task : int;
+  task_seed : int;
+  result : (Runner.outcome, string) Stdlib.result;
+}
+
+type aggregate = {
+  tasks : int;
+  violations : int;
+  errors : int;
+  total_rounds : int;
+  total_honest_messages : int;
+  total_adversary_messages : int;
+  max_spread : float option;
+}
+
+type result = {
+  spec : Spec.t;
+  results : task_result array;
+  aggregate : aggregate;
+}
+
+(* ------------------------------------------------------------------ *)
+(* seed schedule *)
+
+(* 53 bits so the seed survives a JSON round-trip ([Jsonx] numbers are
+   floats) without losing a bit. *)
+let seed_of_int64 i64 = Int64.to_int (Int64.shift_right_logical i64 11)
+
+let task_seeds ~base_seed ~count =
+  let rng = Rng.create base_seed in
+  let seeds = Array.make (max 0 count) 0 in
+  (* Explicit loop: the schedule is the SplitMix64 stream in order, and
+     [Array.init]'s evaluation order is unspecified. *)
+  for i = 0 to count - 1 do
+    seeds.(i) <- seed_of_int64 (Rng.int64 rng)
+  done;
+  seeds
+
+let split_seed ~base ~index =
+  let rng = Rng.create base in
+  let seed = ref 0 in
+  for _ = 0 to max 0 index do
+    seed := seed_of_int64 (Rng.int64 rng)
+  done;
+  !seed
+
+(* ------------------------------------------------------------------ *)
+(* per-task instantiation: every draw below comes from the task's own
+   SplitMix64 stream, in a fixed order (tree, n, t, inputs, adversary,
+   scheduler, engine seed), so a task is a pure function of its seed. *)
+
+let draw_size rng = function
+  | Spec.Exactly k -> k
+  | Spec.Between (lo, hi) ->
+      if hi <= lo then lo else lo + Rng.int rng (hi - lo + 1)
+
+let draw_tree rng family =
+  let size s = draw_size rng s in
+  match family with
+  | Spec.Path_tree s -> Generate.path (max 1 (size s))
+  | Spec.Star_tree s -> Generate.star (max 3 (size s))
+  | Spec.Caterpillar_tree { spine; legs } ->
+      Generate.caterpillar ~spine:(max 1 (size spine)) ~legs:(max 0 (size legs))
+  | Spec.Spider_tree { legs; leg_length } ->
+      Generate.spider ~legs:(max 1 (size legs))
+        ~leg_length:(max 1 (size leg_length))
+  | Spec.Balanced_tree { arity; depth } ->
+      Generate.balanced ~arity:(max 2 (size arity)) ~depth:(max 1 (size depth))
+  | Spec.Random_tree s -> Generate.random rng (max 2 (size s))
+  | Spec.Any_tree -> (
+      (* soak's historical mix, kept verbatim so campaigns reproduce it *)
+      match Rng.int rng 6 with
+      | 0 -> Generate.path (2 + Rng.int rng 300)
+      | 1 -> Generate.star (3 + Rng.int rng 200)
+      | 2 -> Generate.caterpillar ~spine:(1 + Rng.int rng 40) ~legs:(Rng.int rng 4)
+      | 3 ->
+          Generate.spider ~legs:(1 + Rng.int rng 8)
+            ~leg_length:(1 + Rng.int rng 20)
+      | 4 -> Generate.balanced ~arity:(2 + Rng.int rng 2) ~depth:(1 + Rng.int rng 5)
+      | _ -> Generate.random rng (2 + Rng.int rng 250))
+
+let draw_t rng ~n = function
+  | Spec.Fixed_t t -> max 0 t
+  | Spec.Up_to_third -> Rng.int rng ((max 1 n - 1) / 3 + 1)
+
+let draw_vertex_inputs rng ~n ~nv =
+  let a = Array.make n 0 in
+  for i = 0 to n - 1 do
+    a.(i) <- Rng.int rng (max 1 nv)
+  done;
+  a
+
+(* Returns the inputs and the range [D] they span (the agreement
+   iterations budget is a function of the range). *)
+let draw_real_inputs rng ~n = function
+  | Spec.Linspace_reals d ->
+      let d = if d <= 0. then 1. else d in
+      let step = d /. float_of_int (max 1 (n - 1)) in
+      (Array.init n (fun i -> step *. float_of_int i), d)
+  | Spec.Log_uniform_reals { log10_min; log10_max } ->
+      let lo = Float.min log10_min log10_max in
+      let hi = Float.max log10_min log10_max in
+      let exp = if hi > lo then lo +. Rng.float rng (hi -. lo) else lo in
+      let d = Float.pow 10. exp in
+      let a = Array.make n 0. in
+      for i = 0 to n - 1 do
+        a.(i) <- Rng.float rng d
+      done;
+      (a, d)
+  | Spec.Random_vertices ->
+      invalid_arg "Campaign: Random_vertices inputs for a real-valued protocol"
+
+let incompatible ~protocol ~family =
+  invalid_arg
+    (Printf.sprintf "Campaign: adversary family %s incompatible with %s"
+       family protocol)
+
+(* The protocol-agnostic strategies are polymorphic in the wire type, so
+   one constructor serves every runner. Crash parameters are drawn here,
+   at instantiation — only stateful construction is deferred to the
+   thunk. *)
+let generic_adversary : type m.
+    Rng.t ->
+    t:int ->
+    n:int ->
+    rounds_hint:int ->
+    Spec.adversary_family ->
+    (unit -> m Adversary.t) option =
+ fun rng ~t ~n ~rounds_hint family ->
+  match family with
+  | Spec.Passive -> Some (fun () -> Adversary.passive "none")
+  | Spec.Random_silent -> Some (fun () -> Strategies.random_silent ~count:t)
+  | Spec.Random_crash ->
+      let at_round = 1 + Rng.int rng (max 1 rounds_hint) in
+      let bound = max 1 (min n (t + 3)) in
+      let victims = Rng.sample_without_replacement rng (min t bound) bound in
+      Some (fun () -> Strategies.crash ~at_round ~victims)
+  | _ -> None
+
+let tree_spoiler_thunk ~tree ~t =
+  let barrier = max 1 (Paths_finder.rounds ~tree) in
+  let nv = Tree.n_vertices tree in
+  let first_iterations =
+    Rounds.bdh_iterations ~range:(float_of_int ((2 * nv) - 2)) ~eps:1.
+  in
+  let second_iterations =
+    Rounds.bdh_iterations
+      ~range:(float_of_int (max 2 (Metrics.diameter tree)))
+      ~eps:1.
+  in
+  fun () ->
+    Compose.phased ~name:"spoiler" ~barrier
+      ~first:(Spoiler.realaa_spoiler ~t ~iterations:first_iterations)
+      ~second:(Spoiler.realaa_spoiler ~t ~iterations:second_iterations)
+
+let tree_aa_adversary rng ~tree ~t ~n ~rounds_hint family =
+  let generic f =
+    match generic_adversary rng ~t ~n ~rounds_hint f with
+    | Some a -> a
+    | None -> assert false
+  in
+  match family with
+  | (Spec.Passive | Spec.Random_silent | Spec.Random_crash) as f -> generic f
+  | Spec.Tree_spoiler -> tree_spoiler_thunk ~tree ~t
+  | Spec.Any_tree_adversary -> (
+      match Rng.int rng 4 with
+      | 0 -> generic Spec.Passive
+      | 1 -> generic Spec.Random_silent
+      | 2 -> generic Spec.Random_crash
+      | _ -> tree_spoiler_thunk ~tree ~t)
+  | Spec.Real_spoiler | Spec.Gradecast_wedge | Spec.Any_real_adversary ->
+      incompatible ~protocol:"tree-aa" ~family:"real-valued"
+
+let real_adversary rng ~t ~n ~rounds_hint ~iterations family =
+  let generic f =
+    match generic_adversary rng ~t ~n ~rounds_hint f with
+    | Some a -> a
+    | None -> assert false
+  in
+  match family with
+  | (Spec.Passive | Spec.Random_silent | Spec.Random_crash) as f -> generic f
+  | Spec.Real_spoiler -> fun () -> Spoiler.realaa_spoiler ~t ~iterations
+  | Spec.Gradecast_wedge -> fun () -> Wedge.gradecast_wedge ()
+  | Spec.Any_real_adversary -> (
+      match Rng.int rng 3 with
+      | 0 -> generic Spec.Passive
+      | 1 -> generic Spec.Random_silent
+      | _ -> fun () -> Spoiler.realaa_spoiler ~t ~iterations)
+  | Spec.Tree_spoiler | Spec.Any_tree_adversary ->
+      incompatible ~protocol:"a real-valued protocol" ~family:"tree-composed"
+
+let draw_scheduler rng =
+  match Rng.int rng 3 with
+  | 0 -> Runner.Fifo
+  | 1 -> Runner.Lifo
+  | _ -> Runner.Random_order
+
+let draw_engine_seed rng = Rng.int rng 0x3FFF_FFFF
+
+let instantiate (spec : Spec.t) ~task_seed =
+  (match Spec.validate spec with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Campaign.instantiate: " ^ msg));
+  let rng = Rng.create task_seed in
+  let vertex_setup () =
+    let tree = draw_tree rng spec.tree in
+    let n = max 1 (draw_size rng spec.n) in
+    let t = draw_t rng ~n spec.t_budget in
+    let inputs = draw_vertex_inputs rng ~n ~nv:(Tree.n_vertices tree) in
+    (tree, n, t, inputs)
+  in
+  match spec.protocol with
+  | Spec.Tree_aa ->
+      let tree, n, t, inputs = vertex_setup () in
+      let rounds_hint = max 1 (Tree_aa.rounds ~tree) in
+      let adversary = tree_aa_adversary rng ~tree ~t ~n ~rounds_hint spec.adversary in
+      (Runner.tree_aa ~tree ~inputs ~t ~adversary, draw_engine_seed rng)
+  | Spec.Nr_baseline ->
+      let tree, n, t, inputs = vertex_setup () in
+      let rounds_hint = max 1 (3 * Nr_baseline.iterations_for tree) in
+      let adversary =
+        match generic_adversary rng ~t ~n ~rounds_hint spec.adversary with
+        | Some a -> a
+        | None ->
+            incompatible ~protocol:"nr-baseline" ~family:"protocol-specific"
+      in
+      (Runner.nr_baseline ~tree ~inputs ~t ~adversary, draw_engine_seed rng)
+  | Spec.Path_aa ->
+      let path, n, t, inputs = vertex_setup () in
+      let rounds_hint = max 1 (Path_aa.rounds ~path) in
+      let iterations =
+        Rounds.bdh_iterations
+          ~range:(float_of_int (max 1 (Tree.n_vertices path - 1)))
+          ~eps:1.
+      in
+      let adversary =
+        real_adversary rng ~t ~n ~rounds_hint ~iterations spec.adversary
+      in
+      (Runner.path_aa ~path ~inputs ~t ~adversary, draw_engine_seed rng)
+  | Spec.Known_path_aa ->
+      let tree, n, t, inputs = vertex_setup () in
+      let path = Paths.orient tree (Metrics.longest_path tree) in
+      let rounds_hint = max 1 (Known_path_aa.rounds ~path) in
+      let iterations =
+        Rounds.bdh_iterations
+          ~range:(float_of_int (max 2 (Metrics.diameter tree)))
+          ~eps:1.
+      in
+      let adversary =
+        real_adversary rng ~t ~n ~rounds_hint ~iterations spec.adversary
+      in
+      (Runner.known_path_aa ~tree ~path ~inputs ~t ~adversary, draw_engine_seed rng)
+  | Spec.Real_aa { eps } ->
+      let n = max 1 (draw_size rng spec.n) in
+      let t = draw_t rng ~n spec.t_budget in
+      let inputs, range = draw_real_inputs rng ~n spec.inputs in
+      let iterations = max 1 (Rounds.bdh_iterations ~range ~eps) in
+      let adversary =
+        real_adversary rng ~t ~n ~rounds_hint:(3 * iterations) ~iterations
+          spec.adversary
+      in
+      ( Runner.real_aa ~eps ~inputs ~t ~iterations ~adversary (),
+        draw_engine_seed rng )
+  | Spec.Iterated_midpoint { eps } ->
+      let n = max 1 (draw_size rng spec.n) in
+      let t = draw_t rng ~n spec.t_budget in
+      let inputs, range = draw_real_inputs rng ~n spec.inputs in
+      let iterations = max 1 (Rounds.halving_iterations ~range ~eps) in
+      let adversary =
+        real_adversary rng ~t ~n ~rounds_hint:(3 * iterations) ~iterations
+          spec.adversary
+      in
+      ( Runner.iterated_midpoint ~eps ~inputs ~t ~iterations ~adversary,
+        draw_engine_seed rng )
+  | Spec.Async_tree_aa ->
+      let tree, _n, t, inputs = vertex_setup () in
+      let scheduler = draw_scheduler rng in
+      (Runner.async_tree_aa ~tree ~inputs ~t ~scheduler (), draw_engine_seed rng)
+  | Spec.Round_sim_tree_aa ->
+      let tree, _n, t, inputs = vertex_setup () in
+      let scheduler = draw_scheduler rng in
+      ( Runner.round_sim_tree_aa ~tree ~inputs ~t ~scheduler (),
+        draw_engine_seed rng )
+
+(* ------------------------------------------------------------------ *)
+(* execution + aggregation *)
+
+let empty_aggregate =
+  {
+    tasks = 0;
+    violations = 0;
+    errors = 0;
+    total_rounds = 0;
+    total_honest_messages = 0;
+    total_adversary_messages = 0;
+    max_spread = None;
+  }
+
+let merge_spread a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (Float.max a b)
+
+let fold_task agg tr =
+  match tr.result with
+  | Ok o ->
+      {
+        tasks = agg.tasks + 1;
+        violations = (agg.violations + if Runner.ok o then 0 else 1);
+        errors = agg.errors;
+        total_rounds = agg.total_rounds + o.Runner.rounds_used;
+        total_honest_messages =
+          agg.total_honest_messages + o.Runner.honest_messages;
+        total_adversary_messages =
+          agg.total_adversary_messages + o.Runner.adversary_messages;
+        max_spread = merge_spread agg.max_spread o.Runner.spread;
+      }
+  | Error _ ->
+      {
+        agg with
+        tasks = agg.tasks + 1;
+        violations = agg.violations + 1;
+        errors = agg.errors + 1;
+      }
+
+let run ?(workers = 1) ?telemetry (spec : Spec.t) =
+  (match Spec.validate spec with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Campaign.run: " ^ msg));
+  let seeds = task_seeds ~base_seed:spec.base_seed ~count:spec.repetitions in
+  let results =
+    Pool.map ~workers spec.repetitions (fun i ->
+        let task_seed = seeds.(i) in
+        let result =
+          try
+            let runner, engine_seed = instantiate spec ~task_seed in
+            let sink =
+              match telemetry with None -> None | Some f -> f ~task:i
+            in
+            Ok (runner.Runner.run ~seed:engine_seed ?telemetry:sink ())
+          with exn -> Error (Printexc.to_string exn)
+        in
+        { task = i; task_seed; result })
+  in
+  (* Fold in task order: the aggregate never sees completion order. *)
+  let aggregate = Array.fold_left fold_task empty_aggregate results in
+  { spec; results; aggregate }
+
+(* ------------------------------------------------------------------ *)
+(* JSONL result stream *)
+
+let num i = Json.Num (float_of_int i)
+
+let json_of_outcome (o : Runner.outcome) =
+  Json.Obj
+    [
+      ("runner", Json.Str o.Runner.runner);
+      ("seed", num o.Runner.seed);
+      ("engine", Json.Str o.Runner.engine);
+      ("ok", Json.Bool (Runner.ok o));
+      ("termination", Json.Bool o.Runner.termination);
+      ("validity", Json.Bool o.Runner.validity);
+      ("agreement", Json.Bool o.Runner.agreement);
+      ("rounds_used", num o.Runner.rounds_used);
+      ("honest_messages", num o.Runner.honest_messages);
+      ("adversary_messages", num o.Runner.adversary_messages);
+      ("corrupted", num o.Runner.corrupted);
+      ("initially_corrupted", num o.Runner.initially_corrupted);
+      ( "spread",
+        match o.Runner.spread with None -> Json.Null | Some s -> Json.Num s );
+    ]
+
+let json_of_task_result tr =
+  Json.Obj
+    ([
+       ("type", Json.Str "task");
+       ("task", num tr.task);
+       ("task_seed", num tr.task_seed);
+     ]
+    @
+    match tr.result with
+    | Ok o -> [ ("outcome", json_of_outcome o) ]
+    | Error e -> [ ("error", Json.Str e) ])
+
+(* The header deliberately omits the worker count: the stream must be
+   byte-identical however the campaign was scheduled. *)
+let json_header (spec : Spec.t) =
+  Json.Obj
+    [
+      ("type", Json.Str "campaign-start");
+      ("name", Json.Str spec.name);
+      ("protocol", Json.Str (Spec.protocol_label spec.protocol));
+      ("repetitions", num spec.repetitions);
+      ("base_seed", num spec.base_seed);
+    ]
+
+let json_footer agg =
+  Json.Obj
+    [
+      ("type", Json.Str "campaign-stop");
+      ("tasks", num agg.tasks);
+      ("violations", num agg.violations);
+      ("errors", num agg.errors);
+      ("total_rounds", num agg.total_rounds);
+      ("total_honest_messages", num agg.total_honest_messages);
+      ("total_adversary_messages", num agg.total_adversary_messages);
+      ( "max_spread",
+        match agg.max_spread with None -> Json.Null | Some s -> Json.Num s );
+    ]
+
+let jsonl_lines r =
+  (json_header r.spec
+  :: List.map json_of_task_result (Array.to_list r.results))
+  @ [ json_footer r.aggregate ]
+
+let write_jsonl oc r =
+  List.iter
+    (fun line ->
+      output_string oc (Json.to_string line);
+      output_char oc '\n')
+    (jsonl_lines r);
+  flush oc
+
+let jsonl_string r =
+  String.concat ""
+    (List.map (fun line -> Json.to_string line ^ "\n") (jsonl_lines r))

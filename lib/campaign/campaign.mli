@@ -1,0 +1,155 @@
+(** Declarative batch-execution campaigns over the {!Pool} worker pool.
+
+    A campaign is a {e pure specification}: protocol, tree generator,
+    input distribution, adversary family, corruption budget, repetition
+    count and base seed. {!run} compiles it into [repetitions] independent
+    tasks, derives a deterministic per-task seed for each ({!task_seeds} —
+    splitting the base seed through the SplitMix64 stream, so the seeds
+    are a pure function of [(base_seed, index)]), fans the tasks out over
+    a {!Pool}, and folds the outcomes in task order.
+
+    {b Determinism contract}: everything a task does — drawing its tree,
+    parties, inputs and adversary, and seeding the engine — is derived
+    from its task seed alone, and aggregation happens in task index order;
+    therefore every field of {!result} (and the {!write_jsonl} stream) is
+    bit-identical for any [~workers], including [1]. The qcheck suite
+    enforces this.
+
+    See [docs/CAMPAIGN.md] for the full design. *)
+
+module Spec : sig
+  type size = Exactly of int | Between of int * int
+      (** [Between (lo, hi)] draws uniformly from the inclusive range,
+          per task. *)
+
+  type tree_family =
+    | Path_tree of size
+    | Star_tree of size
+    | Caterpillar_tree of { spine : size; legs : size }
+    | Spider_tree of { legs : size; leg_length : size }
+    | Balanced_tree of { arity : size; depth : size }
+    | Random_tree of size
+    | Any_tree
+        (** soak's mix: a family {e and} its size drawn per task. *)
+
+  type budget =
+    | Fixed_t of int
+    | Up_to_third  (** uniform in [0 .. (n-1)/3], the resilient regime *)
+
+  type input_dist =
+    | Random_vertices  (** uniform vertices of the drawn tree *)
+    | Linspace_reals of float
+        (** [n] reals evenly spaced across [[0, D]] *)
+    | Log_uniform_reals of { log10_min : float; log10_max : float }
+        (** the range [D] is drawn log-uniformly, then [n] uniform reals
+            in [[0, D)] — soak's RealAA workload *)
+
+  type adversary_family =
+    | Passive
+    | Random_silent
+    | Random_crash
+    | Tree_spoiler  (** phased RealAA spoiler over both TreeAA phases *)
+    | Real_spoiler
+    | Gradecast_wedge
+    | Any_tree_adversary
+        (** per-task mix of passive / silent / crash / tree spoiler *)
+    | Any_real_adversary  (** per-task mix of passive / silent / spoiler *)
+
+  type protocol =
+    | Tree_aa
+    | Nr_baseline
+    | Path_aa  (** requires a path-shaped [tree_family] *)
+    | Known_path_aa
+        (** the public path is the tree's oriented longest path *)
+    | Real_aa of { eps : float }
+    | Iterated_midpoint of { eps : float }
+    | Async_tree_aa
+        (** native async [33]-style protocol; scheduler drawn per task *)
+    | Round_sim_tree_aa
+        (** synchronous TreeAA lifted via [Round_sim]; scheduler drawn
+            per task *)
+
+  type t = {
+    name : string;
+    protocol : protocol;
+    tree : tree_family;  (** ignored by the real-valued protocols *)
+    n : size;
+    t_budget : budget;
+    inputs : input_dist;
+    adversary : adversary_family;
+    repetitions : int;
+    base_seed : int;
+  }
+
+  val protocol_label : protocol -> string
+
+  val validate : t -> (unit, string) result
+  (** Static checks: repetitions non-negative, adversary family compatible
+      with the protocol's wire type, input distribution compatible with
+      the protocol's value space. *)
+end
+
+type task_result = {
+  task : int;  (** task index, [0 .. repetitions-1] *)
+  task_seed : int;  (** the split seed the task derived everything from *)
+  result : (Runner.outcome, string) Stdlib.result;
+      (** [Error] carries [Printexc.to_string] of a raised exception —
+          e.g. an [Exceeded_max_rounds] liveness failure *)
+}
+
+type aggregate = {
+  tasks : int;
+  violations : int;  (** tasks whose verdict failed, plus errored tasks *)
+  errors : int;
+  total_rounds : int;
+  total_honest_messages : int;
+  total_adversary_messages : int;
+  max_spread : float option;
+      (** across real-valued tasks; [None] if no task reported one *)
+}
+
+type result = {
+  spec : Spec.t;
+  results : task_result array;  (** in task order *)
+  aggregate : aggregate;
+}
+
+val task_seeds : base_seed:int -> count:int -> int array
+(** The per-task seed schedule: seed [i] is the [(i+1)]-th output of the
+    SplitMix64 stream seeded with [base_seed], shifted to a non-negative
+    OCaml int. Pure; independent of worker count by construction. *)
+
+val split_seed : base:int -> index:int -> int
+(** [split_seed ~base ~index = (task_seeds ~base_seed:base
+    ~count:(index+1)).(index)] — for deriving families of related base
+    seeds (soak derives one per protocol family). *)
+
+val instantiate : Spec.t -> task_seed:int -> Runner.t * int
+(** Compile one task: draw tree / parties / inputs / adversary from the
+    task seed and return the runner plus the engine seed to run it with.
+    Exposed for tests and for callers that want custom execution (e.g.
+    attaching a per-task telemetry sink). Raises [Invalid_argument] on
+    spec/protocol mismatches (see {!Spec.validate}). *)
+
+val run :
+  ?workers:int ->
+  ?telemetry:(task:int -> Aat_telemetry.Telemetry.Sink.t option) ->
+  Spec.t ->
+  result
+(** Execute the campaign. [workers] defaults to [1]; results are
+    bit-identical for every worker count. [telemetry], if given, supplies
+    a per-task sink ([task] is the task index) — sinks may be invoked from
+    pool worker domains concurrently, so distinct tasks must get distinct
+    (or domain-safe) sinks. *)
+
+val json_of_task_result : task_result -> Aat_telemetry.Jsonx.t
+
+val jsonl_lines : result -> Aat_telemetry.Jsonx.t list
+(** The campaign result stream: one ["campaign-start"] header object, one
+    ["task"] object per task in task order, one ["campaign-stop"] footer
+    with the aggregate. *)
+
+val write_jsonl : out_channel -> result -> unit
+(** {!jsonl_lines}, one JSON object per line; flushes, does not close. *)
+
+val jsonl_string : result -> string

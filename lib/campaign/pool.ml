@@ -1,0 +1,46 @@
+let default_workers () = Domain.recommended_domain_count ()
+
+let map ?(workers = 1) n f =
+  let workers = max 1 (min workers n) in
+  if n = 0 then [||]
+  else if workers = 1 then Array.init n f
+  else begin
+    (* Slot array indexed by task: completion order never shows. *)
+    let results = Array.make n None in
+    let cursor = ref 0 in
+    let m = Mutex.create () in
+    let take () =
+      Mutex.lock m;
+      let i = !cursor in
+      if i < n then incr cursor;
+      Mutex.unlock m;
+      if i < n then Some i else None
+    in
+    let worker () =
+      let rec loop () =
+        match take () with
+        | None -> ()
+        | Some i ->
+            (* Never let an exception kill a worker mid-pool — park it in
+               the slot and re-raise deterministically after the join. *)
+            let r = try Ok (f i) with exn -> Error exn in
+            results.(i) <- Some r;
+            loop ()
+      in
+      loop ()
+    in
+    let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    (* Explicit index-order scan: the lowest-indexed failure wins, whatever
+       the completion order was. *)
+    for i = 0 to n - 1 do
+      match results.(i) with
+      | Some (Error exn) -> raise exn
+      | Some (Ok _) -> ()
+      | None -> assert false (* every index was taken exactly once *)
+    done;
+    Array.map
+      (function Some (Ok v) -> v | _ -> assert false)
+      results
+  end

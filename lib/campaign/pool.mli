@@ -1,0 +1,32 @@
+(** Deterministic fan-out of independent tasks over an OCaml 5 [Domain]
+    worker pool.
+
+    The pool exists for one job: running thousands of independent
+    simulations (campaign tasks, bench table cells) on all available cores
+    {e without changing any result}. The contract making that possible:
+
+    - tasks are indexed [0 .. n-1] and must depend only on their index
+      (campaign tasks pre-derive a per-task seed from the index, see
+      {!Campaign.task_seeds});
+    - results are written into a slot array at the task's index, so
+      completion order — the only thing the worker count affects — is
+      invisible to the caller;
+    - consumers fold the returned array left to right, i.e. in task order.
+
+    Under this contract [map ~workers:k] is bit-identical for every [k],
+    including [k = 1] (which runs inline, spawning nothing).
+
+    Built on stdlib [Domain] + [Mutex] only. Workers draw task indices from
+    a shared cursor under a mutex — dynamic load balancing, so a few
+    expensive tasks (big random trees) don't serialize behind a static
+    partition. *)
+
+val default_workers : unit -> int
+(** [Domain.recommended_domain_count ()] — the whole machine. *)
+
+val map : ?workers:int -> int -> (int -> 'a) -> 'a array
+(** [map ~workers n f] is [[| f 0; ...; f (n - 1) |]], computed by
+    [min workers n] domains (default 1 = fully sequential; values [< 1]
+    are clamped to 1). If some [f i] raises, every task still runs, and the
+    exception of the {e lowest-indexed} failing task is re-raised after all
+    workers have joined — deterministic regardless of worker count. *)

@@ -1,0 +1,202 @@
+open Aat_engine
+open Aat_treeaa
+open Aat_realaa
+module Report = Aat_runtime.Report
+
+type outcome = {
+  runner : string;
+  seed : int;
+  engine : string;
+  termination : bool;
+  validity : bool;
+  agreement : bool;
+  rounds_used : int;
+  honest_messages : int;
+  adversary_messages : int;
+  corrupted : int;
+  initially_corrupted : int;
+  spread : float option;
+}
+
+let ok o = o.termination && o.validity && o.agreement
+
+let verdict_of o =
+  {
+    Verdict.termination = o.termination;
+    validity = o.validity;
+    agreement = o.agreement;
+  }
+
+type t = {
+  name : string;
+  run : seed:int -> ?telemetry:Aat_telemetry.Telemetry.Sink.t -> unit -> outcome;
+}
+
+let outcome_of_report ~runner ~seed ~(verdict : Verdict.t) ~spread
+    (report : (_, _) Report.t) =
+  {
+    runner;
+    seed;
+    engine = report.Report.engine;
+    termination = verdict.Verdict.termination;
+    validity = verdict.Verdict.validity;
+    agreement = verdict.Verdict.agreement;
+    rounds_used = report.Report.rounds_used;
+    honest_messages = report.Report.honest_messages;
+    adversary_messages = report.Report.adversary_messages;
+    corrupted = List.length report.Report.corrupted;
+    initially_corrupted = List.length (Report.initially_corrupted report);
+    spread;
+  }
+
+let of_protocol ~name ~n ~t ~max_rounds ~protocol ~adversary ?observe ~check
+    ?(spread = fun _ -> None) () =
+  let run ~seed ?telemetry () =
+    let report =
+      Sync_engine.run ~n ~t ~seed ?telemetry ?observe
+        ~max_rounds:(max 1 max_rounds)
+        ~protocol:(protocol ()) ~adversary:(adversary ()) ()
+    in
+    outcome_of_report ~runner:name ~seed ~verdict:(check report)
+      ~spread:(spread report) report
+  in
+  { name; run }
+
+(* ------------------------------------------------------------------ *)
+(* verdict plumbing shared by the concrete runners *)
+
+let tree_check ~tree ~inputs report =
+  Tree_verdict.check ~tree
+    ~n_honest:(Array.length inputs - List.length report.Report.corrupted)
+    ~honest_inputs:(Report.honest_inputs ~inputs report)
+    ~honest_outputs:(Report.honest_outputs report)
+
+let real_check ~eps ~inputs ~value report =
+  Verdict.real_of_report ~eps ~inputs:(fun i -> inputs.(i)) ~value report
+
+let real_spread ~value report =
+  Some (Verdict.spread (List.map value (Report.honest_outputs report)))
+
+(* ------------------------------------------------------------------ *)
+(* synchronous runners *)
+
+let tree_aa ~tree ~inputs ~t ~adversary =
+  of_protocol ~name:"tree-aa" ~n:(Array.length inputs) ~t
+    ~max_rounds:(Tree_aa.rounds ~tree)
+    ~protocol:(fun () -> Tree_aa.protocol ~tree ~inputs:(fun i -> inputs.(i)) ~t)
+    ~adversary ~observe:Tree_aa.observe
+    ~check:(tree_check ~tree ~inputs)
+    ()
+
+let nr_baseline ~tree ~inputs ~t ~adversary =
+  let iterations = Nr_baseline.iterations_for tree in
+  of_protocol ~name:"nr-baseline" ~n:(Array.length inputs) ~t
+    ~max_rounds:(3 * iterations)
+    ~protocol:(fun () ->
+      Nr_baseline.protocol ~tree ~inputs:(fun i -> inputs.(i)) ~t ~iterations)
+    ~adversary
+    ~check:(tree_check ~tree ~inputs)
+    ()
+
+let path_aa ~path ~inputs ~t ~adversary =
+  of_protocol ~name:"path-aa" ~n:(Array.length inputs) ~t
+    ~max_rounds:(Path_aa.rounds ~path)
+    ~protocol:(fun () ->
+      Path_aa.protocol ~path ~inputs:(fun i -> inputs.(i)) ~t)
+    ~adversary ~observe:Path_aa.observe
+    ~check:(tree_check ~tree:path ~inputs)
+    ()
+
+let known_path_aa ~tree ~path ~inputs ~t ~adversary =
+  of_protocol ~name:"known-path-aa" ~n:(Array.length inputs) ~t
+    ~max_rounds:(Known_path_aa.rounds ~path)
+    ~protocol:(fun () ->
+      Known_path_aa.protocol ~tree ~path ~inputs:(fun i -> inputs.(i)) ~t)
+    ~adversary ~observe:Known_path_aa.observe
+    ~check:(tree_check ~tree ~inputs)
+    ()
+
+let real_aa ?knobs ~eps ~inputs ~t ~iterations ~adversary () =
+  let value (r : Bdh.result) = r.Bdh.value in
+  of_protocol ~name:"realaa" ~n:(Array.length inputs) ~t
+    ~max_rounds:(3 * iterations)
+    ~protocol:(fun () ->
+      Bdh.protocol ?knobs ~inputs:(fun i -> inputs.(i)) ~t ~iterations ())
+    ~adversary ~observe:Bdh.observe
+    ~check:(real_check ~eps ~inputs ~value)
+    ~spread:(real_spread ~value)
+    ()
+
+let iterated_midpoint ~eps ~inputs ~t ~iterations ~adversary =
+  let value (r : Iterated_midpoint.result) = r.Iterated_midpoint.value in
+  of_protocol ~name:"iterated-midpoint" ~n:(Array.length inputs) ~t
+    ~max_rounds:(3 * iterations)
+    ~protocol:(fun () ->
+      Iterated_midpoint.with_gradecast ~inputs:(fun i -> inputs.(i)) ~t ~iterations)
+    ~adversary ~observe:Iterated_midpoint.observe_gradecast
+    ~check:(real_check ~eps ~inputs ~value)
+    ~spread:(real_spread ~value)
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* asynchronous runners *)
+
+type scheduler = Fifo | Lifo | Random_order
+
+let to_engine_scheduler = function
+  | Fifo -> Aat_async.Async_engine.Fifo
+  | Lifo -> Aat_async.Async_engine.Lifo
+  | Random_order -> Aat_async.Async_engine.Random_order
+
+let async_tree_aa ?(max_events = 2_000_000) ~tree ~inputs ~t ~scheduler () =
+  let n = Array.length inputs in
+  let iterations = Nr_baseline.iterations_for tree in
+  let run ~seed ?telemetry () =
+    let report =
+      Aat_async.Async_engine.run ~n ~t ~seed ?telemetry ~max_events
+        ~reactor:
+          (Aat_async.Async_aa.tree ~tree ~inputs:(fun i -> inputs.(i)) ~t
+             ~iterations)
+        ~adversary:
+          (Aat_async.Async_engine.passive
+             ~scheduler:(to_engine_scheduler scheduler)
+             "none")
+        ()
+    in
+    let verdict =
+      Tree_verdict.check ~tree
+        ~n_honest:(n - List.length report.Report.corrupted)
+        ~honest_inputs:(Report.honest_inputs ~inputs report)
+        ~honest_outputs:
+          (List.map
+             (fun (r : _ Aat_async.Async_aa.result) -> r.Aat_async.Async_aa.value)
+             (Report.honest_outputs report))
+    in
+    outcome_of_report ~runner:"async-tree-aa" ~seed ~verdict ~spread:None report
+  in
+  { name = "async-tree-aa"; run }
+
+let round_sim_tree_aa ?(max_events = 2_000_000) ~tree ~inputs ~t ~scheduler () =
+  let n = Array.length inputs in
+  let run ~seed ?telemetry () =
+    let report =
+      Aat_async.Async_engine.run ~n ~t ~seed ?telemetry ~max_events
+        ~reactor:
+          (Aat_async.Round_sim.reactor_of_protocol
+             (Tree_aa.protocol ~tree ~inputs:(fun i -> inputs.(i)) ~t))
+        ~adversary:
+          (Aat_async.Async_engine.passive
+             ~scheduler:(to_engine_scheduler scheduler)
+             "none")
+        ()
+    in
+    let verdict =
+      Tree_verdict.check ~tree
+        ~n_honest:(n - List.length report.Report.corrupted)
+        ~honest_inputs:(Report.honest_inputs ~inputs report)
+        ~honest_outputs:(List.map fst (Report.honest_outputs report))
+    in
+    outcome_of_report ~runner:"round-sim-tree-aa" ~seed ~verdict ~spread:None
+      report
+  in
+  { name = "round-sim-tree-aa"; run }

@@ -1,0 +1,146 @@
+(** The unified protocol Runner — one erased entry point per protocol.
+
+    Every protocol family in the repository already exposes a concrete
+    [run] with the same shape ([~seed ?telemetry ~adversary] + its own
+    config, returning the unified [Report.t]); this module erases the
+    protocol-specific output and message types behind one {!t}, so batch
+    drivers (the campaign subsystem, bench tables, soak, the CLI) can treat
+    "run a simulation and check its verdict" as a value instead of
+    hand-rolling per-protocol dispatch.
+
+    A {!t} closes over everything but the seed; calling [run ~seed]
+    executes one full simulation and returns a protocol-agnostic
+    {!outcome}: the checked Definition-1/2 verdict plus the report's
+    headline numbers. Adversaries are taken as {e thunks}: the strategies
+    in [lib/adversary] carry per-execution mutable state (spoiler plans,
+    crash bookkeeping), so a fresh adversary must be built for every run —
+    and runners must stay safe to invoke from several {!Pool} workers at
+    once. *)
+
+open Aat_tree
+open Aat_engine
+open Aat_gradecast
+
+type outcome = {
+  runner : string;  (** the runner's name, e.g. ["tree-aa"] *)
+  seed : int;  (** the engine/adversary seed this run used *)
+  engine : string;  (** ["sync"] or ["async"] *)
+  termination : bool;
+  validity : bool;
+  agreement : bool;  (** the three checked AA properties *)
+  rounds_used : int;  (** rounds (sync) / delivery events (async) *)
+  honest_messages : int;
+  adversary_messages : int;
+  corrupted : int;  (** final corruption count *)
+  initially_corrupted : int;
+  spread : float option;
+      (** final honest-output spread, for real-valued protocols *)
+}
+
+val ok : outcome -> bool
+(** All three properties hold. *)
+
+val verdict_of : outcome -> Verdict.t
+
+type t = {
+  name : string;
+  run : seed:int -> ?telemetry:Aat_telemetry.Telemetry.Sink.t -> unit -> outcome;
+}
+
+val of_protocol :
+  name:string ->
+  n:int ->
+  t:int ->
+  max_rounds:int ->
+  protocol:(unit -> ('s, 'm, 'o) Protocol.t) ->
+  adversary:(unit -> 'm Adversary.t) ->
+  ?observe:('s -> float option) ->
+  check:(('o, 'm) Aat_runtime.Report.t -> Verdict.t) ->
+  ?spread:(('o, 'm) Aat_runtime.Report.t -> float option) ->
+  unit ->
+  t
+(** The extension point: lift any synchronous protocol into the Runner
+    API. [protocol] and [adversary] are thunks invoked once per [run] call
+    (fresh state per execution); [check] judges the finished report;
+    [spread] (default [fun _ -> None]) extracts the convergence headline. *)
+
+(** {1 The repository's protocols as runners} *)
+
+val tree_aa :
+  tree:Labeled_tree.t ->
+  inputs:Labeled_tree.vertex array ->
+  t:int ->
+  adversary:(unit -> Aat_treeaa.Tree_aa.msg Adversary.t) ->
+  t
+
+val nr_baseline :
+  tree:Labeled_tree.t ->
+  inputs:Labeled_tree.vertex array ->
+  t:int ->
+  adversary:(unit -> Labeled_tree.vertex Gradecast.Multi.msg Adversary.t) ->
+  t
+
+val path_aa :
+  path:Labeled_tree.t ->
+  inputs:Labeled_tree.vertex array ->
+  t:int ->
+  adversary:(unit -> float Gradecast.Multi.msg Adversary.t) ->
+  t
+(** [path] must be a path graph, as for [Path_aa.protocol]. *)
+
+val known_path_aa :
+  tree:Labeled_tree.t ->
+  path:Paths.path ->
+  inputs:Labeled_tree.vertex array ->
+  t:int ->
+  adversary:(unit -> float Gradecast.Multi.msg Adversary.t) ->
+  t
+
+val real_aa :
+  ?knobs:Aat_realaa.Bdh.knobs ->
+  eps:float ->
+  inputs:float array ->
+  t:int ->
+  iterations:int ->
+  adversary:(unit -> float Gradecast.Multi.msg Adversary.t) ->
+  unit ->
+  t
+(** RealAA ([Bdh]); [eps] is the agreement distance the verdict checks. *)
+
+val iterated_midpoint :
+  eps:float ->
+  inputs:float array ->
+  t:int ->
+  iterations:int ->
+  adversary:(unit -> float Gradecast.Multi.msg Adversary.t) ->
+  t
+(** The gradecast variant of the classic halving baseline. *)
+
+(** Scheduler choice for the asynchronous runners (the [Custom] scheduler
+    is not representable in a declarative campaign spec). *)
+type scheduler = Fifo | Lifo | Random_order
+
+val async_tree_aa :
+  ?max_events:int ->
+  tree:Labeled_tree.t ->
+  inputs:Labeled_tree.vertex array ->
+  t:int ->
+  scheduler:scheduler ->
+  unit ->
+  t
+(** The native asynchronous tree protocol ([Async_aa.tree], Nowak–Rybicki
+    style) under a passive adversary with the given scheduler.
+    [max_events] defaults to [2_000_000] (soak's budget — enough for the
+    large random trees the campaigns draw). *)
+
+val round_sim_tree_aa :
+  ?max_events:int ->
+  tree:Labeled_tree.t ->
+  inputs:Labeled_tree.vertex array ->
+  t:int ->
+  scheduler:scheduler ->
+  unit ->
+  t
+(** Synchronous TreeAA lifted into the asynchronous engine through
+    [Round_sim.reactor_of_protocol] — benign setting, any scheduler;
+    outputs are bit-identical to the synchronous run. *)

@@ -19,6 +19,9 @@
       {!Iterated_midpoint} (baselines), {!Path_aa}, {!Known_path_aa},
       {!Paths_finder}, {!Tree_aa} (the paper's contribution),
       {!Nr_baseline}
+    - batch execution: {!Runner} (one erased entry point per protocol),
+      {!Pool} (deterministic [Domain] fan-out), {!Campaign} (declarative
+      batch specs with per-task seed splitting)
     - analysis: {!Fekete}, {!Chain}, {!Rounds}, {!Tree_verdict} *)
 
 module Rng = Aat_util.Rng
@@ -76,6 +79,11 @@ module Round_sim = Aat_async.Round_sim
 module Bracha = Aat_async.Bracha
 module Async_aa = Aat_async.Async_aa
 
+(* batch execution: the unified Runner API and the campaign driver *)
+module Runner = Aat_campaign.Runner
+module Pool = Aat_campaign.Pool
+module Campaign = Aat_campaign.Campaign
+
 (* authenticated setting *)
 module Auth = Aat_auth.Auth
 
@@ -110,12 +118,7 @@ module Quick = struct
     (* Validity's hull: inputs of initially-honest parties (an adaptively
        corrupted party contributed its input while honest). Termination:
        every finally-honest party decided. *)
-    let hull_inputs =
-      let initially = Engine.initially_corrupted report in
-      Array.to_list (Array.mapi (fun i v -> (i, v)) inputs)
-      |> List.filter_map (fun (i, v) ->
-             if List.mem i initially then None else Some v)
-    in
+    let hull_inputs = Report.honest_inputs ~inputs report in
     let verdict =
       Tree_verdict.check ~tree
         ~n_honest:(Array.length inputs - List.length report.Engine.corrupted)

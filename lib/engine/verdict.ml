@@ -31,11 +31,9 @@ let real ~eps ~n_honest ~honest_inputs ~honest_outputs =
   { termination; validity; agreement }
 
 let real_of_report ~eps ~inputs ~value (report : _ Aat_runtime.Report.t) =
-  let initially_corrupted = Aat_runtime.Report.initially_corrupted report in
   let honest_inputs =
-    List.init report.n Fun.id
-    |> List.filter_map (fun p ->
-           if List.mem p initially_corrupted then None else Some (inputs p))
+    Aat_runtime.Report.honest_inputs ~inputs:(Array.init report.n inputs)
+      report
   in
   real ~eps
     ~n_honest:(Aat_runtime.Report.finally_honest report)

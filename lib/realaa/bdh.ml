@@ -160,3 +160,10 @@ let simple ~inputs ~t ~iterations =
   Protocol.map_output
     (fun (r : result) -> r.value)
     (protocol ~inputs ~t ~iterations ())
+
+let run ?(seed = 0) ?telemetry ?knobs ~inputs ~t ~iterations ~adversary () =
+  let n = Array.length inputs in
+  Sync_engine.run ~n ~t ~seed ?telemetry ~observe
+    ~max_rounds:(max 1 (3 * iterations))
+    ~protocol:(protocol ?knobs ~inputs:(fun self -> inputs.(self)) ~t ~iterations ())
+    ~adversary ()

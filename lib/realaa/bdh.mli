@@ -81,3 +81,20 @@ val simple :
   iterations:int ->
   (state, float Gradecast.Multi.msg, float) Protocol.t
 (** {!protocol} projected to just the output value. *)
+
+val run :
+  ?seed:int ->
+  ?telemetry:Aat_telemetry.Telemetry.Sink.t ->
+  ?knobs:knobs ->
+  inputs:float array ->
+  t:int ->
+  iterations:int ->
+  adversary:float Gradecast.Multi.msg Adversary.t ->
+  unit ->
+  (result, float Gradecast.Multi.msg) Sync_engine.report
+(** Convenience wrapper implementing the unified Runner signature
+    ([~seed ?telemetry ~adversary] + protocol config, like
+    [Tree_aa.run]): [inputs.(i)] is party [i]'s input,
+    [n = Array.length inputs], [max_rounds] pinned to the fixed
+    [3 * iterations] schedule, {!observe} installed for telemetered
+    convergence snapshots. *)

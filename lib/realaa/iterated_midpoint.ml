@@ -141,3 +141,21 @@ let with_gradecast ~inputs ~t ~iterations =
     receive;
     output = (fun st -> st.gdecided);
   }
+
+let observe_naive (st : naive_state) = Some st.value
+
+let observe_gradecast (st : gc_state) = Some st.gvalue
+
+let run_naive ?(seed = 0) ?telemetry ~inputs ~t ~iterations ~adversary () =
+  let n = Array.length inputs in
+  Sync_engine.run ~n ~t ~seed ?telemetry ~observe:observe_naive
+    ~max_rounds:(max 1 iterations)
+    ~protocol:(naive ~inputs:(fun self -> inputs.(self)) ~t ~iterations)
+    ~adversary ()
+
+let run_gradecast ?(seed = 0) ?telemetry ~inputs ~t ~iterations ~adversary () =
+  let n = Array.length inputs in
+  Sync_engine.run ~n ~t ~seed ?telemetry ~observe:observe_gradecast
+    ~max_rounds:(max 1 (3 * iterations))
+    ~protocol:(with_gradecast ~inputs:(fun self -> inputs.(self)) ~t ~iterations)
+    ~adversary ()

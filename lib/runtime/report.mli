@@ -56,5 +56,12 @@ val initially_corrupted : ('out, 'msg) t -> Types.party_id list
 (** The parties corrupted before round 1 — the set whose inputs validity
     judgments must exclude. *)
 
+val honest_inputs : inputs:'a array -> (_, _) t -> 'a list
+(** [honest_inputs ~inputs report] — the inputs of the {e initially}-honest
+    parties, in party order: the hull Validity is judged against. A party
+    corrupted adaptively mid-run contributed its input while honest, so its
+    input stays in. [inputs.(i)] is party [i]'s input; implemented with a
+    bitset over the corruption records, O(n + |corrupted|). *)
+
 val finally_honest : ('out, 'msg) t -> int
 (** [n] minus the number of (ever-)corrupted parties. *)

@@ -95,20 +95,23 @@ module Probe = struct
 
   let fresh () = { g0 = 0; g1 = 0; g2 = 0; grades_seen = false; marks = [] }
 
-  let current : collector option ref = ref None
+  (* Domain-local, so concurrent engine runs on a campaign worker pool each
+     see their own collector; a freshly spawned domain starts with none. *)
+  let current : collector option Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> None)
 
   (* The engine installs its collector with [swap (Some c)] and restores the
      previous one on exit — runs that nest (a protocol driving an inner
      engine) each see their own collector. *)
   let swap c =
-    let prev = !current in
-    current := c;
+    let prev = Domain.DLS.get current in
+    Domain.DLS.set current c;
     prev
 
-  let active () = !current <> None
+  let active () = Domain.DLS.get current <> None
 
   let grade_histogram ~g0 ~g1 ~g2 =
-    match !current with
+    match Domain.DLS.get current with
     | None -> ()
     | Some c ->
         c.g0 <- c.g0 + g0;
@@ -117,7 +120,7 @@ module Probe = struct
         c.grades_seen <- true
 
   let mark ?(weight = 1) name =
-    match !current with
+    match Domain.DLS.get current with
     | None -> ()
     | Some c ->
         let rec bump = function

@@ -23,3 +23,12 @@ let protocol ~tree ~path ~inputs ~t =
   in
   let base = Bdh.protocol ~inputs:real_inputs ~t ~iterations () in
   { (Aat_engine.Protocol.map_output to_vertex base) with name = "known-path-aa" }
+
+let observe = Bdh.observe
+
+let run ?(seed = 0) ?telemetry ~tree ~path ~inputs ~t ~adversary () =
+  let n = Array.length inputs in
+  Aat_engine.Sync_engine.run ~n ~t ~seed ?telemetry ~observe
+    ~max_rounds:(max 1 (rounds ~path))
+    ~protocol:(protocol ~tree ~path ~inputs:(fun self -> inputs.(self)) ~t)
+    ~adversary ()

@@ -39,3 +39,12 @@ let protocol ~path ~inputs ~t =
     (Aat_engine.Protocol.map_output to_vertex base) with
     name = "path-aa";
   }
+
+let observe = Bdh.observe
+
+let run ?(seed = 0) ?telemetry ~path ~inputs ~t ~adversary () =
+  let n = Array.length inputs in
+  Aat_engine.Sync_engine.run ~n ~t ~seed ?telemetry ~observe
+    ~max_rounds:(max 1 (rounds ~path))
+    ~protocol:(protocol ~path ~inputs:(fun self -> inputs.(self)) ~t)
+    ~adversary ()
