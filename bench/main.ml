@@ -723,6 +723,91 @@ let table_e10 () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* E-chaos: fault intensity x protocol -> outcome / violation / excusal
+   rates. Each cell is a chaos-mode campaign (random fault plan per task,
+   watchdogs on); the point is the taxonomy, not the numbers: in-model
+   failures surface as violations, out-of-model ones as excusals or
+   liveness timeouts, and nothing ever escapes as an exception. *)
+
+let table_echaos ?(workers = 1) () =
+  let reps = 12 in
+  let protocols =
+    [
+      ("tree-aa", Campaign.Spec.Tree_aa, Campaign.Spec.Any_tree_adversary, true);
+      ("nr-baseline", Campaign.Spec.Nr_baseline, Campaign.Spec.Random_silent, true);
+      ("realaa", Campaign.Spec.Real_aa { eps = 1. }, Campaign.Spec.Any_real_adversary, false);
+      ("async-tree-aa", Campaign.Spec.Async_tree_aa, Campaign.Spec.Passive, true);
+    ]
+  in
+  let intensities = [ 0.0; 0.25; 0.5; 1.0 ] in
+  let cells =
+    List.concat_map
+      (fun p -> List.map (fun i -> (p, i)) intensities)
+      protocols
+  in
+  let rows =
+    List.mapi
+      (fun idx ((name, protocol, adversary, vertex_inputs), intensity) ->
+        let spec =
+          {
+            Campaign.Spec.name;
+            protocol;
+            tree = Campaign.Spec.Random_tree (Campaign.Spec.Between (2, 31));
+            n =
+              (if name = "async-tree-aa" then Campaign.Spec.Exactly 7
+               else Campaign.Spec.Between (4, 10));
+            t_budget =
+              (if name = "async-tree-aa" then Campaign.Spec.Fixed_t 2
+               else Campaign.Spec.Up_to_third);
+            inputs =
+              (if vertex_inputs then Campaign.Spec.Random_vertices
+               else
+                 Campaign.Spec.Log_uniform_reals
+                   { log10_min = 1.; log10_max = 4. });
+            adversary;
+            faults =
+              (if intensity = 0. then Campaign.Spec.No_faults
+               else Campaign.Spec.Chaos { intensity });
+            watchdogs = true;
+            repetitions = reps;
+            base_seed = 1000 + idx;
+          }
+        in
+        let result = Campaign.run ~workers spec in
+        let agg = result.Campaign.aggregate in
+        let ok =
+          Array.fold_left
+            (fun acc (tr : Campaign.task_result) ->
+              match tr.Campaign.result with
+              | Ok o when Runner.ok o -> acc + 1
+              | _ -> acc)
+            0 result.Campaign.results
+        in
+        [
+          name;
+          f2 intensity;
+          string_of_int agg.Campaign.tasks;
+          string_of_int ok;
+          string_of_int agg.Campaign.excused;
+          string_of_int agg.Campaign.timeouts;
+          string_of_int agg.Campaign.violations;
+          string_of_int agg.Campaign.engine_errors;
+          (if agg.Campaign.violations = 0 && agg.Campaign.engine_errors = 0
+           then "ok"
+           else "VIOLATED");
+        ])
+      cells
+  in
+  print_table
+    ~title:
+      "E-chaos  Fault-plan grid: chaos intensity x protocol -> structured \
+       outcome rates (violations must stay 0)"
+    ~header:
+      [ "protocol"; "intensity"; "runs"; "ok"; "excused"; "timeouts";
+        "violations"; "engine-errors"; "check" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* A1-A3: ablations of RealAA's design choices (DESIGN.md section 7) *)
 
 let table_ablations () =
@@ -987,6 +1072,7 @@ let tables ~workers =
     ("E8", table_e8);
     ("E9", table_e9);
     ("E10", table_e10);
+    ("E-CHAOS", fun () -> table_echaos ~workers ());
     ("A", table_ablations);
   ]
 

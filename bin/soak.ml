@@ -4,10 +4,14 @@
 
      dune exec bin/soak.exe -- --runs 200 --seed 0 --workers 2
 
-   The old positional form `soak.exe [runs] [seed]` is still accepted for
-   one release. Built on the Campaign subsystem: each protocol family is a
-   declarative spec, runs fan out over the Pool, and results are
-   bit-identical whatever --workers says.
+   --chaos INTENSITY additionally draws a random fault plan (crashes,
+   omissions, partitions, async duplicate/delay) per task and turns the
+   invariant watchdogs on; out-of-model failures are excused, not counted
+   as violations, and no fault plan may crash the process.
+
+   Built on the Campaign subsystem: each protocol family is a declarative
+   spec, runs fan out over the Pool, and results are bit-identical
+   whatever --workers says.
 
    This is the long-running complement to the qcheck properties in the test
    suite: same oracles, bigger and more varied search space, one summary
@@ -16,7 +20,7 @@
 open Treeagree
 open Cmdliner
 
-let family_specs ~runs ~seed =
+let family_specs ~runs ~seed ~faults ~watchdogs =
   (* Spread the run budget evenly; every family derives its own base seed
      by splitting the campaign seed, so families are independent streams. *)
   let share i = (runs / 4) + if i < runs mod 4 then 1 else 0 in
@@ -31,6 +35,8 @@ let family_specs ~runs ~seed =
       t_budget = Up_to_third;
       inputs = Random_vertices;
       adversary = Any_tree_adversary;
+      faults;
+      watchdogs;
       repetitions = share 0;
       base_seed = base 0;
     };
@@ -42,6 +48,8 @@ let family_specs ~runs ~seed =
       t_budget = Up_to_third;
       inputs = Random_vertices;
       adversary = Random_silent;
+      faults;
+      watchdogs;
       repetitions = share 1;
       base_seed = base 1;
     };
@@ -53,6 +61,8 @@ let family_specs ~runs ~seed =
       t_budget = Up_to_third;
       inputs = Log_uniform_reals { log10_min = 1.; log10_max = 6. };
       adversary = Any_real_adversary;
+      faults;
+      watchdogs;
       repetitions = share 2;
       base_seed = base 2;
     };
@@ -64,28 +74,25 @@ let family_specs ~runs ~seed =
       t_budget = Fixed_t 2;
       inputs = Random_vertices;
       adversary = Passive;
+      faults;
+      watchdogs;
       repetitions = share 3;
       base_seed = base 3;
     };
   ]
 
-let soak runs_flag seed_flag workers pos_runs pos_seed =
-  if pos_runs <> None || pos_seed <> None then
-    prerr_endline
-      "soak: positional RUNS/SEED are deprecated; use --runs and --seed";
-  let runs =
-    match runs_flag with
-    | Some r -> r
-    | None -> Option.value pos_runs ~default:200
-  in
-  let seed =
-    match seed_flag with
-    | Some s -> s
-    | None -> Option.value pos_seed ~default:0
+let soak runs seed workers chaos =
+  let faults, watchdogs =
+    match chaos with
+    | None -> (Campaign.Spec.No_faults, false)
+    | Some intensity -> (Campaign.Spec.Chaos { intensity }, true)
   in
   let workers = if workers <= 0 then Pool.default_workers () else workers in
   let failures = ref 0 in
   let total = ref 0 in
+  let timeouts = ref 0 in
+  let engine_errors = ref 0 in
+  let excused = ref 0 in
   List.iter
     (fun (spec : Campaign.Spec.t) ->
       let result = Campaign.run ~workers spec in
@@ -101,27 +108,44 @@ let soak runs_flag seed_flag workers pos_runs pos_seed =
       let agg = result.Campaign.aggregate in
       failures := !failures + agg.Campaign.violations;
       total := !total + agg.Campaign.tasks;
-      Printf.printf "%-14s %5d runs  %d violations\n" spec.Campaign.Spec.name
-        agg.Campaign.tasks agg.Campaign.violations)
-    (family_specs ~runs ~seed);
+      timeouts := !timeouts + agg.Campaign.timeouts;
+      engine_errors := !engine_errors + agg.Campaign.engine_errors;
+      excused := !excused + agg.Campaign.excused;
+      Printf.printf "%-14s %5d runs  %d violations%s\n"
+        spec.Campaign.Spec.name agg.Campaign.tasks agg.Campaign.violations
+        (if agg.Campaign.excused > 0 || agg.Campaign.timeouts > 0 then
+           Printf.sprintf "  (%d excused, %d timeouts)" agg.Campaign.excused
+             agg.Campaign.timeouts
+         else ""))
+    (family_specs ~runs ~seed ~faults ~watchdogs);
+  (* Engine errors are uncontained exceptions the structured-outcome layer
+     caught; under any fault plan they indicate a containment bug. *)
+  if !engine_errors > 0 then begin
+    Printf.printf "SOAK FAILED: %d engine errors\n" !engine_errors;
+    exit 1
+  end;
   if !failures > 0 then begin
     Printf.printf "SOAK FAILED: %d violations\n" !failures;
     exit 1
   end
-  else Printf.printf "soak clean (%d runs, seed %d)\n" !total seed
+  else
+    Printf.printf "soak clean (%d runs, seed %d%s)\n" !total seed
+      (match chaos with
+      | None -> ""
+      | Some i ->
+          Printf.sprintf ", chaos %g: %d excused, %d timeouts" i !excused
+            !timeouts)
 
 let runs_t =
   Arg.(
-    value
-    & opt (some int) None
+    value & opt int 200
     & info [ "runs" ]
         ~docv:"N"
         ~doc:"Total number of runs across all protocol families (default 200).")
 
 let seed_t =
   Arg.(
-    value
-    & opt (some int) None
+    value & opt int 0
     & info [ "seed" ] ~docv:"SEED" ~doc:"Base campaign seed (default 0).")
 
 let workers_t =
@@ -133,22 +157,36 @@ let workers_t =
           "Worker domains for the campaign pool (default 1; 0 means all \
            cores). Results are identical for every value.")
 
-let pos_runs_t =
+let chaos_t =
   Arg.(
     value
-    & pos 0 (some int) None
-    & info [] ~docv:"RUNS" ~doc:"Deprecated positional form of $(b,--runs).")
+    & opt (some float) None
+    & info [ "chaos" ] ~docv:"INTENSITY"
+        ~doc:
+          "Chaos mode: draw a random fault plan per task (intensity in \
+           [0, 1], scaling fault probabilities) and enable the invariant \
+           watchdogs. Deterministic in --seed.")
 
-let pos_seed_t =
-  Arg.(
-    value
-    & pos 1 (some int) None
-    & info [] ~docv:"SEED" ~doc:"Deprecated positional form of $(b,--seed).")
+(* The old positional form `soak.exe RUNS SEED` is gone; catch it with a
+   clear pointer instead of silently ignoring the arguments. *)
+let no_positional_t =
+  let reject = function
+    | [] -> Ok ()
+    | args ->
+        Error
+          (Printf.sprintf
+             "positional arguments %s are not accepted; use --runs N, --seed \
+              S (and --workers W)"
+             (String.concat " " (List.map (Printf.sprintf "%S") args)))
+  in
+  Term.(term_result' (const reject $ Arg.(value & pos_all string [] & info [] ~docv:"")))
 
 let cmd =
   let doc = "randomized soak campaign over every protocol family" in
   Cmd.v
     (Cmd.info "soak" ~doc)
-    Term.(const soak $ runs_t $ seed_t $ workers_t $ pos_runs_t $ pos_seed_t)
+    Term.(
+      const (fun () runs seed workers chaos -> soak runs seed workers chaos)
+      $ no_positional_t $ runs_t $ seed_t $ workers_t $ chaos_t)
 
 let () = exit (Cmd.eval cmd)

@@ -173,7 +173,23 @@ let run_cmd =
                 gradecast grades, convergence snapshots) to \
                 $(docv) as JSON lines; see docs/TELEMETRY.md.")
   in
-  let action tree n t adv_name inputs_spec seed trace_out =
+  let fault_plan_term =
+    Arg.(
+      value & opt string "none"
+      & info [ "fault-plan" ] ~docv:"PLAN"
+          ~doc:
+            "Inject non-Byzantine faults; clauses joined by ';': crash:P@R, \
+             crash-recover:P@A-B, omission:PROB, omission:PROB:party:P, \
+             omission:PROB:pair:S>D, partition:B1|B2@A-B. 'none' disables. \
+             Deterministic in --seed; see docs/FAULTS.md.")
+  in
+  let watch_term =
+    Arg.(
+      value & flag
+      & info [ "watchdogs" ]
+          ~doc:"Install runtime invariant watchdogs (see docs/FAULTS.md).")
+  in
+  let action tree n t adv_name inputs_spec seed trace_out fault_plan_str watch =
     let inputs =
       match inputs_spec with
       | None ->
@@ -185,44 +201,74 @@ let run_cmd =
             failwith (Printf.sprintf "expected %d inputs, got %d" n (List.length labels));
           Array.of_list (List.map (Tree.vertex_of_label tree) labels)
     in
+    let ( let* ) = Result.bind in
+    let* fault_plan =
+      match Fault_plan_io.parse fault_plan_str with
+      | Error m -> Error ("bad --fault-plan: " ^ m)
+      | Ok p ->
+          if not (Fault_plan.sync_compatible p) then
+            Error
+              "--fault-plan: duplicate/delay faults are async-only; the run \
+               subcommand uses the synchronous engine"
+          else (
+            match Fault_plan.validate ~n p with
+            | Ok () -> Ok p
+            | Error m -> Error ("bad --fault-plan: " ^ m))
+    in
     match adversary_conv tree t adv_name with
     | Error m -> Error m
     | Ok adversary -> (
         let run () =
           match trace_out with
-          | None -> Quick.agree ~seed ~tree ~inputs ~t ~adversary ()
+          | None ->
+              Quick.agree ~seed ~tree ~inputs ~t ~adversary ~fault_plan ~watch ()
           | Some path ->
               let oc = open_out path in
               Fun.protect
                 ~finally:(fun () -> close_out oc)
                 (fun () ->
-                  Quick.agree ~seed ~tree ~inputs ~t ~adversary
-                    ~telemetry:(Telemetry.Jsonl.sink oc) ())
+                  Quick.agree ~seed ~tree ~inputs ~t ~adversary ~fault_plan
+                    ~watch ~telemetry:(Telemetry.Jsonl.sink oc) ())
         in
         match run () with
         | exception Sys_error m -> Error ("cannot write trace: " ^ m)
+        | exception exn -> Error ("run failed: " ^ Printexc.to_string exn)
         | outcome ->
         Printf.printf "n=%d t=%d adversary=%s tree: |V|=%d D=%d\n" n t adv_name
           (Tree.n_vertices tree) (Metrics.diameter tree);
         Option.iter (Printf.printf "telemetry trace: %s\n") trace_out;
+        if outcome.Quick.status <> "completed" then
+          Printf.printf "status: %s\n" outcome.Quick.status;
         Printf.printf "rounds used: %d (schedule %d)\n" outcome.rounds
           (Tree_aa.rounds ~tree);
         Printf.printf "corrupted: %s\n"
           (String.concat " "
              (List.map string_of_int outcome.report.Engine.corrupted));
+        let faults = outcome.report.Engine.fault_stats in
+        if Report.faults_active faults then
+          Format.printf "faults: %a@." Report.pp_fault_stats faults;
+        List.iter
+          (fun (v : Watchdog.violation) ->
+            Format.printf "watchdog: %a@." Watchdog.pp_violation v)
+          outcome.report.Engine.watchdog_violations;
         List.iter
           (fun (p, label) -> Printf.printf "  party %d -> %s\n" p label)
           (Quick.output_labels tree outcome);
         Format.printf "verdict: %a@." Verdict.pp outcome.verdict;
-        if Verdict.all_ok outcome.verdict then Ok ()
-        else Error "AA violated (expected when t >= n/3)")
+        match outcome.Quick.grade with
+        | Verdict.Passed -> Ok ()
+        | Verdict.Excused { reason; _ } ->
+            Printf.printf "excused: %s\n" reason;
+            Ok ()
+        | Verdict.Violated _ -> Error "AA violated (expected when t >= n/3)")
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run TreeAA on a tree against an adversary")
     Term.(
       term_result'
         (const action $ tree_term $ n_term $ t_term $ adversary_term
-       $ inputs_term $ seed_term $ trace_out_term))
+       $ inputs_term $ seed_term $ trace_out_term $ fault_plan_term
+       $ watch_term))
 
 (* ---------- campaign ---------- *)
 
@@ -388,7 +434,33 @@ let campaign_cmd =
       & info [ "o"; "out" ] ~docv:"FILE"
           ~doc:"Write the JSONL result stream to $(docv) (default: stdout).")
   in
-  let action protocol tree n t inputs adversary eps reps workers name out seed =
+  let fault_plan_term =
+    Arg.(
+      value & opt string "none"
+      & info [ "fault-plan" ] ~docv:"PLAN"
+          ~doc:
+            "Apply one fixed fault plan to every task (grammar as for 'treeaa \
+             run --fault-plan'; async protocols additionally accept \
+             duplicate:PROB and delay:PROB:BY). See docs/FAULTS.md.")
+  in
+  let chaos_term =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "chaos" ] ~docv:"INTENSITY"
+          ~doc:
+            "Draw a fresh random fault plan per task from the task seed, \
+             scaled by $(docv) in [0, 1]. Mutually exclusive with \
+             --fault-plan.")
+  in
+  let watchdogs_term =
+    Arg.(
+      value & flag
+      & info [ "watchdogs" ]
+          ~doc:"Install runtime invariant watchdogs on every task.")
+  in
+  let action protocol tree n t inputs adversary eps reps workers name out seed
+      fault_plan_str chaos watchdogs =
     let ( let* ) = Result.bind in
     let* protocol = parse_campaign_protocol ~eps protocol in
     let* adversary = parse_campaign_adversary adversary in
@@ -405,6 +477,16 @@ let campaign_cmd =
         try Ok (Campaign.Spec.Fixed_t (int_of_string t))
         with _ -> Error (Printf.sprintf "bad --t %S" t)
     in
+    let* faults =
+      match (fault_plan_str, chaos) with
+      | "none", None -> Ok Campaign.Spec.No_faults
+      | "none", Some intensity -> Ok (Campaign.Spec.Chaos { intensity })
+      | _, Some _ -> Error "--fault-plan and --chaos are mutually exclusive"
+      | s, None -> (
+          match Fault_plan_io.parse s with
+          | Ok p -> Ok (Campaign.Spec.Fault_plan p)
+          | Error m -> Error ("bad --fault-plan: " ^ m))
+    in
     let spec =
       {
         Campaign.Spec.name;
@@ -414,6 +496,8 @@ let campaign_cmd =
         t_budget;
         inputs;
         adversary;
+        faults;
+        watchdogs;
         repetitions = max 0 reps;
         base_seed = seed;
       }
@@ -429,8 +513,12 @@ let campaign_cmd =
           ~finally:(fun () -> close_out oc)
           (fun () -> Campaign.write_jsonl oc result));
     let agg = result.Campaign.aggregate in
-    Printf.eprintf "campaign %s: %d tasks, %d violations, %d errors\n" name
-      agg.Campaign.tasks agg.Campaign.violations agg.Campaign.errors;
+    let opt label v = if v = 0 then "" else Printf.sprintf ", %d %s" v label in
+    Printf.eprintf "campaign %s: %d tasks, %d violations, %d errors%s%s%s\n"
+      name agg.Campaign.tasks agg.Campaign.violations agg.Campaign.errors
+      (opt "timeouts" agg.Campaign.timeouts)
+      (opt "engine-errors" agg.Campaign.engine_errors)
+      (opt "excused" agg.Campaign.excused);
     Ok ()
   in
   Cmd.v
@@ -439,7 +527,8 @@ let campaign_cmd =
       term_result'
         (const action $ protocol_term $ tree_term $ n_term $ t_term
        $ inputs_term $ adversary_term $ eps_term $ reps_term $ workers_term
-       $ name_term $ out_term $ seed_term))
+       $ name_term $ out_term $ seed_term $ fault_plan_term $ chaos_term
+       $ watchdogs_term))
 
 (* ---------- bounds ---------- *)
 

@@ -44,6 +44,8 @@ type ('out, 'msg) report = ('out, 'msg) Runtime.Report.t = {
   adversary_messages : int;
   rejected_forgeries : int;
   trace : 'msg Types.letter list list;
+  fault_stats : Runtime.Report.fault_stats;
+  watchdog_violations : Runtime.Watchdog.violation list;
 }
 
 exception Exceeded_max_events of string
@@ -107,12 +109,15 @@ let pick_index (type m) ~(scheduler : m scheduler) ~patience ~step ~rng
 
 module Telemetry = Aat_telemetry.Telemetry
 
-let run (type s m o) ~n ~t ?(max_events = Runtime.Defaults.max_events)
+let run_outcome (type s m o) ~n ~t ?(max_events = Runtime.Defaults.max_events)
     ?patience ?(seed = 0) ?(record_trace = false)
     ?(telemetry = Telemetry.Sink.null)
     ?(telemetry_stride = Runtime.Defaults.telemetry_stride)
-    ?(observe : (s -> float option) option) ~(reactor : (s, m, o) reactor)
-    ~(adversary : m adversary) () =
+    ?(observe : (s -> float option) option)
+    ?(fault_filter : Runtime.Mailbox.fault_filter option)
+    ?(crash_faults : (Types.party_id * Types.round) list = [])
+    ?(watchdogs : (s, m) Runtime.Watchdog.t list = [])
+    ~(reactor : (s, m, o) reactor) ~(adversary : m adversary) () =
   if n < 1 then invalid_arg "Async_engine.run: n < 1";
   if t < 0 || t >= n then invalid_arg "Async_engine.run: need 0 <= t < n";
   if telemetry_stride < 1 then
@@ -123,12 +128,27 @@ let run (type s m o) ~n ~t ?(max_events = Runtime.Defaults.max_events)
   let rng = Aat_util.Rng.create seed in
   let corruption = Runtime.Corruption.create ~n ~t in
   let mailbox : m Runtime.Mailbox.t = Runtime.Mailbox.create ~n in
+  (match fault_filter with
+  | Some f -> Runtime.Mailbox.set_fault_filter mailbox f
+  | None -> ());
+  let crashed = ref 0 in
   Runtime.Corruption.corrupt_all corruption ~at:0
     (adversary.core.initial_corruptions ~n ~t rng);
   let corrupted p = Runtime.Corruption.is_corrupted corruption p in
   let states : s option array = Array.make n None in
   let outputs : o option array = Array.make n None in
   let decided_at = Array.make n (-1) in
+  let crash p ~at =
+    if Runtime.Corruption.force_corrupt corruption ~at p then begin
+      incr crashed;
+      states.(p) <- None;
+      outputs.(p) <- None;
+      decided_at.(p) <- -1
+    end
+  in
+  (* Crashes scheduled at or before event 0 take effect before reactor
+     initialization: the party never runs at all. *)
+  List.iter (fun (p, at) -> if at <= 0 then crash p ~at:0) crash_faults;
   let pool : m Pool.t = Pool.create () in
   let step = ref 0 in
   (* Delivered-letter history, most recent first, one singleton list per
@@ -158,6 +178,7 @@ let run (type s m o) ~n ~t ?(max_events = Runtime.Defaults.max_events)
   let chunk_honest_bytes = ref 0 in
   let chunk_adversary_bytes = ref 0 in
   let chunk_sent_by = if live then Array.make n 0 else [||] in
+  let chunk_faults_mark = ref 0 in
   let flush_chunk () =
     (* a chunk is emitted if anything happened in it — including messages
        posted at init but never delivered (everyone decided immediately) *)
@@ -195,7 +216,13 @@ let run (type s m o) ~n ~t ?(max_events = Runtime.Defaults.max_events)
           sent_by = Array.copy chunk_sent_by;
           corruptions = [];
           grades = None;
-          marks = [];
+          marks =
+            (* fault accounting rides the free-form [marks] channel, only on
+               chunks where the filter actually touched a letter — benign
+               streams are byte-identical to before *)
+            (if !chunk_faults_mark > 0 then
+               [ ("fault_events", !chunk_faults_mark) ]
+             else []);
           snapshot;
         };
       chunk_start := !step;
@@ -204,8 +231,28 @@ let run (type s m o) ~n ~t ?(max_events = Runtime.Defaults.max_events)
       chunk_forgeries := 0;
       chunk_honest_bytes := 0;
       chunk_adversary_bytes := 0;
+      chunk_faults_mark := 0;
       Array.fill chunk_sent_by 0 n 0
     end
+  in
+  (* Enqueue one screened/accounted letter through the fault filter: an
+     omitted letter vanishes, a duplicated one enters the pool twice, a
+     delayed one is backdated into the future — clamped to the patience
+     bound so the scheduler's fairness override still guarantees eventual
+     delivery. *)
+  let enqueue (l : m Types.letter) =
+    match Runtime.Mailbox.decide mailbox ~round:!step l with
+    | Runtime.Mailbox.Deliver ->
+        Pool.add pool { letter = l; enqueued_at = !step }
+    | Runtime.Mailbox.Drop -> incr chunk_faults_mark
+    | Runtime.Mailbox.Duplicate ->
+        incr chunk_faults_mark;
+        Pool.add pool { letter = l; enqueued_at = !step };
+        Pool.add pool { letter = l; enqueued_at = !step }
+    | Runtime.Mailbox.Delay d ->
+        incr chunk_faults_mark;
+        let d = max 0 (min d (patience - 1)) in
+        Pool.add pool { letter = l; enqueued_at = !step + d }
   in
   let post_from src letters =
     List.iter
@@ -218,8 +265,7 @@ let run (type s m o) ~n ~t ?(max_events = Runtime.Defaults.max_events)
             chunk_honest_bytes :=
               !chunk_honest_bytes + Telemetry.payload_bytes body
           end;
-          Pool.add pool
-            { letter = { Types.src; dst; body }; enqueued_at = !step }
+          enqueue { Types.src; dst; body }
         end)
       letters
   in
@@ -243,6 +289,49 @@ let run (type s m o) ~n ~t ?(max_events = Runtime.Defaults.max_events)
     done;
     !ok
   in
+  let undecided_parties () =
+    let acc = ref [] in
+    for p = n - 1 downto 0 do
+      if (not (corrupted p)) && outputs.(p) = None then acc := p :: !acc
+    done;
+    !acc
+  in
+  (* Watchdogs, first violation wins; inert (and free) when none installed. *)
+  let pending_watchdogs = ref watchdogs in
+  let violations_rev = ref [] in
+  let run_watchdogs ~round ~delivered =
+    match !pending_watchdogs with
+    | [] -> ()
+    | wds ->
+        let corrupted_now = Runtime.Corruption.corrupted_list corruption in
+        let wd_states =
+          let acc = ref [] in
+          for p = n - 1 downto 0 do
+            match states.(p) with
+            | Some s when not (corrupted p) -> acc := (p, s) :: !acc
+            | _ -> ()
+          done;
+          !acc
+        in
+        pending_watchdogs :=
+          List.filter
+            (fun wd ->
+              match
+                Runtime.Watchdog.check wd ~round ~delivered ~states:wd_states
+                  ~corrupted:corrupted_now
+              with
+              | None -> true
+              | Some detail ->
+                  violations_rev :=
+                    {
+                      Runtime.Watchdog.watchdog = Runtime.Watchdog.name wd;
+                      round;
+                      detail;
+                    }
+                    :: !violations_rev;
+                  false)
+            wds
+  in
   let view () =
     {
       Adversary.round = !step;
@@ -254,80 +343,98 @@ let run (type s m o) ~n ~t ?(max_events = Runtime.Defaults.max_events)
       rng;
     }
   in
-  while not (all_decided ()) do
-    incr step;
-    if !step > max_events then
-      raise
-        (Exceeded_max_events
-           (Printf.sprintf "%s: undecided after %d delivery events"
-              reactor.name max_events));
-    (* adaptive corruptions: a party corrupted at event [e] stops reacting —
-       its in-flight messages were sent while honest and stay deliverable *)
-    List.iter
-      (fun p ->
-        if Runtime.Corruption.corrupt corruption ~at:!step p then begin
-          states.(p) <- None;
-          outputs.(p) <- None;
-          decided_at.(p) <- -1
-        end)
-      (adversary.core.corrupt_more (view ()));
-    (* adversarial injections, authenticated-channel screening *)
-    let forgeries_before = Runtime.Mailbox.rejected_forgeries mailbox in
-    let injected =
-      Runtime.Mailbox.screen mailbox ~adversary:adversary.core.name
-        ~corrupted:(Runtime.Corruption.flags corruption)
-        (adversary.core.deliver (view ()))
-    in
-    if live then
-      chunk_forgeries :=
-        !chunk_forgeries
-        + (Runtime.Mailbox.rejected_forgeries mailbox - forgeries_before);
-    List.iter
-      (fun (l : m Types.letter) ->
-        Runtime.Mailbox.note_adversary mailbox 1;
-        if live then begin
-          incr chunk_injected;
-          chunk_sent_by.(l.Types.src) <- chunk_sent_by.(l.Types.src) + 1;
-          chunk_adversary_bytes :=
-            !chunk_adversary_bytes + Telemetry.payload_bytes l.Types.body
+  let stall = ref None in
+  while !stall = None && not (all_decided ()) do
+    if !step >= max_events then
+      stall :=
+        Some
+          (Printf.sprintf "%s: undecided after %d delivery events" reactor.name
+             max_events)
+    else begin
+      incr step;
+      (* fault-plan crashes land before the adversary moves; like an
+         adaptive corruption, a crashed party stops reacting but its
+         in-flight messages stay deliverable *)
+      List.iter
+        (fun (p, at) -> if at = !step then crash p ~at:!step)
+        crash_faults;
+      (* adaptive corruptions: a party corrupted at event [e] stops
+         reacting — its in-flight messages were sent while honest and stay
+         deliverable *)
+      List.iter
+        (fun p ->
+          if Runtime.Corruption.corrupt corruption ~at:!step p then begin
+            states.(p) <- None;
+            outputs.(p) <- None;
+            decided_at.(p) <- -1
+          end)
+        (adversary.core.corrupt_more (view ()));
+      (* adversarial injections, authenticated-channel screening *)
+      let forgeries_before = Runtime.Mailbox.rejected_forgeries mailbox in
+      let injected =
+        Runtime.Mailbox.screen mailbox ~adversary:adversary.core.name
+          ~corrupted:(Runtime.Corruption.flags corruption)
+          (adversary.core.deliver (view ()))
+      in
+      if live then
+        chunk_forgeries :=
+          !chunk_forgeries
+          + (Runtime.Mailbox.rejected_forgeries mailbox - forgeries_before);
+      List.iter
+        (fun (l : m Types.letter) ->
+          Runtime.Mailbox.note_adversary mailbox 1;
+          if live then begin
+            incr chunk_injected;
+            chunk_sent_by.(l.Types.src) <- chunk_sent_by.(l.Types.src) + 1;
+            chunk_adversary_bytes :=
+              !chunk_adversary_bytes + Telemetry.payload_bytes l.Types.body
+          end;
+          enqueue l)
+        injected;
+      if Pool.is_empty pool then
+        stall :=
+          Some
+            (Printf.sprintf
+               "%s: no pending messages but honest parties undecided \
+                (deadlock)"
+               reactor.name)
+      else begin
+        let idx =
+          pick_index ~scheduler:adversary.scheduler ~patience ~step:!step ~rng
+            pool
+        in
+        let { letter; _ } = Pool.take pool idx in
+        history := [ letter ] :: !history;
+        let dst = letter.Types.dst in
+        (* A decided party keeps reacting: in the asynchronous model "output"
+           does not mean "halt" — its echoes may still be needed for other
+           parties' liveness (e.g. the READY quorums of reliable broadcast).
+           The run ends once every honest party has decided. *)
+        if not (corrupted dst) then begin
+          match states.(dst) with
+          | None -> ()
+          | Some st ->
+              let st, letters =
+                reactor.on_message ~self:dst
+                  {
+                    Types.sender = letter.Types.src;
+                    payload = letter.Types.body;
+                  }
+                  st
+              in
+              states.(dst) <- Some st;
+              (if outputs.(dst) = None then
+                 match reactor.output st with
+                 | Some o ->
+                     outputs.(dst) <- Some o;
+                     decided_at.(dst) <- !step
+                 | None -> ());
+              post_from dst letters
         end;
-        Pool.add pool { letter = l; enqueued_at = !step })
-      injected;
-    if Pool.is_empty pool then
-      raise
-        (Exceeded_max_events
-           (Printf.sprintf
-              "%s: no pending messages but honest parties undecided (deadlock)"
-              reactor.name));
-    let idx =
-      pick_index ~scheduler:adversary.scheduler ~patience ~step:!step ~rng pool
-    in
-    let { letter; _ } = Pool.take pool idx in
-    history := [ letter ] :: !history;
-    let dst = letter.Types.dst in
-    (* A decided party keeps reacting: in the asynchronous model "output"
-       does not mean "halt" — its echoes may still be needed for other
-       parties' liveness (e.g. the READY quorums of reliable broadcast).
-       The run ends once every honest party has decided. *)
-    if not (corrupted dst) then begin
-      match states.(dst) with
-      | None -> ()
-      | Some st ->
-          let st, letters =
-            reactor.on_message ~self:dst
-              { Types.sender = letter.Types.src; payload = letter.Types.body }
-              st
-          in
-          states.(dst) <- Some st;
-          (if outputs.(dst) = None then
-             match reactor.output st with
-             | Some o ->
-                 outputs.(dst) <- Some o;
-                 decided_at.(dst) <- !step
-             | None -> ());
-          post_from dst letters
-    end;
-    if live && !step - !chunk_start >= telemetry_stride then flush_chunk ()
+        run_watchdogs ~round:!step ~delivered:[ letter ];
+        if live && !step - !chunk_start >= telemetry_stride then flush_chunk ()
+      end
+    end
   done;
   if live then begin
     flush_chunk ();
@@ -346,17 +453,42 @@ let run (type s m o) ~n ~t ?(max_events = Runtime.Defaults.max_events)
         terms := (p, decided_at.(p)) :: !terms
     | _ -> ()
   done;
-  {
-    engine = "async";
-    n;
-    t;
-    outputs = !outs;
-    termination_rounds = !terms;
-    rounds_used = !step;
-    corrupted = Runtime.Corruption.corrupted_list corruption;
-    corruption_rounds = Runtime.Corruption.rounds_list corruption;
-    honest_messages = Runtime.Mailbox.honest_messages mailbox;
-    adversary_messages = Runtime.Mailbox.adversary_messages mailbox;
-    rejected_forgeries = Runtime.Mailbox.rejected_forgeries mailbox;
-    trace = (if record_trace then List.rev !history else []);
-  }
+  let report =
+    {
+      engine = "async";
+      n;
+      t;
+      outputs = !outs;
+      termination_rounds = !terms;
+      rounds_used = !step;
+      corrupted = Runtime.Corruption.corrupted_list corruption;
+      corruption_rounds = Runtime.Corruption.rounds_list corruption;
+      honest_messages = Runtime.Mailbox.honest_messages mailbox;
+      adversary_messages = Runtime.Mailbox.adversary_messages mailbox;
+      rejected_forgeries = Runtime.Mailbox.rejected_forgeries mailbox;
+      trace = (if record_trace then List.rev !history else []);
+      fault_stats = Runtime.Mailbox.fault_stats mailbox ~crashed:!crashed;
+      watchdog_violations = List.rev !violations_rev;
+    }
+  in
+  match !stall with
+  | None -> Runtime.Outcome.Completed report
+  | Some reason ->
+      Runtime.Outcome.Liveness_timeout
+        { Runtime.Outcome.report; undecided = undecided_parties (); reason }
+
+let run ~n ~t ?max_events ?patience ?seed ?record_trace ?telemetry
+    ?telemetry_stride ?observe ?fault_filter ?crash_faults ?watchdogs ~reactor
+    ~adversary () =
+  match
+    run_outcome ~n ~t ?max_events ?patience ?seed ?record_trace ?telemetry
+      ?telemetry_stride ?observe ?fault_filter ?crash_faults ?watchdogs
+      ~reactor ~adversary ()
+  with
+  | Runtime.Outcome.Completed report -> report
+  | Runtime.Outcome.Liveness_timeout { reason; _ } ->
+      raise (Exceeded_max_events reason)
+  | Runtime.Outcome.Engine_error _ ->
+      (* [run_outcome] lets reactor/adversary exceptions escape; only
+         [Runner.run] folds them into [Engine_error]. *)
+      assert false

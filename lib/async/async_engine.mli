@@ -91,9 +91,46 @@ type ('out, 'msg) report = ('out, 'msg) Aat_runtime.Report.t = {
   trace : 'msg Types.letter list list;
       (** one singleton list per delivery event, oldest first (empty unless
           [~record_trace:true]) *)
+  fault_stats : Aat_runtime.Report.fault_stats;
+      (** injected-fault accounting; all zeros on a benign run *)
+  watchdog_violations : Aat_runtime.Watchdog.violation list;
+      (** first violation per installed watchdog, in firing order *)
 }
 
 exception Exceeded_max_events of string
+
+val run_outcome :
+  n:int ->
+  t:int ->
+  ?max_events:int ->
+  ?patience:int ->
+  ?seed:int ->
+  ?record_trace:bool ->
+  ?telemetry:Aat_telemetry.Telemetry.Sink.t ->
+  ?telemetry_stride:int ->
+  ?observe:('s -> float option) ->
+  ?fault_filter:Aat_runtime.Mailbox.fault_filter ->
+  ?crash_faults:(Types.party_id * Types.round) list ->
+  ?watchdogs:('s, 'm) Aat_runtime.Watchdog.t list ->
+  reactor:('s, 'm, 'o) reactor ->
+  adversary:'m adversary ->
+  unit ->
+  ('o, 'm) Aat_runtime.Outcome.t
+(** The structured-outcome entry point: identical execution to {!run},
+    but event-budget exhaustion {e and} deadlock (empty pool with honest
+    parties undecided) return [Liveness_timeout] carrying the partial
+    report instead of raising. Reactor/adversary exceptions still escape;
+    the campaign [Runner] folds those into [Engine_error].
+
+    [fault_filter] is consulted once per letter at enqueue time: [Drop]
+    omits it, [Duplicate] enqueues it twice, [Delay d] backdates its
+    enqueue time [d] events into the future — clamped below the patience
+    bound, so the fairness override still forces eventual delivery.
+    [crash_faults] force-crash each listed party at the given delivery
+    event (before the adversary's move, outside its budget; [at <= 0]
+    means the party never initializes). [watchdogs] run after every
+    delivery on the undecided honest states. All three default to inert,
+    making the run — and report — identical to the pre-fault engine. *)
 
 val run :
   n:int ->
@@ -105,6 +142,9 @@ val run :
   ?telemetry:Aat_telemetry.Telemetry.Sink.t ->
   ?telemetry_stride:int ->
   ?observe:('s -> float option) ->
+  ?fault_filter:Aat_runtime.Mailbox.fault_filter ->
+  ?crash_faults:(Types.party_id * Types.round) list ->
+  ?watchdogs:('s, 'm) Aat_runtime.Watchdog.t list ->
   reactor:('s, 'm, 'o) reactor ->
   adversary:'m adversary ->
   unit ->

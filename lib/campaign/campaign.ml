@@ -55,6 +55,11 @@ module Spec = struct
     | Async_tree_aa
     | Round_sim_tree_aa
 
+  type fault_mode =
+    | No_faults
+    | Fault_plan of Aat_faults.Plan.t
+    | Chaos of { intensity : float }
+
   type t = {
     name : string;
     protocol : protocol;
@@ -63,6 +68,8 @@ module Spec = struct
     t_budget : budget;
     inputs : input_dist;
     adversary : adversary_family;
+    faults : fault_mode;
+    watchdogs : bool;
     repetitions : int;
     base_seed : int;
   }
@@ -87,11 +94,39 @@ module Spec = struct
 
   let vertex_inputs = function Random_vertices -> true | _ -> false
 
+  let sync_protocol = function
+    | Async_tree_aa | Round_sim_tree_aa -> false
+    | _ -> true
+
+  let validate_faults s =
+    let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+    match s.faults with
+    | No_faults -> Ok ()
+    | Chaos { intensity } ->
+        if intensity < 0. || intensity > 1. then
+          err "chaos intensity must be in [0, 1] (got %g)" intensity
+        else Ok ()
+    | Fault_plan p -> (
+        match Aat_faults.Plan.validate p with
+        | Error m -> err "fault plan: %s" m
+        | Ok () ->
+            if sync_protocol s.protocol
+               && not (Aat_faults.Plan.sync_compatible p)
+            then
+              err
+                "%s runs on the synchronous engine; duplicate/delay faults \
+                 are async-only"
+                (protocol_label s.protocol)
+            else Ok ())
+
   let validate s =
     let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
     let label = protocol_label s.protocol in
     if s.repetitions < 0 then err "repetitions must be non-negative"
     else
+      match validate_faults s with
+      | Error _ as e -> e
+      | Ok () -> (
       match s.protocol with
       | Tree_aa ->
           if not (vertex_inputs s.inputs) then
@@ -136,7 +171,7 @@ module Spec = struct
             err "%s takes vertex inputs (Random_vertices)" label
           else if s.adversary <> Passive then
             err "%s currently runs only under the passive adversary" label
-          else Ok ()
+          else Ok ())
 end
 
 type task_result = {
@@ -149,6 +184,9 @@ type aggregate = {
   tasks : int;
   violations : int;
   errors : int;
+  timeouts : int;
+  engine_errors : int;
+  excused : int;
   total_rounds : int;
   total_honest_messages : int;
   total_adversary_messages : int;
@@ -339,6 +377,18 @@ let draw_scheduler rng =
 
 let draw_engine_seed rng = Rng.int rng 0x3FFF_FFFF
 
+(* Chaos plans are drawn from the task's own stream just before the engine
+   seed, so [No_faults] specs make exactly the draws they always did (the
+   benign streams — and the golden JSONL — are unchanged). *)
+let draw_fault_plan rng (spec : Spec.t) ~n ~rounds_hint =
+  match spec.Spec.faults with
+  | Spec.No_faults -> Aat_faults.Plan.empty
+  | Spec.Fault_plan p -> p
+  | Spec.Chaos { intensity } ->
+      Aat_faults.Plan.random rng ~n ~rounds_hint
+        ~sync_only:(Spec.sync_protocol spec.Spec.protocol)
+        ~intensity ()
+
 let instantiate (spec : Spec.t) ~task_seed =
   (match Spec.validate spec with
   | Ok () -> ()
@@ -351,12 +401,15 @@ let instantiate (spec : Spec.t) ~task_seed =
     let inputs = draw_vertex_inputs rng ~n ~nv:(Tree.n_vertices tree) in
     (tree, n, t, inputs)
   in
+  let watch = spec.watchdogs in
   match spec.protocol with
   | Spec.Tree_aa ->
       let tree, n, t, inputs = vertex_setup () in
       let rounds_hint = max 1 (Tree_aa.rounds ~tree) in
       let adversary = tree_aa_adversary rng ~tree ~t ~n ~rounds_hint spec.adversary in
-      (Runner.tree_aa ~tree ~inputs ~t ~adversary, draw_engine_seed rng)
+      let fault_plan = draw_fault_plan rng spec ~n ~rounds_hint in
+      ( Runner.tree_aa ~fault_plan ~watch ~tree ~inputs ~t ~adversary (),
+        draw_engine_seed rng )
   | Spec.Nr_baseline ->
       let tree, n, t, inputs = vertex_setup () in
       let rounds_hint = max 1 (3 * Nr_baseline.iterations_for tree) in
@@ -366,7 +419,9 @@ let instantiate (spec : Spec.t) ~task_seed =
         | None ->
             incompatible ~protocol:"nr-baseline" ~family:"protocol-specific"
       in
-      (Runner.nr_baseline ~tree ~inputs ~t ~adversary, draw_engine_seed rng)
+      let fault_plan = draw_fault_plan rng spec ~n ~rounds_hint in
+      ( Runner.nr_baseline ~fault_plan ~watch ~tree ~inputs ~t ~adversary (),
+        draw_engine_seed rng )
   | Spec.Path_aa ->
       let path, n, t, inputs = vertex_setup () in
       let rounds_hint = max 1 (Path_aa.rounds ~path) in
@@ -378,7 +433,9 @@ let instantiate (spec : Spec.t) ~task_seed =
       let adversary =
         real_adversary rng ~t ~n ~rounds_hint ~iterations spec.adversary
       in
-      (Runner.path_aa ~path ~inputs ~t ~adversary, draw_engine_seed rng)
+      let fault_plan = draw_fault_plan rng spec ~n ~rounds_hint in
+      ( Runner.path_aa ~fault_plan ~watch ~path ~inputs ~t ~adversary (),
+        draw_engine_seed rng )
   | Spec.Known_path_aa ->
       let tree, n, t, inputs = vertex_setup () in
       let path = Paths.orient tree (Metrics.longest_path tree) in
@@ -391,7 +448,10 @@ let instantiate (spec : Spec.t) ~task_seed =
       let adversary =
         real_adversary rng ~t ~n ~rounds_hint ~iterations spec.adversary
       in
-      (Runner.known_path_aa ~tree ~path ~inputs ~t ~adversary, draw_engine_seed rng)
+      let fault_plan = draw_fault_plan rng spec ~n ~rounds_hint in
+      ( Runner.known_path_aa ~fault_plan ~watch ~tree ~path ~inputs ~t
+          ~adversary (),
+        draw_engine_seed rng )
   | Spec.Real_aa { eps } ->
       let n = max 1 (draw_size rng spec.n) in
       let t = draw_t rng ~n spec.t_budget in
@@ -401,7 +461,11 @@ let instantiate (spec : Spec.t) ~task_seed =
         real_adversary rng ~t ~n ~rounds_hint:(3 * iterations) ~iterations
           spec.adversary
       in
-      ( Runner.real_aa ~eps ~inputs ~t ~iterations ~adversary (),
+      let fault_plan =
+        draw_fault_plan rng spec ~n ~rounds_hint:(3 * iterations)
+      in
+      ( Runner.real_aa ~fault_plan ~watch ~eps ~inputs ~t ~iterations
+          ~adversary (),
         draw_engine_seed rng )
   | Spec.Iterated_midpoint { eps } ->
       let n = max 1 (draw_size rng spec.n) in
@@ -412,16 +476,30 @@ let instantiate (spec : Spec.t) ~task_seed =
         real_adversary rng ~t ~n ~rounds_hint:(3 * iterations) ~iterations
           spec.adversary
       in
-      ( Runner.iterated_midpoint ~eps ~inputs ~t ~iterations ~adversary,
+      let fault_plan =
+        draw_fault_plan rng spec ~n ~rounds_hint:(3 * iterations)
+      in
+      ( Runner.iterated_midpoint ~fault_plan ~watch ~eps ~inputs ~t ~iterations
+          ~adversary (),
         draw_engine_seed rng )
   | Spec.Async_tree_aa ->
-      let tree, _n, t, inputs = vertex_setup () in
+      let tree, n, t, inputs = vertex_setup () in
       let scheduler = draw_scheduler rng in
-      (Runner.async_tree_aa ~tree ~inputs ~t ~scheduler (), draw_engine_seed rng)
+      (* round hints are delivery events under the async engine: roughly
+         n^2 letters cross the network per protocol round *)
+      let rounds_hint =
+        max 1 (n * n * 3 * Nr_baseline.iterations_for tree)
+      in
+      let fault_plan = draw_fault_plan rng spec ~n ~rounds_hint in
+      ( Runner.async_tree_aa ~fault_plan ~watch ~tree ~inputs ~t ~scheduler (),
+        draw_engine_seed rng )
   | Spec.Round_sim_tree_aa ->
-      let tree, _n, t, inputs = vertex_setup () in
+      let tree, n, t, inputs = vertex_setup () in
       let scheduler = draw_scheduler rng in
-      ( Runner.round_sim_tree_aa ~tree ~inputs ~t ~scheduler (),
+      let rounds_hint = max 1 (n * n * Tree_aa.rounds ~tree) in
+      let fault_plan = draw_fault_plan rng spec ~n ~rounds_hint in
+      ( Runner.round_sim_tree_aa ~fault_plan ~watch ~tree ~inputs ~t
+          ~scheduler (),
         draw_engine_seed rng )
 
 (* ------------------------------------------------------------------ *)
@@ -432,6 +510,9 @@ let empty_aggregate =
     tasks = 0;
     violations = 0;
     errors = 0;
+    timeouts = 0;
+    engine_errors = 0;
+    excused = 0;
     total_rounds = 0;
     total_honest_messages = 0;
     total_adversary_messages = 0;
@@ -446,10 +527,21 @@ let merge_spread a b =
 let fold_task agg tr =
   match tr.result with
   | Ok o ->
+      let b p = if p then 1 else 0 in
       {
         tasks = agg.tasks + 1;
-        violations = (agg.violations + if Runner.ok o then 0 else 1);
+        (* a genuine in-model failure; Excused grades count separately *)
+        violations =
+          (agg.violations
+          + b (match o.Runner.grade with Aat_engine.Verdict.Violated _ -> true | _ -> false));
         errors = agg.errors;
+        timeouts =
+          (agg.timeouts
+          + b (match o.Runner.status with Runner.Timed_out _ -> true | _ -> false));
+        engine_errors =
+          (agg.engine_errors
+          + b (match o.Runner.status with Runner.Errored _ -> true | _ -> false));
+        excused = agg.excused + b (Runner.excused o);
         total_rounds = agg.total_rounds + o.Runner.rounds_used;
         total_honest_messages =
           agg.total_honest_messages + o.Runner.honest_messages;
@@ -493,24 +585,83 @@ let run ?(workers = 1) ?telemetry (spec : Spec.t) =
 
 let num i = Json.Num (float_of_int i)
 
+(* Fault-layer fields are emitted only when non-default, so benign
+   campaign streams — and the golden JSONL locked down in the tests —
+   stay byte-identical to the pre-fault format. *)
+let status_fields (o : Runner.outcome) =
+  match o.Runner.status with
+  | Runner.Finished -> []
+  | Runner.Timed_out { undecided; reason } ->
+      [
+        ("status", Json.Str (Runner.status_label o.Runner.status));
+        ("undecided", num undecided);
+        ("reason", Json.Str reason);
+      ]
+  | Runner.Errored { stage; exn_text } ->
+      [
+        ("status", Json.Str (Runner.status_label o.Runner.status));
+        ("stage", Json.Str stage);
+        ("error", Json.Str exn_text);
+      ]
+
+let grade_fields (o : Runner.outcome) =
+  match o.Runner.grade with
+  | Aat_engine.Verdict.Passed | Aat_engine.Verdict.Violated _ -> []
+  | Aat_engine.Verdict.Excused { reason; _ } ->
+      [ ("grade", Json.Str "excused"); ("excuse", Json.Str reason) ]
+
+let fault_fields (o : Runner.outcome) =
+  let f = o.Runner.faults in
+  if not (Aat_runtime.Report.faults_active f) then []
+  else
+    [
+      ( "faults",
+        Json.Obj
+          [
+            ("dropped", num f.Aat_runtime.Report.dropped);
+            ("duplicated", num f.Aat_runtime.Report.duplicated);
+            ("delayed", num f.Aat_runtime.Report.delayed);
+            ("crashed", num f.Aat_runtime.Report.crashed);
+          ] );
+    ]
+
+let violation_fields (o : Runner.outcome) =
+  match o.Runner.violations with
+  | [] -> []
+  | vs ->
+      [
+        ( "watchdog_violations",
+          Json.Arr
+            (List.map
+               (fun (v : Aat_runtime.Watchdog.violation) ->
+                 Json.Obj
+                   [
+                     ("watchdog", Json.Str v.Aat_runtime.Watchdog.watchdog);
+                     ("round", num v.Aat_runtime.Watchdog.round);
+                     ("detail", Json.Str v.Aat_runtime.Watchdog.detail);
+                   ])
+               vs) );
+      ]
+
 let json_of_outcome (o : Runner.outcome) =
   Json.Obj
-    [
-      ("runner", Json.Str o.Runner.runner);
-      ("seed", num o.Runner.seed);
-      ("engine", Json.Str o.Runner.engine);
-      ("ok", Json.Bool (Runner.ok o));
-      ("termination", Json.Bool o.Runner.termination);
-      ("validity", Json.Bool o.Runner.validity);
-      ("agreement", Json.Bool o.Runner.agreement);
-      ("rounds_used", num o.Runner.rounds_used);
-      ("honest_messages", num o.Runner.honest_messages);
-      ("adversary_messages", num o.Runner.adversary_messages);
-      ("corrupted", num o.Runner.corrupted);
-      ("initially_corrupted", num o.Runner.initially_corrupted);
-      ( "spread",
-        match o.Runner.spread with None -> Json.Null | Some s -> Json.Num s );
-    ]
+    ([
+       ("runner", Json.Str o.Runner.runner);
+       ("seed", num o.Runner.seed);
+       ("engine", Json.Str o.Runner.engine);
+       ("ok", Json.Bool (Runner.ok o));
+       ("termination", Json.Bool o.Runner.termination);
+       ("validity", Json.Bool o.Runner.validity);
+       ("agreement", Json.Bool o.Runner.agreement);
+       ("rounds_used", num o.Runner.rounds_used);
+       ("honest_messages", num o.Runner.honest_messages);
+       ("adversary_messages", num o.Runner.adversary_messages);
+       ("corrupted", num o.Runner.corrupted);
+       ("initially_corrupted", num o.Runner.initially_corrupted);
+       ( "spread",
+         match o.Runner.spread with None -> Json.Null | Some s -> Json.Num s );
+     ]
+    @ status_fields o @ grade_fields o @ fault_fields o @ violation_fields o)
 
 let json_of_task_result tr =
   Json.Obj
@@ -528,27 +679,39 @@ let json_of_task_result tr =
    byte-identical however the campaign was scheduled. *)
 let json_header (spec : Spec.t) =
   Json.Obj
-    [
-      ("type", Json.Str "campaign-start");
-      ("name", Json.Str spec.name);
-      ("protocol", Json.Str (Spec.protocol_label spec.protocol));
-      ("repetitions", num spec.repetitions);
-      ("base_seed", num spec.base_seed);
-    ]
+    ([
+       ("type", Json.Str "campaign-start");
+       ("name", Json.Str spec.name);
+       ("protocol", Json.Str (Spec.protocol_label spec.protocol));
+       ("repetitions", num spec.repetitions);
+       ("base_seed", num spec.base_seed);
+     ]
+    @ (match spec.faults with
+      | Spec.No_faults -> []
+      | Spec.Fault_plan p ->
+          [ ("fault_plan", Json.Str (Aat_faults.Plan_io.to_string p)) ]
+      | Spec.Chaos { intensity } -> [ ("chaos_intensity", Json.Num intensity) ])
+    @ if spec.watchdogs then [ ("watchdogs", Json.Bool true) ] else [])
 
 let json_footer agg =
+  let opt name v = if v = 0 then [] else [ (name, num v) ] in
   Json.Obj
-    [
-      ("type", Json.Str "campaign-stop");
-      ("tasks", num agg.tasks);
-      ("violations", num agg.violations);
-      ("errors", num agg.errors);
-      ("total_rounds", num agg.total_rounds);
-      ("total_honest_messages", num agg.total_honest_messages);
-      ("total_adversary_messages", num agg.total_adversary_messages);
-      ( "max_spread",
-        match agg.max_spread with None -> Json.Null | Some s -> Json.Num s );
-    ]
+    ([
+       ("type", Json.Str "campaign-stop");
+       ("tasks", num agg.tasks);
+       ("violations", num agg.violations);
+       ("errors", num agg.errors);
+     ]
+    @ opt "timeouts" agg.timeouts
+    @ opt "engine_errors" agg.engine_errors
+    @ opt "excused" agg.excused
+    @ [
+        ("total_rounds", num agg.total_rounds);
+        ("total_honest_messages", num agg.total_honest_messages);
+        ("total_adversary_messages", num agg.total_adversary_messages);
+        ( "max_spread",
+          match agg.max_spread with None -> Json.Null | Some s -> Json.Num s );
+      ])
 
 let jsonl_lines r =
   (json_header r.spec

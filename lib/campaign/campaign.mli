@@ -69,6 +69,16 @@ module Spec : sig
         (** synchronous TreeAA lifted via [Round_sim]; scheduler drawn
             per task *)
 
+  (** Fault injection for every task of the campaign. [Fault_plan] applies
+      one fixed plan to all tasks (each task still derives its own fault
+      RNG from its engine seed); [Chaos] draws a fresh random plan per task
+      from the task's seed stream ({!Aat_faults.Plan.random}), so a chaos
+      campaign sweeps a diverse fault landscape deterministically. *)
+  type fault_mode =
+    | No_faults
+    | Fault_plan of Aat_faults.Plan.t
+    | Chaos of { intensity : float }  (** in [[0, 1]]; [0.] = benign *)
+
   type t = {
     name : string;
     protocol : protocol;
@@ -77,30 +87,46 @@ module Spec : sig
     t_budget : budget;
     inputs : input_dist;
     adversary : adversary_family;
+    faults : fault_mode;
+    watchdogs : bool;
+        (** install the standard invariant watchdog catalog per run *)
     repetitions : int;
     base_seed : int;
   }
 
   val protocol_label : protocol -> string
 
+  val sync_protocol : protocol -> bool
+  (** Whether the protocol runs on the synchronous engine (everything but
+      the two async runners). *)
+
   val validate : t -> (unit, string) result
   (** Static checks: repetitions non-negative, adversary family compatible
       with the protocol's wire type, input distribution compatible with
-      the protocol's value space. *)
+      the protocol's value space, fault plan structurally valid and
+      engine-compatible ([Duplicate]/[Delay] are async-only), chaos
+      intensity in [[0, 1]]. *)
 end
 
 type task_result = {
   task : int;  (** task index, [0 .. repetitions-1] *)
   task_seed : int;  (** the split seed the task derived everything from *)
   result : (Runner.outcome, string) Stdlib.result;
-      (** [Error] carries [Printexc.to_string] of a raised exception —
-          e.g. an [Exceeded_max_rounds] liveness failure *)
+      (** [Error] carries [Printexc.to_string] of an exception raised
+          during task {e instantiation}; runs themselves never raise —
+          liveness timeouts and engine errors arrive as structured
+          {!Runner.status} values inside [Ok] outcomes *)
 }
 
 type aggregate = {
   tasks : int;
-  violations : int;  (** tasks whose verdict failed, plus errored tasks *)
-  errors : int;
+  violations : int;
+      (** tasks graded [Violated] (genuine in-model failures), plus
+          errored tasks; [Excused] failures count under [excused] only *)
+  errors : int;  (** tasks that failed to instantiate *)
+  timeouts : int;  (** tasks whose run ended in [Timed_out] *)
+  engine_errors : int;  (** tasks whose run ended in [Errored] *)
+  excused : int;  (** tasks whose failed verdict was excused *)
   total_rounds : int;
   total_honest_messages : int;
   total_adversary_messages : int;

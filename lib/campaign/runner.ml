@@ -2,23 +2,45 @@ open Aat_engine
 open Aat_treeaa
 open Aat_realaa
 module Report = Aat_runtime.Report
+module Outcome = Aat_runtime.Outcome
+module Plan = Aat_faults.Plan
+module Inject = Aat_faults.Inject
+module Watchdogs = Aat_faults.Watchdog
+
+type status =
+  | Finished
+  | Timed_out of { undecided : int; reason : string }
+  | Errored of { stage : string; exn_text : string }
+
+let status_label = function
+  | Finished -> "completed"
+  | Timed_out _ -> "liveness-timeout"
+  | Errored _ -> "engine-error"
 
 type outcome = {
   runner : string;
   seed : int;
   engine : string;
+  status : status;
   termination : bool;
   validity : bool;
   agreement : bool;
+  grade : Verdict.graded;
   rounds_used : int;
   honest_messages : int;
   adversary_messages : int;
   corrupted : int;
   initially_corrupted : int;
   spread : float option;
+  faults : Report.fault_stats;
+  violations : Aat_runtime.Watchdog.violation list;
 }
 
-let ok o = o.termination && o.validity && o.agreement
+let ok o =
+  (match o.status with Finished -> true | _ -> false)
+  && o.termination && o.validity && o.agreement
+
+let excused o = match o.grade with Verdict.Excused _ -> true | _ -> false
 
 let verdict_of o =
   {
@@ -32,33 +54,109 @@ type t = {
   run : seed:int -> ?telemetry:Aat_telemetry.Telemetry.Sink.t -> unit -> outcome;
 }
 
-let outcome_of_report ~runner ~seed ~(verdict : Verdict.t) ~spread
-    (report : (_, _) Report.t) =
+let failed_verdict =
+  { Verdict.termination = false; validity = false; agreement = false }
+
+let errored ~runner ~seed ~engine ~stage exn =
+  {
+    runner;
+    seed;
+    engine;
+    status = Errored { stage; exn_text = Printexc.to_string exn };
+    termination = false;
+    validity = false;
+    agreement = false;
+    grade = Verdict.Violated failed_verdict;
+    rounds_used = 0;
+    honest_messages = 0;
+    adversary_messages = 0;
+    corrupted = 0;
+    initially_corrupted = 0;
+    spread = None;
+    faults = Report.no_faults;
+    violations = [];
+  }
+
+let outcome_of_report ~runner ~seed ~status ~excuse ~(verdict : Verdict.t)
+    ~spread (report : (_, _) Report.t) =
   {
     runner;
     seed;
     engine = report.Report.engine;
+    status;
     termination = verdict.Verdict.termination;
     validity = verdict.Verdict.validity;
     agreement = verdict.Verdict.agreement;
+    grade =
+      Verdict.grade ~n:report.Report.n ~t:report.Report.t
+        ~faulty:(List.length report.Report.corrupted)
+        ?excuse verdict;
     rounds_used = report.Report.rounds_used;
     honest_messages = report.Report.honest_messages;
     adversary_messages = report.Report.adversary_messages;
     corrupted = List.length report.Report.corrupted;
     initially_corrupted = List.length (Report.initially_corrupted report);
     spread;
+    faults = report.Report.fault_stats;
+    violations = report.Report.watchdog_violations;
   }
 
-let of_protocol ~name ~n ~t ~max_rounds ~protocol ~adversary ?observe ~check
+(* An excusal reason for verdict failures under a fault plan. Two rules:
+   a lossy plan drops letters, which steps outside the model (a Byzantine
+   adversary cannot silence an honest channel), so any failure under it is
+   reported, not blamed; and a liveness timeout under *any* active plan is
+   the plan's doing (e.g. a planned crash starving an async scheduler),
+   not the protocol's. A timeout with no faults in play stays Violated. *)
+let excuse_of plan (status : status) =
+  if Plan.lossy plan then
+    Some "fault plan drops letters (outside the reliable-channel model)"
+  else
+    match status with
+    | Timed_out _ when not (Plan.is_empty plan) ->
+        Some "liveness timeout under an active fault plan"
+    | _ -> None
+
+(* Grade a structured engine outcome, never letting anything escape: the
+   verdict [check] runs on complete *and* partial reports. *)
+let conclude ~runner ~seed ~engine ~excuse ~check ~spread
+    (engine_outcome : _ Outcome.t) =
+  match engine_outcome with
+  | Outcome.Completed report ->
+      let verdict = check report in
+      outcome_of_report ~runner ~seed ~status:Finished ~excuse:(excuse Finished)
+        ~verdict ~spread:(spread report) report
+  | Outcome.Liveness_timeout { report; undecided; reason } ->
+      let verdict = check report in
+      let status = Timed_out { undecided = List.length undecided; reason } in
+      outcome_of_report ~runner ~seed ~status ~excuse:(excuse status) ~verdict
+        ~spread:(spread report) report
+  | Outcome.Engine_error { stage; exn_text } ->
+      {
+        (errored ~runner ~seed ~engine ~stage (Failure exn_text)) with
+        status = Errored { stage; exn_text };
+      }
+
+let of_protocol ~name ~n ~t ~max_rounds ~protocol ~adversary ?observe
+    ?(fault_plan = Plan.empty) ?(watchdogs = fun () -> []) ~check
     ?(spread = fun _ -> None) () =
   let run ~seed ?telemetry () =
-    let report =
-      Sync_engine.run ~n ~t ~seed ?telemetry ?observe
+    match
+      let fault_filter =
+        if Plan.is_empty fault_plan then None
+        else Some (Inject.filter ~engine:`Sync ~seed fault_plan)
+      in
+      Sync_engine.run_outcome ~n ~t ~seed ?telemetry ?observe ?fault_filter
+        ~crash_faults:(Plan.crashes fault_plan)
+        ~watchdogs:(watchdogs ())
         ~max_rounds:(max 1 max_rounds)
         ~protocol:(protocol ()) ~adversary:(adversary ()) ()
-    in
-    outcome_of_report ~runner:name ~seed ~verdict:(check report)
-      ~spread:(spread report) report
+    with
+    | exception exn -> errored ~runner:name ~seed ~engine:"sync" ~stage:"engine" exn
+    | engine_outcome -> (
+        try
+          conclude ~runner:name ~seed ~engine:"sync"
+            ~excuse:(excuse_of fault_plan) ~check ~spread engine_outcome
+        with exn -> errored ~runner:name ~seed ~engine:"sync" ~stage:"check" exn)
   in
   { name; run }
 
@@ -77,63 +175,101 @@ let real_check ~eps ~inputs ~value report =
 let real_spread ~value report =
   Some (Verdict.spread (List.map value (Report.honest_outputs report)))
 
+(* Plan-injected crashes are budget-exempt forced corruptions, so the
+   monotonicity watchdog's allowance is [t] plus the planned crash count —
+   it must fire only on corruption the adversary was not entitled to. *)
+let budget_watchdog ~t ~plan =
+  Watchdogs.corruption_budget ~t:(t + Plan.crash_count plan)
+
+let budget_watchdogs ~t ~plan enabled =
+  if enabled then fun () -> [ budget_watchdog ~t ~plan ] else fun () -> []
+
 (* ------------------------------------------------------------------ *)
 (* synchronous runners *)
 
-let tree_aa ~tree ~inputs ~t ~adversary =
+let tree_aa ?(fault_plan = Plan.empty) ?(watch = false) ~tree ~inputs ~t ~adversary () =
   of_protocol ~name:"tree-aa" ~n:(Array.length inputs) ~t
     ~max_rounds:(Tree_aa.rounds ~tree)
     ~protocol:(fun () -> Tree_aa.protocol ~tree ~inputs:(fun i -> inputs.(i)) ~t)
-    ~adversary ~observe:Tree_aa.observe
+    ~adversary ~observe:Tree_aa.observe ~fault_plan
+    ~watchdogs:(budget_watchdogs ~t ~plan:fault_plan watch)
     ~check:(tree_check ~tree ~inputs)
     ()
 
-let nr_baseline ~tree ~inputs ~t ~adversary =
+let nr_baseline ?(fault_plan = Plan.empty) ?(watch = false) ~tree ~inputs ~t ~adversary () =
   let iterations = Nr_baseline.iterations_for tree in
   of_protocol ~name:"nr-baseline" ~n:(Array.length inputs) ~t
     ~max_rounds:(3 * iterations)
     ~protocol:(fun () ->
       Nr_baseline.protocol ~tree ~inputs:(fun i -> inputs.(i)) ~t ~iterations)
-    ~adversary
+    ~adversary ~fault_plan
+    ~watchdogs:(budget_watchdogs ~t ~plan:fault_plan watch)
     ~check:(tree_check ~tree ~inputs)
     ()
 
-let path_aa ~path ~inputs ~t ~adversary =
+let path_aa ?(fault_plan = Plan.empty) ?(watch = false) ~path ~inputs ~t ~adversary () =
   of_protocol ~name:"path-aa" ~n:(Array.length inputs) ~t
     ~max_rounds:(Path_aa.rounds ~path)
     ~protocol:(fun () ->
       Path_aa.protocol ~path ~inputs:(fun i -> inputs.(i)) ~t)
-    ~adversary ~observe:Path_aa.observe
+    ~adversary ~observe:Path_aa.observe ~fault_plan
+    ~watchdogs:(fun () ->
+      if watch then
+        [
+          budget_watchdog ~t ~plan:fault_plan;
+          Watchdogs.spread_non_expansion ~observe:Path_aa.observe ();
+        ]
+      else [])
     ~check:(tree_check ~tree:path ~inputs)
     ()
 
-let known_path_aa ~tree ~path ~inputs ~t ~adversary =
+let known_path_aa ?(fault_plan = Plan.empty) ?(watch = false) ~tree ~path ~inputs ~t
+    ~adversary () =
   of_protocol ~name:"known-path-aa" ~n:(Array.length inputs) ~t
     ~max_rounds:(Known_path_aa.rounds ~path)
     ~protocol:(fun () ->
       Known_path_aa.protocol ~tree ~path ~inputs:(fun i -> inputs.(i)) ~t)
-    ~adversary ~observe:Known_path_aa.observe
+    ~adversary ~observe:Known_path_aa.observe ~fault_plan
+    ~watchdogs:(budget_watchdogs ~t ~plan:fault_plan watch)
     ~check:(tree_check ~tree ~inputs)
     ()
 
-let real_aa ?knobs ~eps ~inputs ~t ~iterations ~adversary () =
+let real_aa ?knobs ?(fault_plan = Plan.empty) ?(watch = false) ~eps ~inputs ~t ~iterations
+    ~adversary () =
   let value (r : Bdh.result) = r.Bdh.value in
   of_protocol ~name:"realaa" ~n:(Array.length inputs) ~t
     ~max_rounds:(3 * iterations)
     ~protocol:(fun () ->
       Bdh.protocol ?knobs ~inputs:(fun i -> inputs.(i)) ~t ~iterations ())
-    ~adversary ~observe:Bdh.observe
+    ~adversary ~observe:Bdh.observe ~fault_plan
+    ~watchdogs:(fun () ->
+      if watch then
+        [
+          budget_watchdog ~t ~plan:fault_plan;
+          Watchdogs.spread_non_expansion ~observe:Bdh.observe ();
+        ]
+      else [])
     ~check:(real_check ~eps ~inputs ~value)
     ~spread:(real_spread ~value)
     ()
 
-let iterated_midpoint ~eps ~inputs ~t ~iterations ~adversary =
+let iterated_midpoint ?(fault_plan = Plan.empty) ?(watch = false) ~eps ~inputs ~t ~iterations
+    ~adversary () =
   let value (r : Iterated_midpoint.result) = r.Iterated_midpoint.value in
   of_protocol ~name:"iterated-midpoint" ~n:(Array.length inputs) ~t
     ~max_rounds:(3 * iterations)
     ~protocol:(fun () ->
-      Iterated_midpoint.with_gradecast ~inputs:(fun i -> inputs.(i)) ~t ~iterations)
-    ~adversary ~observe:Iterated_midpoint.observe_gradecast
+      Iterated_midpoint.with_gradecast ~inputs:(fun i -> inputs.(i)) ~t
+        ~iterations)
+    ~adversary ~fault_plan
+    ~watchdogs:(fun () ->
+      if watch then
+        [
+          budget_watchdog ~t ~plan:fault_plan;
+          Watchdogs.spread_non_expansion
+            ~observe:Iterated_midpoint.observe_gradecast ();
+        ]
+      else [])
     ~check:(real_check ~eps ~inputs ~value)
     ~spread:(real_spread ~value)
     ()
@@ -148,55 +284,76 @@ let to_engine_scheduler = function
   | Lifo -> Aat_async.Async_engine.Lifo
   | Random_order -> Aat_async.Async_engine.Random_order
 
-let async_tree_aa ?(max_events = 2_000_000) ~tree ~inputs ~t ~scheduler () =
+let run_async (type s m o) ~runner ~n ~t ~max_events ~fault_plan ~watchdogs
+    ~(reactor : unit -> (s, m, o) Aat_async.Async_engine.reactor)
+    ~(adversary : unit -> m Aat_async.Async_engine.adversary) ~check ~seed
+    ?telemetry () =
+  match
+    let fault_filter =
+      if Plan.is_empty fault_plan then None
+      else Some (Inject.filter ~engine:`Async ~seed fault_plan)
+    in
+    Aat_async.Async_engine.run_outcome ~n ~t ~seed ?telemetry ~max_events
+      ?fault_filter
+      ~crash_faults:(Plan.crashes fault_plan)
+      ~watchdogs:(watchdogs ())
+      ~reactor:(reactor ()) ~adversary:(adversary ()) ()
+  with
+  | exception exn -> errored ~runner ~seed ~engine:"async" ~stage:"engine" exn
+  | engine_outcome -> (
+      try
+        conclude ~runner ~seed ~engine:"async" ~excuse:(excuse_of fault_plan)
+          ~check
+          ~spread:(fun _ -> None)
+          engine_outcome
+      with exn -> errored ~runner ~seed ~engine:"async" ~stage:"check" exn)
+
+let async_tree_aa ?(max_events = 2_000_000) ?(fault_plan = Plan.empty)
+    ?(watch = false) ~tree ~inputs ~t ~scheduler () =
   let n = Array.length inputs in
   let iterations = Nr_baseline.iterations_for tree in
+  let check report =
+    Tree_verdict.check ~tree
+      ~n_honest:(n - List.length report.Report.corrupted)
+      ~honest_inputs:(Report.honest_inputs ~inputs report)
+      ~honest_outputs:
+        (List.map
+           (fun (r : _ Aat_async.Async_aa.result) -> r.Aat_async.Async_aa.value)
+           (Report.honest_outputs report))
+  in
   let run ~seed ?telemetry () =
-    let report =
-      Aat_async.Async_engine.run ~n ~t ~seed ?telemetry ~max_events
-        ~reactor:
-          (Aat_async.Async_aa.tree ~tree ~inputs:(fun i -> inputs.(i)) ~t
-             ~iterations)
-        ~adversary:
-          (Aat_async.Async_engine.passive
-             ~scheduler:(to_engine_scheduler scheduler)
-             "none")
-        ()
-    in
-    let verdict =
-      Tree_verdict.check ~tree
-        ~n_honest:(n - List.length report.Report.corrupted)
-        ~honest_inputs:(Report.honest_inputs ~inputs report)
-        ~honest_outputs:
-          (List.map
-             (fun (r : _ Aat_async.Async_aa.result) -> r.Aat_async.Async_aa.value)
-             (Report.honest_outputs report))
-    in
-    outcome_of_report ~runner:"async-tree-aa" ~seed ~verdict ~spread:None report
+    run_async ~runner:"async-tree-aa" ~n ~t ~max_events ~fault_plan
+      ~watchdogs:(budget_watchdogs ~t ~plan:fault_plan watch)
+      ~reactor:(fun () ->
+        Aat_async.Async_aa.tree ~tree ~inputs:(fun i -> inputs.(i)) ~t
+          ~iterations)
+      ~adversary:(fun () ->
+        Aat_async.Async_engine.passive
+          ~scheduler:(to_engine_scheduler scheduler)
+          "none")
+      ~check ~seed ?telemetry ()
   in
   { name = "async-tree-aa"; run }
 
-let round_sim_tree_aa ?(max_events = 2_000_000) ~tree ~inputs ~t ~scheduler () =
+let round_sim_tree_aa ?(max_events = 2_000_000) ?(fault_plan = Plan.empty)
+    ?(watch = false) ~tree ~inputs ~t ~scheduler () =
   let n = Array.length inputs in
+  let check report =
+    Tree_verdict.check ~tree
+      ~n_honest:(n - List.length report.Report.corrupted)
+      ~honest_inputs:(Report.honest_inputs ~inputs report)
+      ~honest_outputs:(List.map fst (Report.honest_outputs report))
+  in
   let run ~seed ?telemetry () =
-    let report =
-      Aat_async.Async_engine.run ~n ~t ~seed ?telemetry ~max_events
-        ~reactor:
-          (Aat_async.Round_sim.reactor_of_protocol
-             (Tree_aa.protocol ~tree ~inputs:(fun i -> inputs.(i)) ~t))
-        ~adversary:
-          (Aat_async.Async_engine.passive
-             ~scheduler:(to_engine_scheduler scheduler)
-             "none")
-        ()
-    in
-    let verdict =
-      Tree_verdict.check ~tree
-        ~n_honest:(n - List.length report.Report.corrupted)
-        ~honest_inputs:(Report.honest_inputs ~inputs report)
-        ~honest_outputs:(List.map fst (Report.honest_outputs report))
-    in
-    outcome_of_report ~runner:"round-sim-tree-aa" ~seed ~verdict ~spread:None
-      report
+    run_async ~runner:"round-sim-tree-aa" ~n ~t ~max_events ~fault_plan
+      ~watchdogs:(budget_watchdogs ~t ~plan:fault_plan watch)
+      ~reactor:(fun () ->
+        Aat_async.Round_sim.reactor_of_protocol
+          (Tree_aa.protocol ~tree ~inputs:(fun i -> inputs.(i)) ~t))
+      ~adversary:(fun () ->
+        Aat_async.Async_engine.passive
+          ~scheduler:(to_engine_scheduler scheduler)
+          "none")
+      ~check ~seed ?telemetry ()
   in
   { name = "round-sim-tree-aa"; run }

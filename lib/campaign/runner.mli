@@ -10,35 +10,67 @@
 
     A {!t} closes over everything but the seed; calling [run ~seed]
     executes one full simulation and returns a protocol-agnostic
-    {!outcome}: the checked Definition-1/2 verdict plus the report's
-    headline numbers. Adversaries are taken as {e thunks}: the strategies
-    in [lib/adversary] carry per-execution mutable state (spoiler plans,
+    {!outcome}: a structured {!status} (a Runner {e never raises} — engine
+    exceptions and liveness exhaustion come back as data), the checked
+    Definition-1/2 verdict with its fault-aware {!Aat_engine.Verdict.graded}
+    reading, the report's headline numbers, and any fault/watchdog
+    accounting. Adversaries are taken as {e thunks}: the strategies in
+    [lib/adversary] carry per-execution mutable state (spoiler plans,
     crash bookkeeping), so a fresh adversary must be built for every run —
     and runners must stay safe to invoke from several {!Pool} workers at
-    once. *)
+    once.
+
+    Runners accept an optional {!Aat_faults.Plan.t}: its crashes are
+    applied as engine-level faults and the rest is compiled to a
+    deterministic {!Aat_runtime.Mailbox.fault_filter} seeded from the run
+    seed, so outcomes are reproducible for any worker count. *)
 
 open Aat_tree
 open Aat_engine
 open Aat_gradecast
 
+(** How the run ended. [Timed_out] carries the partial-run diagnosis from
+    {!Aat_runtime.Outcome.Liveness_timeout}; [Errored] wraps any exception
+    an engine, protocol, adversary or verdict checker raised. *)
+type status =
+  | Finished
+  | Timed_out of { undecided : int; reason : string }
+  | Errored of { stage : string; exn_text : string }
+
+val status_label : status -> string
+(** ["completed"] / ["liveness-timeout"] / ["engine-error"] — matching
+    {!Aat_runtime.Outcome.label}. *)
+
 type outcome = {
   runner : string;  (** the runner's name, e.g. ["tree-aa"] *)
   seed : int;  (** the engine/adversary seed this run used *)
   engine : string;  (** ["sync"] or ["async"] *)
+  status : status;  (** how the run ended; never an exception *)
   termination : bool;
   validity : bool;
   agreement : bool;  (** the three checked AA properties *)
+  grade : Verdict.graded;
+      (** fault-aware reading of the verdict: failures under an
+          out-of-model fault plan are [Excused], not [Violated] *)
   rounds_used : int;  (** rounds (sync) / delivery events (async) *)
   honest_messages : int;
   adversary_messages : int;
-  corrupted : int;  (** final corruption count *)
+  corrupted : int;  (** final corruption count, crashes included *)
   initially_corrupted : int;
   spread : float option;
       (** final honest-output spread, for real-valued protocols *)
+  faults : Aat_runtime.Report.fault_stats;
+      (** injected-fault accounting ({!Aat_runtime.Report.no_faults} when
+          no plan was given) *)
+  violations : Aat_runtime.Watchdog.violation list;
+      (** first violation per installed watchdog, in firing order *)
 }
 
 val ok : outcome -> bool
-(** All three properties hold. *)
+(** The run finished and all three properties hold. *)
+
+val excused : outcome -> bool
+(** The verdict failed but the grade excused it (out-of-model faults). *)
 
 val verdict_of : outcome -> Verdict.t
 
@@ -55,49 +87,73 @@ val of_protocol :
   protocol:(unit -> ('s, 'm, 'o) Protocol.t) ->
   adversary:(unit -> 'm Adversary.t) ->
   ?observe:('s -> float option) ->
+  ?fault_plan:Aat_faults.Plan.t ->
+  ?watchdogs:(unit -> ('s, 'm) Aat_runtime.Watchdog.t list) ->
   check:(('o, 'm) Aat_runtime.Report.t -> Verdict.t) ->
   ?spread:(('o, 'm) Aat_runtime.Report.t -> float option) ->
   unit ->
   t
 (** The extension point: lift any synchronous protocol into the Runner
-    API. [protocol] and [adversary] are thunks invoked once per [run] call
-    (fresh state per execution); [check] judges the finished report;
-    [spread] (default [fun _ -> None]) extracts the convergence headline. *)
+    API. [protocol], [adversary] and [watchdogs] are thunks invoked once
+    per [run] call (fresh state per execution); [check] judges the
+    finished — possibly partial — report; [spread] (default
+    [fun _ -> None]) extracts the convergence headline. [fault_plan]
+    (default {!Aat_faults.Plan.empty}) must be
+    {!Aat_faults.Plan.sync_compatible}. *)
 
-(** {1 The repository's protocols as runners} *)
+(** {1 The repository's protocols as runners}
+
+    All take [?fault_plan] (default: no faults) and [?watch] (default
+    [false]): when set, the standard watchdog catalog applicable to the
+    protocol — corruption-budget monotonicity everywhere, spread
+    non-expansion where a scalar observation exists — is installed. *)
 
 val tree_aa :
+  ?fault_plan:Aat_faults.Plan.t ->
+  ?watch:bool ->
   tree:Labeled_tree.t ->
   inputs:Labeled_tree.vertex array ->
   t:int ->
   adversary:(unit -> Aat_treeaa.Tree_aa.msg Adversary.t) ->
+  unit ->
   t
 
 val nr_baseline :
+  ?fault_plan:Aat_faults.Plan.t ->
+  ?watch:bool ->
   tree:Labeled_tree.t ->
   inputs:Labeled_tree.vertex array ->
   t:int ->
   adversary:(unit -> Labeled_tree.vertex Gradecast.Multi.msg Adversary.t) ->
+  unit ->
   t
 
 val path_aa :
+  ?fault_plan:Aat_faults.Plan.t ->
+  ?watch:bool ->
   path:Labeled_tree.t ->
   inputs:Labeled_tree.vertex array ->
   t:int ->
   adversary:(unit -> float Gradecast.Multi.msg Adversary.t) ->
+  unit ->
   t
 (** [path] must be a path graph, as for [Path_aa.protocol]. *)
 
 val known_path_aa :
+  ?fault_plan:Aat_faults.Plan.t ->
+  ?watch:bool ->
   tree:Labeled_tree.t ->
   path:Paths.path ->
   inputs:Labeled_tree.vertex array ->
   t:int ->
   adversary:(unit -> float Gradecast.Multi.msg Adversary.t) ->
+  unit ->
   t
 
 val real_aa :
   ?knobs:Aat_realaa.Bdh.knobs ->
+  ?fault_plan:Aat_faults.Plan.t ->
+  ?watch:bool ->
   eps:float ->
   inputs:float array ->
   t:int ->
@@ -108,11 +164,14 @@ val real_aa :
 (** RealAA ([Bdh]); [eps] is the agreement distance the verdict checks. *)
 
 val iterated_midpoint :
+  ?fault_plan:Aat_faults.Plan.t ->
+  ?watch:bool ->
   eps:float ->
   inputs:float array ->
   t:int ->
   iterations:int ->
   adversary:(unit -> float Gradecast.Multi.msg Adversary.t) ->
+  unit ->
   t
 (** The gradecast variant of the classic halving baseline. *)
 
@@ -122,6 +181,8 @@ type scheduler = Fifo | Lifo | Random_order
 
 val async_tree_aa :
   ?max_events:int ->
+  ?fault_plan:Aat_faults.Plan.t ->
+  ?watch:bool ->
   tree:Labeled_tree.t ->
   inputs:Labeled_tree.vertex array ->
   t:int ->
@@ -131,10 +192,13 @@ val async_tree_aa :
 (** The native asynchronous tree protocol ([Async_aa.tree], Nowak–Rybicki
     style) under a passive adversary with the given scheduler.
     [max_events] defaults to [2_000_000] (soak's budget — enough for the
-    large random trees the campaigns draw). *)
+    large random trees the campaigns draw). The async engine honours the
+    full fault vocabulary, [Duplicate] and [Delay] included. *)
 
 val round_sim_tree_aa :
   ?max_events:int ->
+  ?fault_plan:Aat_faults.Plan.t ->
+  ?watch:bool ->
   tree:Labeled_tree.t ->
   inputs:Labeled_tree.vertex array ->
   t:int ->

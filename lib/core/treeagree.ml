@@ -45,6 +45,15 @@ module Types = Aat_engine.Types
 module Mailbox = Aat_runtime.Mailbox
 module Report = Aat_runtime.Report
 module Defaults = Aat_runtime.Defaults
+module Outcome = Aat_runtime.Outcome
+module Watchdog = Aat_runtime.Watchdog
+
+(* fault injection: declarative plans compiled onto the Mailbox, invariant
+   watchdog catalog, and the plan grammar used by the --fault-plan flags *)
+module Fault_plan = Aat_faults.Plan
+module Fault_plan_io = Aat_faults.Plan_io
+module Fault_inject = Aat_faults.Inject
+module Fault_watchdogs = Aat_faults.Watchdog
 
 (* simulation *)
 module Telemetry = Aat_telemetry.Telemetry
@@ -98,6 +107,12 @@ module Quick = struct
         (** honest parties' outputs *)
     rounds : int;  (** rounds used (equals the fixed schedule) *)
     verdict : Verdict.t;  (** Definition 2 checked on this run *)
+    grade : Verdict.graded;
+        (** fault-aware reading: a failure under an out-of-model fault
+            plan is [Excused], not [Violated] *)
+    status : string;
+        (** ["completed"] or ["liveness-timeout"]; a timed-out run
+            returns its partial report instead of raising *)
     report : (Tree.vertex, Tree_aa.msg) Engine.report;
   }
 
@@ -107,30 +122,65 @@ module Quick = struct
       [t < n/3] for the guarantees to hold (not enforced — the resilience
       experiments deliberately cross the boundary). [telemetry] streams
       per-round events (message counts, convergence snapshots) into the
-      given sink; see {!Telemetry}. *)
-  let agree ?(seed = 0) ?adversary ?telemetry ~tree ~inputs ~t () =
+      given sink; see {!Telemetry}. [fault_plan] (default: none) injects
+      crash/omission/partition faults, deterministically in [seed]; it
+      must be {!Fault_plan.sync_compatible}. [watch] installs the
+      corruption-budget watchdog. *)
+  let agree ?(seed = 0) ?adversary ?telemetry ?(fault_plan = Fault_plan.empty)
+      ?(watch = false) ~tree ~inputs ~t () =
     let adversary =
       match adversary with
       | Some a -> a
       | None -> Adversary.passive "none"
     in
-    let report = Tree_aa.run ~seed ?telemetry ~tree ~inputs ~t ~adversary () in
-    (* Validity's hull: inputs of initially-honest parties (an adaptively
-       corrupted party contributed its input while honest). Termination:
-       every finally-honest party decided. *)
-    let hull_inputs = Report.honest_inputs ~inputs report in
-    let verdict =
-      Tree_verdict.check ~tree
-        ~n_honest:(Array.length inputs - List.length report.Engine.corrupted)
-        ~honest_inputs:hull_inputs
-        ~honest_outputs:(Engine.honest_outputs report)
+    let n = Array.length inputs in
+    let fault_filter =
+      if Fault_plan.is_empty fault_plan then None
+      else Some (Fault_inject.filter ~engine:`Sync ~seed fault_plan)
     in
-    {
-      outputs = report.Engine.outputs;
-      rounds = report.Engine.rounds_used;
-      verdict;
-      report;
-    }
+    let excuse status =
+      if Fault_plan.lossy fault_plan then
+        Some "fault plan drops letters (outside the reliable-channel model)"
+      else if status = "liveness-timeout" && not (Fault_plan.is_empty fault_plan)
+      then Some "liveness timeout under an active fault plan"
+      else None
+    in
+    let finish status (report : (_, _) Engine.report) =
+      (* Validity's hull: inputs of initially-honest parties (an adaptively
+         corrupted party contributed its input while honest). Termination:
+         every finally-honest party decided. *)
+      let verdict, grade =
+        Tree_verdict.grade_report ?excuse:(excuse status) ~tree ~inputs
+          ~value:Fun.id report
+      in
+      {
+        outputs = report.Engine.outputs;
+        rounds = report.Engine.rounds_used;
+        verdict;
+        grade;
+        status;
+        report;
+      }
+    in
+    match
+      Engine.run_outcome ~n ~t ~seed ?telemetry ~observe:Tree_aa.observe
+        ?fault_filter
+        ~crash_faults:(Fault_plan.crashes fault_plan)
+        ~watchdogs:
+          (if watch then
+             (* planned crashes are budget-exempt; allow for them *)
+             [
+               Fault_watchdogs.corruption_budget
+                 ~t:(t + Fault_plan.crash_count fault_plan);
+             ]
+           else [])
+        ~max_rounds:(max 1 (Tree_aa.rounds ~tree))
+        ~protocol:(Tree_aa.protocol ~tree ~inputs:(fun self -> inputs.(self)) ~t)
+        ~adversary ()
+    with
+    | Outcome.Completed report -> finish "completed" report
+    | Outcome.Liveness_timeout { report; _ } -> finish "liveness-timeout" report
+    | Outcome.Engine_error { exn_text; _ } -> failwith exn_text
 
   (** Labels of the agreed vertices, for display. *)
   let output_labels tree outcome =

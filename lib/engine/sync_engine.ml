@@ -13,6 +13,8 @@ type ('out, 'msg) report = ('out, 'msg) Runtime.Report.t = {
   adversary_messages : int;
   rejected_forgeries : int;
   trace : 'msg Types.letter list list;
+  fault_stats : Runtime.Report.fault_stats;
+  watchdog_violations : Runtime.Watchdog.violation list;
 }
 
 exception Exceeded_max_rounds of string
@@ -24,8 +26,12 @@ type ('s, 'o) slot =
   | Done of 'o * Types.round
   | Corrupt
 
-let run (type s m o) ~n ~t ?max_rounds ?(seed = 0) ?(record_trace = false)
-    ?(telemetry = Telemetry.Sink.null) ?(observe : (s -> float option) option)
+let run_outcome (type s m o) ~n ~t ?max_rounds ?(seed = 0)
+    ?(record_trace = false) ?(telemetry = Telemetry.Sink.null)
+    ?(observe : (s -> float option) option)
+    ?(fault_filter : Runtime.Mailbox.fault_filter option)
+    ?(crash_faults : (Types.party_id * Types.round) list = [])
+    ?(watchdogs : (s, m) Runtime.Watchdog.t list = [])
     ~(protocol : (s, m, o) Protocol.t) ~(adversary : m Adversary.t) () =
   if n < 1 then invalid_arg "Sync_engine.run: n < 1";
   if t < 0 || t >= n then invalid_arg "Sync_engine.run: need 0 <= t < n";
@@ -35,9 +41,20 @@ let run (type s m o) ~n ~t ?max_rounds ?(seed = 0) ?(record_trace = false)
   let rng = Aat_util.Rng.create seed in
   let corruption = Runtime.Corruption.create ~n ~t in
   let mailbox : m Runtime.Mailbox.t = Runtime.Mailbox.create ~n in
+  (match fault_filter with
+  | Some f -> Runtime.Mailbox.set_fault_filter mailbox f
+  | None -> ());
+  let crashed = ref 0 in
+  let crash p ~at =
+    if Runtime.Corruption.force_corrupt corruption ~at p then incr crashed
+  in
   let round = ref 0 in
   Runtime.Corruption.corrupt_all corruption ~at:0
     (adversary.initial_corruptions ~n ~t rng);
+  (* Fault-plan crashes scheduled at or before round 0 are in effect from
+     the start: the party never runs. The environment's crashes land before
+     the adversary moves, and do not consume its corruption budget. *)
+  List.iter (fun (p, at) -> if at <= 0 then crash p ~at:0) crash_faults;
   let corrupted p = Runtime.Corruption.is_corrupted corruption p in
   (* Telemetry: with the null sink every per-round emission below is skipped
      wholesale ([live] is false), so untelemetered runs pay nothing. *)
@@ -67,8 +84,46 @@ let run (type s m o) ~n ~t ?max_rounds ?(seed = 0) ?(record_trace = false)
   in
   let history = ref [] in
   let trace = ref [] in
+  (* Watchdogs: each fires at most once (first violation wins) and is then
+     retired; with no watchdogs installed every hook below is a no-op on a
+     never-entered branch. *)
+  let pending_watchdogs = ref watchdogs in
+  let violations_rev = ref [] in
+  let run_watchdogs ~round ~delivered ~states =
+    match !pending_watchdogs with
+    | [] -> ()
+    | wds ->
+        let corrupted_now = Runtime.Corruption.corrupted_list corruption in
+        pending_watchdogs :=
+          List.filter
+            (fun wd ->
+              match
+                Runtime.Watchdog.check wd ~round ~delivered ~states
+                  ~corrupted:corrupted_now
+              with
+              | None -> true
+              | Some detail ->
+                  violations_rev :=
+                    {
+                      Runtime.Watchdog.watchdog = Runtime.Watchdog.name wd;
+                      round;
+                      detail;
+                    }
+                    :: !violations_rev;
+                  false)
+            wds
+  in
   let undecided () =
     Array.exists (function Live _ -> true | Done _ | Corrupt -> false) slots
+  in
+  let undecided_parties () =
+    let acc = ref [] in
+    for p = n - 1 downto 0 do
+      match slots.(p) with
+      | Live _ -> acc := p :: !acc
+      | Done _ | Corrupt -> ()
+    done;
+    !acc
   in
   (* Degenerate protocols may decide with zero communication (e.g. AA on a
      single-vertex tree): honor outputs available at initialization. *)
@@ -81,137 +136,172 @@ let run (type s m o) ~n ~t ?max_rounds ?(seed = 0) ?(record_trace = false)
           | None -> ())
       | Done _ | Corrupt -> ())
     slots;
-  while undecided () do
-    incr round;
-    let r = !round in
-    let forgeries_before = Runtime.Mailbox.rejected_forgeries mailbox in
-    if r > max_rounds then
-      raise
-        (Exceeded_max_rounds
-           (Printf.sprintf "%s: honest party undecided after %d rounds"
-              protocol.name max_rounds));
-    (* 1. honest outboxes *)
-    let honest_outbox = ref [] in
-    Array.iteri
-      (fun p slot ->
-        match slot with
-        | Live s ->
-            List.iter
-              (fun (dst, body) ->
-                if dst < 0 || dst >= n then
-                  invalid_arg
-                    (Printf.sprintf "%s: p%d sent to invalid party %d"
-                       protocol.name p dst)
-                else honest_outbox := { Types.src = p; dst; body } :: !honest_outbox)
-              (protocol.send ~round:r ~self:p s)
-        | Done _ | Corrupt -> ())
-      slots;
-    let view () =
-      {
-        Adversary.round = r;
-        n;
-        t;
-        corrupted = Array.copy (Runtime.Corruption.flags corruption);
-        honest_outbox = List.rev !honest_outbox;
-        history = !history;
-        rng;
-      }
-    in
-    (* 2. adaptive corruptions: newly corrupted parties' messages of this
-       round are retracted and their state handed to the adversary
-       (conceptually — we just drop it). *)
-    let extra = adversary.corrupt_more (view ()) in
-    List.iter
-      (fun p ->
-        ignore (Runtime.Corruption.corrupt corruption ~at:r p);
-        if p >= 0 && p < n && corrupted p then begin
-          slots.(p) <- Corrupt;
-          honest_outbox :=
-            List.filter (fun (l : m Types.letter) -> l.src <> p) !honest_outbox
-        end)
-      extra;
-    (* 3. adversary messages, authenticated-channel check *)
-    let byz_letters =
-      Runtime.Mailbox.screen mailbox ~adversary:adversary.name
-        ~corrupted:(Runtime.Corruption.flags corruption)
-        (adversary.deliver (view ()))
-    in
-    (* 4. delivery through the shared mailbox: at most one letter per
-       (src, dst) pair. Adversary letters are posted first so that a
-       Byzantine double-send to the same recipient resolves to the
-       adversary's *last* choice, and an adversary letter from a
-       newly-corrupted party overrides the retracted honest one (already
-       removed above). *)
-    Runtime.Mailbox.begin_round mailbox;
-    Runtime.Mailbox.post_last_wins mailbox byz_letters;
-    Runtime.Mailbox.post_last_wins mailbox !honest_outbox;
-    let delivered = Runtime.Mailbox.delivered mailbox in
-    Runtime.Mailbox.note_honest mailbox (List.length !honest_outbox);
-    Runtime.Mailbox.note_adversary mailbox (List.length byz_letters);
-    history := delivered :: !history;
-    if record_trace then trace := delivered :: !trace;
-    (* 5. honest receive + termination. On telemetered runs with an
-       [observe] function, each party's post-receive state is sampled here —
-       including parties deciding this round, whose state is about to be
-       discarded. *)
-    let snapshot_rev = ref [] in
-    Array.iteri
-      (fun p slot ->
-        match slot with
-        | Live s ->
-            let inbox = Runtime.Mailbox.inbox mailbox p in
-            let s' = protocol.receive ~round:r ~self:p ~inbox s in
-            (if live then
-               match observe with
-               | Some f -> (
-                   match f s' with
-                   | Some v -> snapshot_rev := (p, v) :: !snapshot_rev
-                   | None -> ())
-               | None -> ());
-            (match protocol.output s' with
-            | Some o -> slots.(p) <- Done (o, r)
-            | None -> slots.(p) <- Live s')
-        | Done _ | Corrupt -> ())
-      slots;
-    (* 6. telemetry: one event per round, after receives so that probes
-       fired inside [receive] and post-round state snapshots are included *)
-    if live then begin
-      let sent_by = Array.make n 0 in
-      let honest_bytes = ref 0 and adversary_bytes = ref 0 in
-      List.iter
-        (fun (l : m Types.letter) ->
-          sent_by.(l.src) <- sent_by.(l.src) + 1;
-          honest_bytes := !honest_bytes + Telemetry.payload_bytes l.body)
-        !honest_outbox;
-      List.iter
-        (fun (l : m Types.letter) ->
-          sent_by.(l.src) <- sent_by.(l.src) + 1;
-          adversary_bytes := !adversary_bytes + Telemetry.payload_bytes l.body)
-        byz_letters;
-      let grades, marks =
-        match probe with
-        | Some c -> Telemetry.Probe.flush c
-        | None -> (None, [])
+  let timed_out = ref false in
+  while undecided () && not !timed_out do
+    if !round >= max_rounds then timed_out := true
+    else begin
+      incr round;
+      let r = !round in
+      let forgeries_before = Runtime.Mailbox.rejected_forgeries mailbox in
+      let dropped_before =
+        (Runtime.Mailbox.fault_stats mailbox ~crashed:0).Runtime.Report.dropped
       in
-      telemetry.Telemetry.Sink.on_round
+      (* 1. honest outboxes *)
+      let honest_outbox = ref [] in
+      Array.iteri
+        (fun p slot ->
+          match slot with
+          | Live s ->
+              List.iter
+                (fun (dst, body) ->
+                  if dst < 0 || dst >= n then
+                    invalid_arg
+                      (Printf.sprintf "%s: p%d sent to invalid party %d"
+                         protocol.name p dst)
+                  else
+                    honest_outbox := { Types.src = p; dst; body } :: !honest_outbox)
+                (protocol.send ~round:r ~self:p s)
+          | Done _ | Corrupt -> ())
+        slots;
+      (* 2a. fault-plan crashes land first (the environment acts before the
+         adversary): a party crashing in round [r] has its round-[r] letters
+         retracted, exactly like an adaptive corruption. *)
+      List.iter
+        (fun (p, at) ->
+          if at = r then begin
+            crash p ~at:r;
+            if p >= 0 && p < n && corrupted p then begin
+              slots.(p) <- Corrupt;
+              honest_outbox :=
+                List.filter
+                  (fun (l : m Types.letter) -> l.src <> p)
+                  !honest_outbox
+            end
+          end)
+        crash_faults;
+      let view () =
         {
-          Telemetry.round = r;
-          honest_msgs = List.length !honest_outbox;
-          adversary_msgs = List.length byz_letters;
-          delivered_msgs = List.length delivered;
-          rejected_forgeries =
-            Runtime.Mailbox.rejected_forgeries mailbox - forgeries_before;
-          honest_bytes = !honest_bytes;
-          adversary_bytes = !adversary_bytes;
-          sent_by;
-          corruptions =
-            List.filter_map
-              (fun (p, cr) -> if cr = r then Some p else None)
-              (Runtime.Corruption.rounds_list corruption);
-          grades;
-          marks;
-          snapshot = List.rev !snapshot_rev;
+          Adversary.round = r;
+          n;
+          t;
+          corrupted = Array.copy (Runtime.Corruption.flags corruption);
+          honest_outbox = List.rev !honest_outbox;
+          history = !history;
+          rng;
         }
+      in
+      (* 2b. adaptive corruptions: newly corrupted parties' messages of this
+         round are retracted and their state handed to the adversary
+         (conceptually — we just drop it). *)
+      let extra = adversary.corrupt_more (view ()) in
+      List.iter
+        (fun p ->
+          ignore (Runtime.Corruption.corrupt corruption ~at:r p);
+          if p >= 0 && p < n && corrupted p then begin
+            slots.(p) <- Corrupt;
+            honest_outbox :=
+              List.filter (fun (l : m Types.letter) -> l.src <> p) !honest_outbox
+          end)
+        extra;
+      (* 3. adversary messages, authenticated-channel check *)
+      let byz_letters =
+        Runtime.Mailbox.screen mailbox ~adversary:adversary.name
+          ~corrupted:(Runtime.Corruption.flags corruption)
+          (adversary.deliver (view ()))
+      in
+      (* 4. delivery through the shared mailbox: at most one letter per
+         (src, dst) pair. Adversary letters are posted first so that a
+         Byzantine double-send to the same recipient resolves to the
+         adversary's *last* choice, and an adversary letter from a
+         newly-corrupted party overrides the retracted honest one (already
+         removed above). The installed fault filter (if any) is consulted
+         inside [post]. *)
+      Runtime.Mailbox.begin_round ~round:r mailbox;
+      Runtime.Mailbox.post_last_wins mailbox byz_letters;
+      Runtime.Mailbox.post_last_wins mailbox !honest_outbox;
+      let delivered = Runtime.Mailbox.delivered mailbox in
+      Runtime.Mailbox.note_honest mailbox (List.length !honest_outbox);
+      Runtime.Mailbox.note_adversary mailbox (List.length byz_letters);
+      history := delivered :: !history;
+      if record_trace then trace := delivered :: !trace;
+      (* 5. honest receive + termination. On telemetered runs with an
+         [observe] function, each party's post-receive state is sampled here —
+         including parties deciding this round, whose state is about to be
+         discarded. Watchdogs see the same post-receive states. *)
+      let snapshot_rev = ref [] in
+      let wd_states_rev = ref [] in
+      let wd_live = !pending_watchdogs <> [] in
+      Array.iteri
+        (fun p slot ->
+          match slot with
+          | Live s ->
+              let inbox = Runtime.Mailbox.inbox mailbox p in
+              let s' = protocol.receive ~round:r ~self:p ~inbox s in
+              (if live then
+                 match observe with
+                 | Some f -> (
+                     match f s' with
+                     | Some v -> snapshot_rev := (p, v) :: !snapshot_rev
+                     | None -> ())
+                 | None -> ());
+              if wd_live then wd_states_rev := (p, s') :: !wd_states_rev;
+              (match protocol.output s' with
+              | Some o -> slots.(p) <- Done (o, r)
+              | None -> slots.(p) <- Live s')
+          | Done _ | Corrupt -> ())
+        slots;
+      run_watchdogs ~round:r ~delivered ~states:(List.rev !wd_states_rev);
+      (* 6. telemetry: one event per round, after receives so that probes
+         fired inside [receive] and post-round state snapshots are included *)
+      if live then begin
+        let sent_by = Array.make n 0 in
+        let honest_bytes = ref 0 and adversary_bytes = ref 0 in
+        List.iter
+          (fun (l : m Types.letter) ->
+            sent_by.(l.src) <- sent_by.(l.src) + 1;
+            honest_bytes := !honest_bytes + Telemetry.payload_bytes l.body)
+          !honest_outbox;
+        List.iter
+          (fun (l : m Types.letter) ->
+            sent_by.(l.src) <- sent_by.(l.src) + 1;
+            adversary_bytes := !adversary_bytes + Telemetry.payload_bytes l.body)
+          byz_letters;
+        let grades, marks =
+          match probe with
+          | Some c -> Telemetry.Probe.flush c
+          | None -> (None, [])
+        in
+        let marks =
+          (* Fault accounting rides the existing free-form [marks] channel,
+             and only when the filter actually dropped something this round —
+             benign streams are byte-identical to before. *)
+          let dropped_now =
+            (Runtime.Mailbox.fault_stats mailbox ~crashed:0)
+              .Runtime.Report.dropped - dropped_before
+          in
+          if dropped_now > 0 then ("fault_dropped", dropped_now) :: marks
+          else marks
+        in
+        telemetry.Telemetry.Sink.on_round
+          {
+            Telemetry.round = r;
+            honest_msgs = List.length !honest_outbox;
+            adversary_msgs = List.length byz_letters;
+            delivered_msgs = List.length delivered;
+            rejected_forgeries =
+              Runtime.Mailbox.rejected_forgeries mailbox - forgeries_before;
+            honest_bytes = !honest_bytes;
+            adversary_bytes = !adversary_bytes;
+            sent_by;
+            corruptions =
+              List.filter_map
+                (fun (p, cr) -> if cr = r then Some p else None)
+                (Runtime.Corruption.rounds_list corruption);
+            grades;
+            marks;
+            snapshot = List.rev !snapshot_rev;
+          }
+      end
     end
   done;
   if live then
@@ -228,23 +318,50 @@ let run (type s m o) ~n ~t ?max_rounds ?(seed = 0) ?(record_trace = false)
       | Done (o, r) ->
           outputs := (p, o) :: !outputs;
           terms := (p, r) :: !terms
-      | Corrupt -> ()
-      | Live _ -> assert false)
+      | Corrupt | Live _ -> ())
     slots;
-  {
-    engine = "sync";
-    n;
-    t;
-    outputs = List.rev !outputs;
-    termination_rounds = List.rev !terms;
-    rounds_used = !round;
-    corrupted = Runtime.Corruption.corrupted_list corruption;
-    corruption_rounds = Runtime.Corruption.rounds_list corruption;
-    honest_messages = Runtime.Mailbox.honest_messages mailbox;
-    adversary_messages = Runtime.Mailbox.adversary_messages mailbox;
-    rejected_forgeries = Runtime.Mailbox.rejected_forgeries mailbox;
-    trace = List.rev !trace;
-  }
+  let report =
+    {
+      engine = "sync";
+      n;
+      t;
+      outputs = List.rev !outputs;
+      termination_rounds = List.rev !terms;
+      rounds_used = !round;
+      corrupted = Runtime.Corruption.corrupted_list corruption;
+      corruption_rounds = Runtime.Corruption.rounds_list corruption;
+      honest_messages = Runtime.Mailbox.honest_messages mailbox;
+      adversary_messages = Runtime.Mailbox.adversary_messages mailbox;
+      rejected_forgeries = Runtime.Mailbox.rejected_forgeries mailbox;
+      trace = List.rev !trace;
+      fault_stats = Runtime.Mailbox.fault_stats mailbox ~crashed:!crashed;
+      watchdog_violations = List.rev !violations_rev;
+    }
+  in
+  if !timed_out then
+    Runtime.Outcome.Liveness_timeout
+      {
+        Runtime.Outcome.report;
+        undecided = undecided_parties ();
+        reason =
+          Printf.sprintf "%s: honest party undecided after %d rounds"
+            protocol.name max_rounds;
+      }
+  else Runtime.Outcome.Completed report
+
+let run ~n ~t ?max_rounds ?seed ?record_trace ?telemetry ?observe ?fault_filter
+    ?crash_faults ?watchdogs ~protocol ~adversary () =
+  match
+    run_outcome ~n ~t ?max_rounds ?seed ?record_trace ?telemetry ?observe
+      ?fault_filter ?crash_faults ?watchdogs ~protocol ~adversary ()
+  with
+  | Runtime.Outcome.Completed report -> report
+  | Runtime.Outcome.Liveness_timeout { reason; _ } ->
+      raise (Exceeded_max_rounds reason)
+  | Runtime.Outcome.Engine_error _ ->
+      (* [run_outcome] lets protocol/adversary exceptions escape; only
+         [Runner.run] folds them into [Engine_error]. *)
+      assert false
 
 let output_of = Runtime.Report.output_of
 

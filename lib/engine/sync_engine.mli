@@ -47,9 +47,48 @@ type ('out, 'msg) report = ('out, 'msg) Aat_runtime.Report.t = {
   trace : 'msg Types.letter list list;
       (** delivered traffic per round, oldest first (empty unless
           [~record_trace:true]) *)
+  fault_stats : Aat_runtime.Report.fault_stats;
+      (** injected-fault accounting; all zeros on a benign run *)
+  watchdog_violations : Aat_runtime.Watchdog.violation list;
+      (** first violation per installed watchdog, in firing order *)
 }
 
 exception Exceeded_max_rounds of string
+
+val run_outcome :
+  n:int ->
+  t:int ->
+  ?max_rounds:int ->
+  ?seed:int ->
+  ?record_trace:bool ->
+  ?telemetry:Aat_telemetry.Telemetry.Sink.t ->
+  ?observe:('s -> float option) ->
+  ?fault_filter:Aat_runtime.Mailbox.fault_filter ->
+  ?crash_faults:(Types.party_id * Types.round) list ->
+  ?watchdogs:('s, 'm) Aat_runtime.Watchdog.t list ->
+  protocol:('s, 'm, 'o) Protocol.t ->
+  adversary:'m Adversary.t ->
+  unit ->
+  ('o, 'm) Aat_runtime.Outcome.t
+(** The structured-outcome entry point: identical execution to {!run}, but
+    round-budget exhaustion returns
+    [Liveness_timeout {report; undecided; reason}] (the partial report
+    covers the parties that did decide, with full message and fault
+    accounting) instead of raising. Protocol/adversary exceptions still
+    escape — folding those into [Engine_error] is the campaign
+    [Runner]'s job, so direct callers keep their stack traces.
+
+    [fault_filter] (compiled from a fault plan by [Aat_faults.Inject])
+    is installed into the run's mailbox and consulted on every posted
+    letter; [Duplicate]/[Delay] decisions have no synchronous meaning
+    and deliver normally. [crash_faults] force-crashes each listed party
+    at its round, before the adversary moves and without consuming the
+    corruption budget; a crash at round [r <= 0] means the party never
+    runs. [watchdogs] are checked after every round's receives on the
+    post-receive states (including parties deciding that round); each
+    records at most one violation into the report. All three default to
+    inert, in which case the execution — and the report, field for
+    field — is identical to the pre-fault engine. *)
 
 val run :
   n:int ->
@@ -59,6 +98,9 @@ val run :
   ?record_trace:bool ->
   ?telemetry:Aat_telemetry.Telemetry.Sink.t ->
   ?observe:('s -> float option) ->
+  ?fault_filter:Aat_runtime.Mailbox.fault_filter ->
+  ?crash_faults:(Types.party_id * Types.round) list ->
+  ?watchdogs:('s, 'm) Aat_runtime.Watchdog.t list ->
   protocol:('s, 'm, 'o) Protocol.t ->
   adversary:'m Adversary.t ->
   unit ->
@@ -67,7 +109,9 @@ val run :
     pass the protocol's round bound to assert sharp termination. [seed]
     (default 0) feeds the adversary's RNG; honest protocols are
     deterministic. Raises {!Exceeded_max_rounds} when some honest party is
-    still undecided after [max_rounds].
+    still undecided after [max_rounds] — the raising veneer over
+    {!run_outcome} for callers that treat a liveness failure as a test
+    failure.
 
     [telemetry] (default {!Aat_telemetry.Telemetry.Sink.null}) receives one
     structured event per round — message/byte counts, corruptions, probe

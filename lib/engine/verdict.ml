@@ -14,6 +14,39 @@ let conj a b =
     agreement = a.agreement && b.agreement;
   }
 
+type graded =
+  | Passed
+  | Violated of t
+  | Excused of { reason : string; verdict : t }
+
+let grade ~n ~t ~faulty ?excuse v =
+  if all_ok v then Passed
+  else if faulty > t then
+    Excused
+      {
+        reason =
+          Printf.sprintf
+            "%d faulty parties exceed the budget t=%d (fewer than n-t=%d \
+             live honest parties)"
+            faulty t (n - t);
+        verdict = v;
+      }
+  else
+    match excuse with
+    | Some reason -> Excused { reason; verdict = v }
+    | None -> Violated v
+
+let graded_label = function
+  | Passed -> "passed"
+  | Violated _ -> "violated"
+  | Excused _ -> "excused"
+
+let pp_graded fmt = function
+  | Passed -> Format.pp_print_string fmt "passed"
+  | Violated v -> Format.fprintf fmt "violated (%a)" pp v
+  | Excused { reason; verdict } ->
+      Format.fprintf fmt "excused (%a): %s" pp verdict reason
+
 let spread = function
   | [] -> 0.
   | x :: xs ->

@@ -17,6 +17,35 @@ val pp : Format.formatter -> t -> unit
 
 val conj : t -> t -> t
 
+(** {1 Grading under fault plans}
+
+    A verdict says {e whether} the properties held; a grade says whether a
+    failure is the protocol's fault. A run whose fault plan crashed more
+    than [t] parties (so fewer than [n - t] live honest parties remain) —
+    or lost letters a Byzantine adversary could not have lost — failed
+    {e outside} the model the paper proves anything about: such failures
+    are [Excused], not [Violated]. Campaigns aggregate the two
+    separately, so a chaos grid distinguishes "the protocol broke" from
+    "the environment broke the model". *)
+
+type graded =
+  | Passed  (** all three properties held *)
+  | Violated of t  (** a genuine in-model failure: the carried verdict *)
+  | Excused of { reason : string; verdict : t }
+      (** failed, but outside the model's hypotheses *)
+
+val grade : n:int -> t:int -> faulty:int -> ?excuse:string -> t -> graded
+(** [faulty] is the run's total corrupted-or-crashed party count. A
+    failed verdict is excused when [faulty > t], or when the caller
+    supplies [?excuse] (e.g. "the fault plan drops letters, the model
+    does not"). A verdict with all properties holding is [Passed]
+    regardless. *)
+
+val graded_label : graded -> string
+(** ["passed"] / ["violated"] / ["excused"] — the campaign JSONL tags. *)
+
+val pp_graded : Format.formatter -> graded -> unit
+
 val real :
   eps:float -> n_honest:int -> honest_inputs:float list ->
   honest_outputs:float list -> t

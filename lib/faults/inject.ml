@@ -1,0 +1,92 @@
+module Types = Aat_runtime.Types
+module Mailbox = Aat_runtime.Mailbox
+module Rng = Aat_util.Rng
+
+let fault_rng ~seed =
+  (* A dedicated stream split off the run seed: the engine's own RNG is
+     created from [seed] directly, so the fault stream must not alias it.
+     SplitMix64's [split] hands back an independently-seeded generator;
+     doing it off a fixed xor keeps the two streams distinct even for
+     seed 0. *)
+  Rng.split (Rng.create (seed lxor 0x6a09e667f3bcc908))
+
+let in_scope (scope : Plan.scope) ~src ~dst =
+  match scope with
+  | Plan.All -> true
+  | Plan.Party p -> src = p || dst = p
+  | Plan.Pair pair -> src = pair.src && dst = pair.dst
+
+(* One compiled decision procedure per fault. Probabilistic faults draw
+   from the shared per-run stream only when the letter is in scope, so the
+   decision sequence is a deterministic function of (seed, letter
+   sequence) — and the letter sequence is itself deterministic per run. *)
+let compile_fault ~engine rng (fault : Plan.fault) :
+    round:Types.round -> src:Types.party_id -> dst:Types.party_id ->
+    Mailbox.fault_decision =
+  match fault with
+  | Plan.Crash _ ->
+      (* handled at the party level via [crashes] / [~crash_faults]: the
+         engine force-corrupts the party, which stops its sends at the
+         source — nothing to do per letter *)
+      fun ~round:_ ~src:_ ~dst:_ -> Mailbox.Deliver
+  | Plan.Crash_recover { party; from_round; to_round } ->
+      fun ~round ~src ~dst ->
+        if
+          round >= from_round && round <= to_round
+          && (src = party || dst = party)
+        then Mailbox.Drop
+        else Mailbox.Deliver
+  | Plan.Omission { prob; scope } ->
+      fun ~round:_ ~src ~dst ->
+        if in_scope scope ~src ~dst && Rng.float rng 1.0 < prob then
+          Mailbox.Drop
+        else Mailbox.Deliver
+  | Plan.Partition { blocks; from_round; to_round } ->
+      let block_of = Hashtbl.create 16 in
+      List.iteri
+        (fun i block ->
+          List.iter (fun p -> Hashtbl.replace block_of p i) block)
+        blocks;
+      (* parties in no listed block share one implicit "rest" block *)
+      let lookup p = Option.value ~default:(-1) (Hashtbl.find_opt block_of p) in
+      fun ~round ~src ~dst ->
+        if
+          round >= from_round && round <= to_round && lookup src <> lookup dst
+        then Mailbox.Drop
+        else Mailbox.Deliver
+  | Plan.Duplicate { prob; scope } -> (
+      match engine with
+      | `Sync -> fun ~round:_ ~src:_ ~dst:_ -> Mailbox.Deliver
+      | `Async ->
+          fun ~round:_ ~src ~dst ->
+            if in_scope scope ~src ~dst && Rng.float rng 1.0 < prob then
+              Mailbox.Duplicate
+            else Mailbox.Deliver)
+  | Plan.Delay { prob; scope; by } -> (
+      match engine with
+      | `Sync -> fun ~round:_ ~src:_ ~dst:_ -> Mailbox.Deliver
+      | `Async ->
+          fun ~round:_ ~src ~dst ->
+            if in_scope scope ~src ~dst && Rng.float rng 1.0 < prob then
+              Mailbox.Delay by
+            else Mailbox.Deliver)
+
+let filter ~engine ~seed (plan : Plan.t) : Mailbox.fault_filter =
+  let rng = fault_rng ~seed in
+  let compiled = List.map (compile_fault ~engine rng) plan in
+  fun ~round ~src ~dst ->
+    (* Every probabilistic fault consumes its draw on every in-scope
+       letter, whether or not an earlier fault already doomed the letter —
+       the decision sequence must not depend on fault order. The first
+       non-[Deliver] verdict in plan order wins, with [Drop] dominating
+       (a letter cannot be both dropped and delayed). *)
+    List.fold_left
+      (fun acc decide ->
+        let d = decide ~round ~src ~dst in
+        match (acc, d) with
+        | Mailbox.Drop, _ | _, Mailbox.Drop -> Mailbox.Drop
+        | Mailbox.Deliver, d -> d
+        | acc, _ -> acc)
+      Mailbox.Deliver compiled
+
+let crashes = Plan.crashes

@@ -1,0 +1,28 @@
+(** Compile a {!Plan.t} into the decision function the engines consume.
+
+    The letter-level faults become one {!Aat_runtime.Mailbox.fault_filter};
+    the party-level [Crash] faults become the engines' [~crash_faults]
+    list (via {!crashes}). Both must be passed for the plan to act in
+    full:
+
+    {[
+      let filter = Inject.filter ~engine:`Sync ~seed plan in
+      Sync_engine.run_outcome ... ~fault_filter:filter
+        ~crash_faults:(Inject.crashes plan) ...
+    ]} *)
+
+val filter :
+  engine:[ `Sync | `Async ] ->
+  seed:int ->
+  Plan.t ->
+  Aat_runtime.Mailbox.fault_filter
+(** Probabilistic decisions draw from a dedicated SplitMix64 stream split
+    from [seed] (never from the engine's adversary RNG), so a faulty run
+    is a pure function of its seed — campaign JSONL stays bit-identical
+    for any [--workers]. Async-only faults ([Duplicate]/[Delay]) compile
+    to [Deliver] under [`Sync]; dropping dominates when several faults
+    hit the same letter; every probabilistic fault consumes its draw on
+    every in-scope letter so decisions are independent of plan order. *)
+
+val crashes : Plan.t -> (Aat_runtime.Types.party_id * Aat_runtime.Types.round) list
+(** Alias of {!Plan.crashes}: the [~crash_faults] engine argument. *)

@@ -1,0 +1,179 @@
+module Types = Aat_runtime.Types
+
+type scope =
+  | All
+  | Party of Types.party_id
+  | Pair of { src : Types.party_id; dst : Types.party_id }
+
+type fault =
+  | Crash of { party : Types.party_id; at_round : Types.round }
+  | Crash_recover of {
+      party : Types.party_id;
+      from_round : Types.round;
+      to_round : Types.round;
+    }
+  | Omission of { prob : float; scope : scope }
+  | Partition of {
+      blocks : Types.party_id list list;
+      from_round : Types.round;
+      to_round : Types.round;
+    }
+  | Duplicate of { prob : float; scope : scope }
+  | Delay of { prob : float; scope : scope; by : int }
+
+type t = fault list
+
+let empty = []
+
+let is_empty plan = plan = []
+
+let sync_compatible =
+  List.for_all (function Duplicate _ | Delay _ -> false | _ -> true)
+
+let lossy plan =
+  List.exists
+    (function
+      | Omission _ | Partition _ | Crash_recover _ -> true
+      | Crash _ | Duplicate _ | Delay _ -> false)
+    plan
+
+let crashes plan =
+  List.filter_map
+    (function Crash { party; at_round } -> Some (party, at_round) | _ -> None)
+    plan
+
+let crash_count plan =
+  List.length
+    (List.sort_uniq compare
+       (List.filter_map
+          (function Crash { party; _ } -> Some party | _ -> None)
+          plan))
+
+let validate_scope ?n scope =
+  let party_ok p =
+    if p < 0 then Error (Printf.sprintf "negative party id %d" p)
+    else
+      match n with
+      | Some n when p >= n ->
+          Error (Printf.sprintf "party id %d out of range for n=%d" p n)
+      | _ -> Ok ()
+  in
+  match scope with
+  | All -> Ok ()
+  | Party p -> party_ok p
+  | Pair { src; dst } -> (
+      match party_ok src with Error _ as e -> e | Ok () -> party_ok dst)
+
+let validate ?n plan =
+  let prob_ok what p =
+    if p < 0. || p > 1. || Float.is_nan p then
+      Error (Printf.sprintf "%s probability %g outside [0, 1]" what p)
+    else Ok ()
+  in
+  let party_ok p =
+    validate_scope ?n (Party p)
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | fault :: rest -> (
+        let this =
+          match fault with
+          | Crash { party; at_round } ->
+              if at_round < 0 then
+                Error (Printf.sprintf "crash round %d negative" at_round)
+              else party_ok party
+          | Crash_recover { party; from_round; to_round } ->
+              if from_round < 0 || to_round < from_round then
+                Error
+                  (Printf.sprintf "bad crash-recover window %d-%d" from_round
+                     to_round)
+              else party_ok party
+          | Omission { prob; scope } -> (
+              match prob_ok "omission" prob with
+              | Error _ as e -> e
+              | Ok () -> validate_scope ?n scope)
+          | Duplicate { prob; scope } -> (
+              match prob_ok "duplicate" prob with
+              | Error _ as e -> e
+              | Ok () -> validate_scope ?n scope)
+          | Delay { prob; scope; by } -> (
+              if by < 1 then
+                Error (Printf.sprintf "delay amount %d < 1" by)
+              else
+                match prob_ok "delay" prob with
+                | Error _ as e -> e
+                | Ok () -> validate_scope ?n scope)
+          | Partition { blocks; from_round; to_round } ->
+              if from_round < 0 || to_round < from_round then
+                Error
+                  (Printf.sprintf "bad partition window %d-%d" from_round
+                     to_round)
+              else if List.exists (fun b -> b = []) blocks then
+                Error "empty partition block"
+              else
+                let all = List.concat blocks in
+                let sorted = List.sort_uniq compare all in
+                if List.length sorted <> List.length all then
+                  Error "partition blocks overlap"
+                else
+                  List.fold_left
+                    (fun acc p ->
+                      match acc with Error _ -> acc | Ok () -> party_ok p)
+                    (Ok ()) all
+        in
+        match this with Error _ as e -> e | Ok () -> go rest)
+  in
+  go plan
+
+(* Chaos plans: 1-2 mild faults drawn from the task's own RNG stream. The
+   intensity knob scales both the per-letter probabilities and the odds of
+   drawing a second fault; 0.0 means a benign (empty) plan. *)
+let random rng ~n ~rounds_hint ~sync_only ?(intensity = 1.0) () =
+  let intensity = Float.max 0. (Float.min 1. intensity) in
+  if intensity = 0. then []
+  else begin
+    let module Rng = Aat_util.Rng in
+    let round () = 1 + Rng.int rng (max 1 rounds_hint) in
+    let party () = Rng.int rng n in
+    let scope () =
+      match Rng.int rng 3 with
+      | 0 -> All
+      | 1 -> Party (party ())
+      | _ ->
+          let src = party () in
+          let dst = (src + 1 + Rng.int rng (max 1 (n - 1))) mod n in
+          Pair { src; dst }
+    in
+    let prob () = intensity *. (0.02 +. (0.18 *. Rng.float rng 1.0)) in
+    let fault () =
+      let kinds = if sync_only then 4 else 6 in
+      match Rng.int rng kinds with
+      | 0 -> Crash { party = party (); at_round = round () }
+      | 1 ->
+          let a = round () in
+          let b = a + Rng.int rng (max 1 rounds_hint) in
+          Crash_recover { party = party (); from_round = a; to_round = b }
+      | 2 -> Omission { prob = prob (); scope = scope () }
+      | 3 ->
+          let blocks =
+            if n < 2 then [ [ 0 ] ]
+            else
+              let cut = 1 + Rng.int rng (n - 1) in
+              [ List.init cut Fun.id; List.init (n - cut) (fun i -> cut + i) ]
+          in
+          let a = round () in
+          let b = a + Rng.int rng (max 1 rounds_hint) in
+          Partition { blocks; from_round = a; to_round = b }
+      | 4 -> Duplicate { prob = prob (); scope = scope () }
+      | _ ->
+          Delay
+            {
+              prob = prob ();
+              scope = scope ();
+              by = 1 + Rng.int rng (max 1 (4 * n));
+            }
+    in
+    let first = fault () in
+    if Rng.float rng 1.0 < 0.5 *. intensity then [ first; fault () ]
+    else [ first ]
+  end

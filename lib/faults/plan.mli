@@ -1,0 +1,98 @@
+(** Fault plans: declarative descriptions of non-Byzantine faults.
+
+    A plan is a list of faults, each acting independently on the run's
+    letters (or, for crashes, on parties). The Byzantine adversary of the
+    model subsumes all of them in theory — a crashed party is a corrupted
+    party that says nothing — but crash, omission and partition faults
+    below the Byzantine threshold (and beyond it!) are exactly the
+    gradations the robustness layer is for: see [docs/FAULTS.md].
+
+    Time is engine-relative, as everywhere in this repo: "round" means
+    lock-step round under the synchronous engine and delivery-event number
+    under the asynchronous one.
+
+    Plans are data; {!Inject.filter} compiles one into the
+    {!Aat_runtime.Mailbox.fault_filter} the engines consume, and
+    [Plan_io] parses/prints the compact plan grammar used by the
+    [--fault-plan] CLI flags. *)
+
+module Types = Aat_runtime.Types
+
+(** Which letters a probabilistic fault applies to. *)
+type scope =
+  | All  (** the whole network *)
+  | Party of Types.party_id  (** letters sent {e or} received by the party *)
+  | Pair of { src : Types.party_id; dst : Types.party_id }
+      (** the directed channel [src -> dst] *)
+
+type fault =
+  | Crash of { party : Types.party_id; at_round : Types.round }
+      (** the party goes silent forever from [at_round] on; [at_round <= 0]
+          means it never runs. Implemented as a budget-exempt forced
+          corruption, so it is observationally identical to the
+          [Strategies.crash] Byzantine strategy. *)
+  | Crash_recover of {
+      party : Types.party_id;
+      from_round : Types.round;
+      to_round : Types.round;
+    }
+      (** the party is silent (nothing sent {e or} received) during the
+          inclusive window, then resumes with its pre-crash state *)
+  | Omission of { prob : float; scope : scope }
+      (** each in-scope letter is independently dropped with probability
+          [prob] *)
+  | Partition of {
+      blocks : Types.party_id list list;
+      from_round : Types.round;
+      to_round : Types.round;
+    }
+      (** letters crossing block boundaries are dropped during the
+          inclusive window; parties not listed in any block form one
+          implicit extra block *)
+  | Duplicate of { prob : float; scope : scope }
+      (** async engine only: each in-scope letter is enqueued twice with
+          probability [prob] *)
+  | Delay of { prob : float; scope : scope; by : int }
+      (** async engine only: each in-scope letter is deferred [by]
+          scheduler events with probability [prob], clamped to the
+          patience bound (eventual delivery is preserved) *)
+
+type t = fault list
+
+val empty : t
+
+val is_empty : t -> bool
+
+val sync_compatible : t -> bool
+(** Whether the plan avoids the async-only faults ([Duplicate]/[Delay]). *)
+
+val lossy : t -> bool
+(** Whether the plan can actually lose letters ([Omission], [Partition],
+    [Crash_recover]) — the faults that step outside the reliable-channel
+    model and therefore qualify a failed verdict for excusal. A permanent
+    [Crash] is {e not} lossy: it is Byzantine-expressible. *)
+
+val crashes : t -> (Types.party_id * Types.round) list
+(** The permanent crashes, as the engines' [~crash_faults] argument. *)
+
+val crash_count : t -> int
+(** Number of distinct parties the plan permanently crashes. *)
+
+val validate : ?n:int -> t -> (unit, string) result
+(** Structural checks: probabilities in [0, 1], windows well-ordered,
+    party ids non-negative (and below [n] when given), partition blocks
+    non-empty and disjoint. *)
+
+val random :
+  Aat_util.Rng.t ->
+  n:int ->
+  rounds_hint:int ->
+  sync_only:bool ->
+  ?intensity:float ->
+  unit ->
+  t
+(** Draw a chaos plan: 1-2 mild faults with rounds in
+    [1 .. rounds_hint]. [intensity] (default 1.0, clamped to [0, 1])
+    scales fault probabilities and the odds of a second fault; [0.0]
+    yields the empty plan. Deterministic in the RNG state — campaign
+    chaos mode draws from the task's own seed stream. *)

@@ -1,0 +1,190 @@
+module J = Aat_telemetry.Jsonx
+
+(* Compact plan grammar, one fault per ';'-separated clause, following the
+   colon conventions of the CLI's tree/input specs:
+
+     crash:P@R                      party P silent forever from round R
+     crash-recover:P@A-B            party P silent during rounds A..B
+     omission:PROB                  whole-network omission
+     omission:PROB:party:P          scoped to letters touching P
+     omission:PROB:pair:S>D         scoped to the directed channel S->D
+     duplicate:PROB[:scope]         async only
+     delay:PROB:BY[:scope]         async only, defer BY events
+     partition:B1|B2|...@A-B        blocks are comma-separated party lists
+
+   "none" (or the empty string) is the empty plan. *)
+
+let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let int_of s what =
+  match int_of_string_opt (String.trim s) with
+  | Some v -> Ok v
+  | None -> fail "%s: expected an integer, got %S" what s
+
+let float_of s what =
+  match float_of_string_opt (String.trim s) with
+  | Some v -> Ok v
+  | None -> fail "%s: expected a number, got %S" what s
+
+let ( let* ) r f = Result.bind r f
+
+let parse_at s what =
+  (* "P@R" *)
+  match String.split_on_char '@' s with
+  | [ p; r ] ->
+      let* p = int_of p what in
+      let* r = int_of r what in
+      Ok (p, r)
+  | _ -> fail "%s: expected PARTY@ROUND, got %S" what s
+
+let parse_window s what =
+  (* "A-B" *)
+  match String.split_on_char '-' s with
+  | [ a; b ] ->
+      let* a = int_of a what in
+      let* b = int_of b what in
+      Ok (a, b)
+  | _ -> fail "%s: expected FROM-TO, got %S" what s
+
+let parse_scope tokens what =
+  match tokens with
+  | [] -> Ok Plan.All
+  | [ "party"; p ] ->
+      let* p = int_of p what in
+      Ok (Plan.Party p)
+  | [ "pair"; sd ] -> (
+      match String.split_on_char '>' sd with
+      | [ s; d ] ->
+          let* src = int_of s what in
+          let* dst = int_of d what in
+          Ok (Plan.Pair { src; dst })
+      | _ -> fail "%s: expected pair:SRC>DST, got pair:%S" what sd)
+  | _ ->
+      fail "%s: bad scope %S (want party:P or pair:S>D)" what
+        (String.concat ":" tokens)
+
+let parse_fault clause =
+  match String.split_on_char ':' (String.trim clause) with
+  | "crash" :: [ spec ] ->
+      let* party, at_round = parse_at spec "crash" in
+      Ok (Plan.Crash { party; at_round })
+  | "crash-recover" :: [ spec ] -> (
+      match String.index_opt spec '@' with
+      | Some i ->
+          let* party = int_of (String.sub spec 0 i) "crash-recover" in
+          let* from_round, to_round =
+            parse_window
+              (String.sub spec (i + 1) (String.length spec - i - 1))
+              "crash-recover"
+          in
+          Ok (Plan.Crash_recover { party; from_round; to_round })
+      | None -> fail "crash-recover: expected PARTY@FROM-TO, got %S" spec)
+  | "omission" :: prob :: scope ->
+      let* prob = float_of prob "omission" in
+      let* scope = parse_scope scope "omission" in
+      Ok (Plan.Omission { prob; scope })
+  | "duplicate" :: prob :: scope ->
+      let* prob = float_of prob "duplicate" in
+      let* scope = parse_scope scope "duplicate" in
+      Ok (Plan.Duplicate { prob; scope })
+  | "delay" :: prob :: by :: scope ->
+      let* prob = float_of prob "delay" in
+      let* by = int_of by "delay" in
+      let* scope = parse_scope scope "delay" in
+      Ok (Plan.Delay { prob; scope; by })
+  | "partition" :: [ spec ] -> (
+      match String.index_opt spec '@' with
+      | None -> fail "partition: expected BLOCKS@FROM-TO, got %S" spec
+      | Some i ->
+          let blocks_s = String.sub spec 0 i in
+          let* from_round, to_round =
+            parse_window
+              (String.sub spec (i + 1) (String.length spec - i - 1))
+              "partition"
+          in
+          let* blocks =
+            List.fold_right
+              (fun block acc ->
+                let* acc = acc in
+                let* parties =
+                  List.fold_right
+                    (fun p acc ->
+                      let* acc = acc in
+                      let* p = int_of p "partition" in
+                      Ok (p :: acc))
+                    (String.split_on_char ',' block)
+                    (Ok [])
+                in
+                Ok (parties :: acc))
+              (String.split_on_char '|' blocks_s)
+              (Ok [])
+          in
+          Ok (Plan.Partition { blocks; from_round; to_round }))
+  | kind :: _ ->
+      fail
+        "unknown fault %S (want crash, crash-recover, omission, duplicate, \
+         delay or partition)"
+        kind
+  | [] -> fail "empty fault clause"
+
+let parse s =
+  let s = String.trim s in
+  if s = "" || s = "none" then Ok Plan.empty
+  else
+    let clauses =
+      List.filter
+        (fun c -> String.trim c <> "")
+        (String.split_on_char ';' s)
+    in
+    let* plan =
+      List.fold_right
+        (fun clause acc ->
+          let* acc = acc in
+          let* fault = parse_fault clause in
+          Ok (fault :: acc))
+        clauses (Ok [])
+    in
+    let* () = Plan.validate plan in
+    Ok plan
+
+let scope_to_string = function
+  | Plan.All -> ""
+  | Plan.Party p -> Printf.sprintf ":party:%d" p
+  | Plan.Pair { src; dst } -> Printf.sprintf ":pair:%d>%d" src dst
+
+let float_to_string f =
+  (* shortest round-tripping decimal keeps to_string/parse inverses *)
+  let s = Printf.sprintf "%.12g" f in
+  s
+
+let fault_to_string = function
+  | Plan.Crash { party; at_round } -> Printf.sprintf "crash:%d@%d" party at_round
+  | Plan.Crash_recover { party; from_round; to_round } ->
+      Printf.sprintf "crash-recover:%d@%d-%d" party from_round to_round
+  | Plan.Omission { prob; scope } ->
+      Printf.sprintf "omission:%s%s" (float_to_string prob)
+        (scope_to_string scope)
+  | Plan.Duplicate { prob; scope } ->
+      Printf.sprintf "duplicate:%s%s" (float_to_string prob)
+        (scope_to_string scope)
+  | Plan.Delay { prob; scope; by } ->
+      Printf.sprintf "delay:%s:%d%s" (float_to_string prob) by
+        (scope_to_string scope)
+  | Plan.Partition { blocks; from_round; to_round } ->
+      Printf.sprintf "partition:%s@%d-%d"
+        (String.concat "|"
+           (List.map
+              (fun b -> String.concat "," (List.map string_of_int b))
+              blocks))
+        from_round to_round
+
+let to_string = function
+  | [] -> "none"
+  | plan -> String.concat ";" (List.map fault_to_string plan)
+
+let to_json plan = J.Str (to_string plan)
+
+let of_json = function
+  | J.Str s -> parse s
+  | J.Null -> Ok Plan.empty
+  | _ -> Error "fault plan: expected a JSON string"

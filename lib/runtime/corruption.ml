@@ -19,6 +19,14 @@ let corrupt c ~at p =
 
 let corrupt_all c ~at ps = List.iter (fun p -> ignore (corrupt c ~at p)) ps
 
+let force_corrupt c ~at p =
+  if p >= 0 && p < c.n && not c.flags.(p) then begin
+    c.flags.(p) <- true;
+    c.round_of.(p) <- at;
+    true
+  end
+  else false
+
 let is_corrupted c p = c.flags.(p)
 
 let flags c = c.flags

@@ -15,6 +15,13 @@ val corrupt : t -> at:Types.round -> Types.party_id -> bool
     corrupted by this call (so engines know to drop its state exactly
     once). *)
 
+val force_corrupt : t -> at:Types.round -> Types.party_id -> bool
+(** Like {!corrupt} but ignoring (and not consuming) the adversary's
+    budget: fault-plan crashes are the environment's doing, not the
+    adversary's, and may exceed [t] — that is exactly the over-budget
+    regime the excusal rules grade. Returns whether [p] was newly
+    corrupted. *)
+
 val corrupt_all : t -> at:Types.round -> Types.party_id list -> unit
 (** [corrupt] over a list, ignoring the per-party result. Out-of-budget
     requests are silently dropped — the cap is the engine's to enforce, not

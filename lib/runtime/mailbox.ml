@@ -2,6 +2,12 @@ let log_src = Logs.Src.create "aat.runtime" ~doc:"unified runtime transport core
 
 module Log = (val Logs.src_log log_src)
 
+type fault_decision = Deliver | Drop | Duplicate | Delay of int
+
+type fault_filter =
+  round:Types.round -> src:Types.party_id -> dst:Types.party_id ->
+  fault_decision
+
 type 'msg t = {
   n : int;
   mutable honest_messages : int;
@@ -10,6 +16,11 @@ type 'msg t = {
   seen : (Types.party_id * Types.party_id, unit) Hashtbl.t;
   inboxes : (Types.party_id, 'msg Types.envelope list) Hashtbl.t;
   mutable delivered_rev : 'msg Types.letter list;
+  mutable fault_filter : fault_filter option;
+  mutable round : Types.round;
+  mutable fault_dropped : int;
+  mutable fault_duplicated : int;
+  mutable fault_delayed : int;
 }
 
 let create ~n =
@@ -21,6 +32,37 @@ let create ~n =
     seen = Hashtbl.create 64;
     inboxes = Hashtbl.create 16;
     delivered_rev = [];
+    fault_filter = None;
+    round = 0;
+    fault_dropped = 0;
+    fault_duplicated = 0;
+    fault_delayed = 0;
+  }
+
+let set_fault_filter mb f = mb.fault_filter <- Some f
+
+let decide mb ~round (l : _ Types.letter) =
+  match mb.fault_filter with
+  | None -> Deliver
+  | Some f -> (
+      match f ~round ~src:l.src ~dst:l.dst with
+      | Deliver -> Deliver
+      | Drop ->
+          mb.fault_dropped <- mb.fault_dropped + 1;
+          Drop
+      | Duplicate ->
+          mb.fault_duplicated <- mb.fault_duplicated + 1;
+          Duplicate
+      | Delay d ->
+          mb.fault_delayed <- mb.fault_delayed + 1;
+          Delay d)
+
+let fault_stats mb ~crashed =
+  {
+    Report.dropped = mb.fault_dropped;
+    duplicated = mb.fault_duplicated;
+    delayed = mb.fault_delayed;
+    crashed;
   }
 
 let screen mb ~adversary ~corrupted letters =
@@ -40,13 +82,22 @@ let note_honest mb k = mb.honest_messages <- mb.honest_messages + k
 
 let note_adversary mb k = mb.adversary_messages <- mb.adversary_messages + k
 
-let begin_round mb =
+let begin_round ?round mb =
+  (match round with Some r -> mb.round <- r | None -> mb.round <- mb.round + 1);
   Hashtbl.reset mb.seen;
   Hashtbl.reset mb.inboxes;
   mb.delivered_rev <- []
 
 let post mb (l : 'msg Types.letter) =
-  if not (Hashtbl.mem mb.seen (l.src, l.dst)) then begin
+  (* The fault decision comes before per-pair dedup: a dropped first
+     submission does not occupy the pair's delivery slot, so a later
+     duplicate submission may still get through. [Duplicate]/[Delay] have
+     no synchronous reading and deliver normally (the compiler in
+     [Aat_faults.Inject] never emits them for the sync engine). *)
+  let verdict =
+    match decide mb ~round:mb.round l with Drop -> `Drop | _ -> `Deliver
+  in
+  if verdict = `Deliver && not (Hashtbl.mem mb.seen (l.src, l.dst)) then begin
     Hashtbl.replace mb.seen (l.src, l.dst) ();
     mb.delivered_rev <- l :: mb.delivered_rev;
     let prev = Option.value ~default:[] (Hashtbl.find_opt mb.inboxes l.dst) in

@@ -23,6 +23,43 @@ type 'msg t
 
 val create : n:int -> 'msg t
 
+(** {1 Fault injection (both engines)} *)
+
+type fault_decision =
+  | Deliver  (** pass through untouched *)
+  | Drop  (** the letter vanishes (omission / partition / crash window) *)
+  | Duplicate
+      (** enqueue the letter twice — async engine only; the synchronous
+          per-pair dedup makes duplication a no-op there *)
+  | Delay of int
+      (** defer delivery by this many scheduler steps — async engine
+          only, clamped to the patience bound so eventual delivery is
+          preserved *)
+
+type fault_filter =
+  round:Types.round -> src:Types.party_id -> dst:Types.party_id ->
+  fault_decision
+(** A compiled fault plan: a pure-looking (internally seeded) decision
+    function over a letter's routing metadata. Decisions never inspect
+    payloads, so one filter serves any message type. Compiled from a
+    [Fault_plan.t] by [Aat_faults.Inject.filter] with a dedicated
+    SplitMix64 stream split from the run seed — the decision sequence is
+    a function of the run seed alone, keeping campaigns bit-identical
+    for any [--workers]. *)
+
+val set_fault_filter : 'msg t -> fault_filter -> unit
+(** Install the filter. The synchronous engine then applies it inside
+    {!post}; the asynchronous engine consults {!decide} at enqueue
+    time. *)
+
+val decide : 'msg t -> round:Types.round -> 'msg Types.letter -> fault_decision
+(** Ask the installed filter (always [Deliver] when none is installed)
+    and bump the matching fault counter. *)
+
+val fault_stats : 'msg t -> crashed:int -> Report.fault_stats
+(** Cumulative injected-fault counters, with the engine-supplied crash
+    count folded in. *)
+
 (** {1 Screening and accounting (both engines)} *)
 
 val screen :
@@ -51,13 +88,19 @@ val rejected_forgeries : 'msg t -> int
 
 (** {1 Per-round delivery (synchronous engine)} *)
 
-val begin_round : 'msg t -> unit
+val begin_round : ?round:Types.round -> 'msg t -> unit
 (** Reset the round-local delivery state (dedup table, inboxes, delivered
-    list). Accounting is cumulative and survives. *)
+    list). Accounting is cumulative and survives. [?round] tells the
+    mailbox which round the following posts belong to (for the fault
+    filter); when omitted the internal round counter just increments,
+    which matches engines that call [begin_round] once per round. *)
 
 val post : 'msg t -> 'msg Types.letter -> unit
-(** Deliver a letter unless the [(src, dst)] pair already delivered this
-    round — first posted wins. *)
+(** Deliver a letter unless the fault filter drops it or the [(src, dst)]
+    pair already delivered this round — first posted wins. The fault
+    decision is taken {e before} dedup (each submission crosses the
+    faulty network independently), so a dropped first submission leaves
+    the pair's slot open for a later one. *)
 
 val post_last_wins : 'msg t -> 'msg Types.letter list -> unit
 (** Post a submission batch so that the {e last} submitted letter per pair

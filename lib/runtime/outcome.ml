@@ -1,0 +1,31 @@
+type ('out, 'msg) partial = {
+  report : ('out, 'msg) Report.t;
+  undecided : Types.party_id list;
+  reason : string;
+}
+
+type ('out, 'msg) t =
+  | Completed of ('out, 'msg) Report.t
+  | Liveness_timeout of ('out, 'msg) partial
+  | Engine_error of { stage : string; exn_text : string }
+
+let report = function
+  | Completed r -> Some r
+  | Liveness_timeout p -> Some p.report
+  | Engine_error _ -> None
+
+let label = function
+  | Completed _ -> "completed"
+  | Liveness_timeout _ -> "liveness-timeout"
+  | Engine_error _ -> "engine-error"
+
+let pp fmt = function
+  | Completed r ->
+      Format.fprintf fmt "completed in %d rounds" r.Report.rounds_used
+  | Liveness_timeout p ->
+      Format.fprintf fmt "liveness timeout after %d rounds (%d undecided): %s"
+        p.report.Report.rounds_used
+        (List.length p.undecided)
+        p.reason
+  | Engine_error { stage; exn_text } ->
+      Format.fprintf fmt "engine error in %s: %s" stage exn_text

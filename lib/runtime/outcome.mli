@@ -1,0 +1,40 @@
+(** Structured run outcomes: the non-throwing alternative to the legacy
+    raising entry points.
+
+    [Sync_engine.run_outcome] / [Async_engine.run_outcome] return this
+    type instead of raising [Exceeded_max_rounds] / [Exceeded_max_events]:
+    round- or event-budget exhaustion (and asynchronous deadlock) become
+    {!Liveness_timeout} carrying the partial report — who decided, who
+    did not, full message and fault accounting — so campaigns can record
+    the cell and keep going. [Runner.run] additionally folds any escaping
+    exception into {!Engine_error}, making the campaign layer
+    exception-free by construction. *)
+
+type ('out, 'msg) partial = {
+  report : ('out, 'msg) Report.t;
+      (** everything the run produced before stalling; [outputs] and
+          [termination_rounds] cover only the parties that decided *)
+  undecided : Types.party_id list;
+      (** honest parties still undecided when the budget ran out,
+          ascending *)
+  reason : string;  (** e.g. the max-rounds text or the deadlock text *)
+}
+
+type ('out, 'msg) t =
+  | Completed of ('out, 'msg) Report.t
+      (** every finally-honest party decided within budget *)
+  | Liveness_timeout of ('out, 'msg) partial
+      (** round/event budget exhausted, or asynchronous deadlock, with
+          honest parties still undecided *)
+  | Engine_error of { stage : string; exn_text : string }
+      (** an exception escaped protocol or adversary code; [stage] names
+          the phase (["engine"], ["check"], ...) *)
+
+val report : ('out, 'msg) t -> ('out, 'msg) Report.t option
+(** The (possibly partial) report, when one exists. *)
+
+val label : ('out, 'msg) t -> string
+(** ["completed"] / ["liveness-timeout"] / ["engine-error"] — the tags
+    used in campaign JSONL rows. *)
+
+val pp : Format.formatter -> ('out, 'msg) t -> unit

@@ -1,3 +1,19 @@
+type fault_stats = {
+  dropped : int;
+  duplicated : int;
+  delayed : int;
+  crashed : int;
+}
+
+let no_faults = { dropped = 0; duplicated = 0; delayed = 0; crashed = 0 }
+
+let faults_active f =
+  f.dropped > 0 || f.duplicated > 0 || f.delayed > 0 || f.crashed > 0
+
+let pp_fault_stats fmt f =
+  Format.fprintf fmt "dropped=%d duplicated=%d delayed=%d crashed=%d"
+    f.dropped f.duplicated f.delayed f.crashed
+
 type ('out, 'msg) t = {
   engine : string;
   n : int;
@@ -11,6 +27,8 @@ type ('out, 'msg) t = {
   adversary_messages : int;
   rejected_forgeries : int;
   trace : 'msg Types.letter list list;
+  fault_stats : fault_stats;
+  watchdog_violations : Watchdog.violation list;
 }
 
 let output_of report p = List.assoc p report.outputs

@@ -26,6 +26,22 @@
       per round (synchronous) or one singleton list per delivery event
       (asynchronous), oldest first. *)
 
+type fault_stats = {
+  dropped : int;  (** letters dropped by omission/partition/recovery faults *)
+  duplicated : int;  (** letters enqueued twice (async engine only) *)
+  delayed : int;  (** letters deferred within the patience bound (async) *)
+  crashed : int;  (** parties force-crashed by the fault plan *)
+}
+(** Accounting of injected (non-Byzantine) faults. All zeros — compare
+    with {!no_faults} — on a run without a fault plan. *)
+
+val no_faults : fault_stats
+
+val faults_active : fault_stats -> bool
+(** Whether any counter is non-zero. *)
+
+val pp_fault_stats : Format.formatter -> fault_stats -> unit
+
 type ('out, 'msg) t = {
   engine : string;  (** ["sync"] or ["async"] *)
   n : int;
@@ -45,6 +61,11 @@ type ('out, 'msg) t = {
   trace : 'msg Types.letter list list;
       (** delivered letters, oldest group first; [[]] unless recording was
           requested *)
+  fault_stats : fault_stats;
+      (** injected-fault accounting; {!no_faults} on a benign run *)
+  watchdog_violations : Watchdog.violation list;
+      (** first violation per installed watchdog, in order of firing;
+          [[]] when no watchdogs were installed or none fired *)
 }
 
 val output_of : ('out, 'msg) t -> Types.party_id -> 'out

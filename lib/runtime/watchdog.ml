@@ -1,0 +1,25 @@
+type violation = {
+  watchdog : string;
+  round : Types.round;
+  detail : string;
+}
+
+type ('s, 'msg) t = {
+  name : string;
+  check :
+    round:Types.round ->
+    delivered:'msg Types.letter list ->
+    states:(Types.party_id * 's) list ->
+    corrupted:Types.party_id list ->
+    string option;
+}
+
+let make ~name check = { name; check }
+
+let name wd = wd.name
+
+let check wd ~round ~delivered ~states ~corrupted =
+  wd.check ~round ~delivered ~states ~corrupted
+
+let pp_violation fmt v =
+  Format.fprintf fmt "[%s] round %d: %s" v.watchdog v.round v.detail

@@ -1,0 +1,52 @@
+(** Runtime invariant watchdogs.
+
+    A watchdog is a named per-round monitor over the run's observable
+    state: the letters delivered this round (sync) or by this delivery
+    event (async), the current honest party states, and the corruption
+    set. Engines run every installed watchdog after each delivery step;
+    a check returning [Some detail] records a {!violation} into the
+    report and retires that watchdog for the rest of the run (first
+    violation wins — the diagnostic names the earliest round at which the
+    invariant broke). Violations never throw.
+
+    Only the {e type} lives here, in the runtime substrate, so both
+    engines can accept watchdogs without depending on protocol layers.
+    The concrete catalog (hull containment, spread non-expansion, grade
+    consistency, corruption budget) lives in [Aat_faults.Watchdog]. *)
+
+type violation = {
+  watchdog : string;  (** name of the watchdog that fired *)
+  round : Types.round;
+      (** round (sync) or delivery event (async) of first violation *)
+  detail : string;  (** human-readable witness: parties, values *)
+}
+
+type ('s, 'msg) t
+(** A monitor over runs with honest state ['s] and messages ['msg]. A
+    watchdog may close over mutable state (e.g. the previous round's
+    spread); build a fresh value per run. *)
+
+val make :
+  name:string ->
+  (round:Types.round ->
+  delivered:'msg Types.letter list ->
+  states:(Types.party_id * 's) list ->
+  corrupted:Types.party_id list ->
+  string option) ->
+  ('s, 'msg) t
+(** [states] holds every party still honest at this step paired with its
+    protocol state — under the synchronous engine including parties that
+    decided {e this} round (their final state is observable exactly
+    once), under the asynchronous engine the currently-undecided ones. *)
+
+val name : ('s, 'msg) t -> string
+
+val check :
+  ('s, 'msg) t ->
+  round:Types.round ->
+  delivered:'msg Types.letter list ->
+  states:(Types.party_id * 's) list ->
+  corrupted:Types.party_id list ->
+  string option
+
+val pp_violation : Format.formatter -> violation -> unit

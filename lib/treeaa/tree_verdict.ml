@@ -32,3 +32,17 @@ let check ~tree ~n_honest ~honest_inputs ~honest_outputs =
   in
   let agreement = output_diameter ~tree honest_outputs <= 1 in
   { Verdict.termination; validity; agreement }
+
+let check_report ~tree ~inputs ~value (report : _ Aat_runtime.Report.t) =
+  check ~tree
+    ~n_honest:(Aat_runtime.Report.finally_honest report)
+    ~honest_inputs:(Aat_runtime.Report.honest_inputs ~inputs report)
+    ~honest_outputs:(List.map (fun (_, o) -> value o) report.outputs)
+
+let grade_report ?excuse ~tree ~inputs ~value (report : _ Aat_runtime.Report.t)
+    =
+  let verdict = check_report ~tree ~inputs ~value report in
+  ( verdict,
+    Verdict.grade ~n:report.n ~t:report.t
+      ~faulty:(List.length report.corrupted)
+      ?excuse verdict )

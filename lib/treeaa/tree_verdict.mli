@@ -16,3 +16,29 @@ val output_diameter :
   tree:Labeled_tree.t -> Labeled_tree.vertex list -> int
 (** Maximum pairwise distance among the given vertices (0 for <= 1 vertex) —
     the tree analogue of {!Aat_engine.Verdict.spread}. *)
+
+val check_report :
+  tree:Labeled_tree.t ->
+  inputs:Labeled_tree.vertex array ->
+  value:('o -> Labeled_tree.vertex) ->
+  ('o, 'm) Aat_runtime.Report.t ->
+  Verdict.t
+(** {!check} applied straight to a unified run report — including a
+    {e partial} one from a [Liveness_timeout]: Termination quantifies
+    over finally-honest parties (so missing outputs fail it), Validity
+    over the hull of initially-honest inputs, per the
+    {!Aat_runtime.Report} conventions. [inputs.(i)] is party [i]'s input
+    vertex; [value] extracts the decided vertex from an output. *)
+
+val grade_report :
+  ?excuse:string ->
+  tree:Labeled_tree.t ->
+  inputs:Labeled_tree.vertex array ->
+  value:('o -> Labeled_tree.vertex) ->
+  ('o, 'm) Aat_runtime.Report.t ->
+  Verdict.t * Verdict.graded
+(** {!check_report} plus {!Aat_engine.Verdict.grade}: a failed verdict is
+    [Excused] when the report's corrupted-or-crashed count exceeds its
+    budget [t] (the fault plan left fewer than [n - t] live honest
+    parties), or when [?excuse] names an out-of-model fault; otherwise it
+    is a genuine [Violated]. *)

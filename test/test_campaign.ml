@@ -79,8 +79,9 @@ let test_runner_tree_aa () =
   let tree = Generate.caterpillar ~spine:6 ~legs:1 in
   let inputs = [| 0; 3; 5; 2; 8; 1; 4 |] in
   let runner =
-    Runner.tree_aa ~tree ~inputs ~t:2 ~adversary:(fun () ->
-        Strategies.random_silent ~count:2)
+    Runner.tree_aa ~tree ~inputs ~t:2
+      ~adversary:(fun () -> Strategies.random_silent ~count:2)
+      ()
   in
   check_string "name" "tree-aa" runner.Runner.name;
   let o = runner.Runner.run ~seed:3 () in
@@ -108,7 +109,7 @@ let test_runner_real_aa () =
 (* ------------------------------------------------------------------ *)
 (* campaign driver: worker-count invariance *)
 
-let spec_of_seed seed =
+let spec_of_seed ?(chaos = false) seed =
   let open Campaign.Spec in
   let rng = Rng.create seed in
   let protocol, inputs, adversary =
@@ -121,6 +122,23 @@ let spec_of_seed seed =
           Any_real_adversary )
     | _ -> (Round_sim_tree_aa, Random_vertices, Passive)
   in
+  (* with [chaos], also sweep the fault modes: per-task random plans, one
+     fixed sync-compatible plan, or none — the invariance property must
+     hold across all of them *)
+  let faults, watchdogs =
+    if not chaos then (No_faults, false)
+    else
+      match Rng.int rng 3 with
+      | 0 -> (Chaos { intensity = 0.3 +. Rng.float rng 0.7 }, true)
+      | 1 ->
+          ( Fault_plan
+              [
+                Fault_plan.Omission { prob = 0.05; scope = Fault_plan.All };
+                Fault_plan.Crash { party = 0; at_round = 2 };
+              ],
+            Rng.bool rng )
+      | _ -> (No_faults, true)
+  in
   {
     name = "prop";
     protocol;
@@ -129,6 +147,8 @@ let spec_of_seed seed =
     t_budget = Up_to_third;
     inputs;
     adversary;
+    faults;
+    watchdogs;
     repetitions = 2 + Rng.int rng 3;
     base_seed = seed;
   }
@@ -147,6 +167,24 @@ let prop_workers_invariant =
       && r1.Campaign.aggregate = r4.Campaign.aggregate
       && Campaign.jsonl_string r1 = Campaign.jsonl_string r2
       && Campaign.jsonl_string r2 = Campaign.jsonl_string r4)
+
+(* Same property with fault injection in play: fault plans compile to
+   per-run RNG streams split from the engine seed, so chaos campaigns must
+   stay bit-identical for any worker count too. *)
+let prop_workers_invariant_chaos =
+  QCheck2.Test.make
+    ~name:"campaign: worker invariance holds under fault plans and chaos"
+    ~count:10
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let spec = spec_of_seed ~chaos:true seed in
+      let r1 = Campaign.run ~workers:1 spec in
+      let r2 = Campaign.run ~workers:2 spec in
+      let r4 = Campaign.run ~workers:4 spec in
+      r1.Campaign.results = r2.Campaign.results
+      && r2.Campaign.results = r4.Campaign.results
+      && r1.Campaign.aggregate = r4.Campaign.aggregate
+      && Campaign.jsonl_string r1 = Campaign.jsonl_string r4)
 
 let prop_task_seeds_in_results =
   QCheck2.Test.make
@@ -177,6 +215,8 @@ let golden_spec =
     t_budget = Campaign.Spec.Fixed_t 1;
     inputs = Campaign.Spec.Linspace_reals 100.;
     adversary = Campaign.Spec.Passive;
+    faults = Campaign.Spec.No_faults;
+    watchdogs = false;
     repetitions = 2;
     base_seed = 9;
   }
@@ -260,6 +300,62 @@ let test_validate () =
           }))
 
 (* ------------------------------------------------------------------ *)
+(* failure containment: one bad cell must not take down the grid *)
+
+(* Chaos at full intensity over the round simulator makes some cells
+   deadlock (a planned crash starves the round barrier): those must come
+   back as [Liveness_timeout] rows while every other cell still delivers
+   its result. base_seed 7 is a hunted seed giving 4 completed and 2
+   timed-out cells; any exception escaping a run would instead abort the
+   whole [Campaign.run]. *)
+let test_one_bad_cell () =
+  let spec =
+    {
+      Campaign.Spec.name = "one-bad-cell";
+      protocol = Campaign.Spec.Round_sim_tree_aa;
+      tree = Campaign.Spec.Random_tree (Campaign.Spec.Between (3, 10));
+      n = Campaign.Spec.Exactly 5;
+      t_budget = Campaign.Spec.Fixed_t 1;
+      inputs = Campaign.Spec.Random_vertices;
+      adversary = Campaign.Spec.Passive;
+      faults = Campaign.Spec.Chaos { intensity = 1.0 };
+      watchdogs = true;
+      repetitions = 6;
+      base_seed = 7;
+    }
+  in
+  let r = Campaign.run ~workers:2 spec in
+  let statuses =
+    Array.map
+      (fun (tr : Campaign.task_result) ->
+        match tr.Campaign.result with
+        | Ok o -> Runner.status_label o.Runner.status
+        | Error e -> Alcotest.failf "task %d escaped as Error %s" tr.Campaign.task e)
+      r.Campaign.results
+  in
+  check_int "all six cells report" 6 (Array.length statuses);
+  let count l = Array.fold_left (fun a x -> a + if x = l then 1 else 0) 0 statuses in
+  check "some cells time out" true (count "liveness-timeout" > 0);
+  check "the other cells still complete" true (count "completed" > 0);
+  check_int "no engine errors" 0 (count "engine-error");
+  let agg = r.Campaign.aggregate in
+  check_int "aggregate counts the timeouts" (count "liveness-timeout")
+    agg.Campaign.timeouts;
+  check_int "aggregate sees no engine errors" 0 agg.Campaign.engine_errors;
+  check_int "timeouts are not violations" 0 agg.Campaign.violations;
+  (* the JSONL stream records the bad cells as structured rows *)
+  let jsonl = Campaign.jsonl_string r in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check "JSONL carries liveness-timeout rows" true
+    (contains {|"status":"liveness-timeout"|} jsonl);
+  check "JSONL footer counts timeouts" true
+    (contains {|"timeouts":|} jsonl)
+
+(* ------------------------------------------------------------------ *)
 (* Report.honest_inputs: the shared hull filter *)
 
 let prop_honest_inputs_equiv =
@@ -330,10 +426,13 @@ let () =
       ( "campaign",
         [
           QCheck_alcotest.to_alcotest prop_workers_invariant;
+          QCheck_alcotest.to_alcotest prop_workers_invariant_chaos;
           QCheck_alcotest.to_alcotest prop_task_seeds_in_results;
           Alcotest.test_case "golden JSONL" `Quick test_golden_jsonl;
           Alcotest.test_case "JSONL round-trip" `Quick test_jsonl_roundtrip;
           Alcotest.test_case "spec validation" `Quick test_validate;
+          Alcotest.test_case "one bad cell is contained" `Quick
+            test_one_bad_cell;
         ] );
       ( "hull-filter",
         [
