@@ -8,14 +8,27 @@
      dune exec bench/main.exe -- --bechamel   # micro-benchmarks only
      dune exec bench/main.exe -- --all        # tables + micro-benchmarks
      dune exec bench/main.exe -- --convergence [FILE]
-                                              # per-round convergence JSON *)
+                                              # per-round convergence JSON
+
+   Flags (anywhere on the line):
+     --workers N   fan parallel tables over N domains (numbers unchanged)
+     --json-out    also write each table group as BENCH_<NAME>.json (cwd)
+     --profile     per-table wall-clock / allocation summary at the end *)
 
 open Treeagree
 
 (* ------------------------------------------------------------------ *)
 (* table rendering *)
 
+(* With --json-out every printed table is also captured here (in print
+   order) and dumped as BENCH_<GROUP>.json after the group runs; the
+   committed BENCH_*.json files at the repo root are regenerated this way
+   (without --profile, so they stay deterministic). *)
+let capturing = ref false
+let captured : (string * string list * string list list) list ref = ref []
+
 let print_table ~title ~header rows =
+  if !capturing then captured := (title, header, rows) :: !captured;
   let all = header :: rows in
   let widths =
     List.fold_left
@@ -1076,34 +1089,112 @@ let tables ~workers =
     ("A", table_ablations);
   ]
 
+(* One table group as BENCH_<NAME>.json: the captured tables verbatim,
+   plus the measured cost when profiling. Stable field order, tables in
+   print order, so regenerated files diff cleanly. *)
+let write_json_table ~name ~profile tables_captured =
+  let module Json = Telemetry.Json in
+  let str_row row = Json.Arr (List.map (fun c -> Json.Str c) row) in
+  let json =
+    Json.Obj
+      ([
+         ("schema", Json.Str "treeagree-bench/v1");
+         ("format_version", Json.Str Telemetry.format_version_string);
+         ("table", Json.Str name);
+         ( "tables",
+           Json.Arr
+             (List.map
+                (fun (title, header, rows) ->
+                  Json.Obj
+                    [
+                      ("title", Json.Str title);
+                      ("header", str_row header);
+                      ("rows", Json.Arr (List.map str_row rows));
+                    ])
+                tables_captured) );
+       ]
+      @
+      match profile with
+      | None -> []
+      | Some (wall_s, alloc_mb) ->
+          [
+            ( "profile",
+              Json.Obj
+                [ ("wall_s", Json.Num wall_s); ("alloc_mb", Json.Num alloc_mb) ]
+            );
+          ])
+  in
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string json ^ "\n"));
+  Printf.printf "table group %s written to %s\n" name path
+
+(* Run one table group under the capture/measurement harness. Returns its
+   profile row; cost numbers are measurements, so committed BENCH files
+   are regenerated without --profile. *)
+let run_table ~json_out ~profile (name, f) =
+  captured := [];
+  capturing := json_out;
+  let t0 = Unix.gettimeofday () in
+  let a0 = Gc.allocated_bytes () in
+  f ();
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let alloc_mb = (Gc.allocated_bytes () -. a0) /. (1024. *. 1024.) in
+  capturing := false;
+  if json_out then
+    write_json_table ~name
+      ~profile:(if profile then Some (wall_s, alloc_mb) else None)
+      (List.rev !captured);
+  (name, wall_s, alloc_mb)
+
+let print_profile rows =
+  print_table ~title:"Table cost profile (--profile; wall clock, GC)"
+    ~header:[ "table"; "wall s"; "alloc MB" ]
+    (List.map
+       (fun (name, wall_s, alloc_mb) ->
+         [ name; Printf.sprintf "%.2f" wall_s; Printf.sprintf "%.1f" alloc_mb ])
+       rows)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  (* --workers N may appear anywhere; it only affects scheduling, never the
-     numbers (the parallel tables run on the deterministic Pool). *)
+  (* --workers N / --json-out / --profile may appear anywhere; none of
+     them affects a single digit of the tables (the parallel tables run
+     on the deterministic Pool; capture and measurement only observe). *)
   let rec extract_workers acc = function
     | "--workers" :: n :: rest -> (int_of_string n, List.rev_append acc rest)
     | x :: rest -> extract_workers (x :: acc) rest
     | [] -> (1, List.rev acc)
   in
+  let extract_flag name args =
+    (List.mem name args, List.filter (fun a -> a <> name) args)
+  in
   let workers, args = extract_workers [] args in
   let workers = if workers <= 0 then Pool.default_workers () else workers in
+  let json_out, args = extract_flag "--json-out" args in
+  let profile, args = extract_flag "--profile" args in
   let tables = tables ~workers in
+  let run = run_table ~json_out ~profile in
   match args with
   | [ "--bechamel" ] -> bechamel ()
   | [ "--convergence" ] -> convergence None
   | [ "--convergence"; file ] -> convergence (Some file)
   | [ "--table"; name ] -> (
       match List.assoc_opt (String.uppercase_ascii name) tables with
-      | Some f -> f ()
+      | Some f ->
+          let row = run (String.uppercase_ascii name, f) in
+          if profile then print_profile [ row ]
       | None ->
           Printf.eprintf "unknown table %s (have: %s)\n" name
             (String.concat ", " (List.map fst tables));
           exit 1)
   | [ "--all" ] | [] ->
-      List.iter (fun (_, f) -> f ()) tables;
+      let rows = List.map run tables in
+      if profile then print_profile rows;
       bechamel ()
   | _ ->
       Printf.eprintf
         "usage: main.exe [--table E1..E10 | --bechamel | --convergence \
-         [FILE] | --all] [--workers N]\n";
+         [FILE] | --all] [--workers N] [--json-out] [--profile]\n";
       exit 1

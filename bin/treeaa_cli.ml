@@ -5,6 +5,8 @@
      inspect  print metrics and the Euler-tour list of a tree
      run      execute TreeAA on a tree against a chosen adversary
      campaign run a declarative batch campaign (JSONL out, --workers N)
+     replay   re-execute flight-recorder records, detect divergence
+     trace    summarize / diff / blame telemetry traces and records
      bounds   print upper/lower round bounds for given n, t, D *)
 
 open Treeagree
@@ -272,89 +274,14 @@ let run_cmd =
 
 (* ---------- campaign ---------- *)
 
-(* SIZE is either N or LO-HI (drawn uniformly per task) *)
-let parse_size s =
-  match String.index_opt s '-' with
-  | Some i ->
-      let lo = int_of_string (String.sub s 0 i) in
-      let hi = int_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
-      Campaign.Spec.Between (lo, hi)
-  | None -> Campaign.Spec.Exactly (int_of_string s)
-
-let parse_tree_family s =
-  let open Campaign.Spec in
-  match String.split_on_char ':' s with
-  | [ "any" ] -> Any_tree
-  | [ "path"; n ] -> Path_tree (parse_size n)
-  | [ "star"; n ] -> Star_tree (parse_size n)
-  | [ "caterpillar"; spine; legs ] ->
-      Caterpillar_tree { spine = parse_size spine; legs = parse_size legs }
-  | [ "spider"; legs; len ] ->
-      Spider_tree { legs = parse_size legs; leg_length = parse_size len }
-  | [ "balanced"; arity; depth ] ->
-      Balanced_tree { arity = parse_size arity; depth = parse_size depth }
-  | [ "random"; n ] -> Random_tree (parse_size n)
-  | _ ->
-      raise
-        (Invalid_argument
-           (Printf.sprintf
-              "unknown tree family %S (try any, path:SIZE, star:SIZE, \
-               caterpillar:SIZE:SIZE, spider:SIZE:SIZE, balanced:SIZE:SIZE, \
-               random:SIZE; SIZE is N or LO-HI)"
-              s))
-
-let parse_campaign_protocol ~eps s =
-  let open Campaign.Spec in
-  match s with
-  | "tree-aa" -> Ok Tree_aa
-  | "nr-baseline" -> Ok Nr_baseline
-  | "path-aa" -> Ok Path_aa
-  | "known-path-aa" -> Ok Known_path_aa
-  | "realaa" -> Ok (Real_aa { eps })
-  | "iterated-midpoint" -> Ok (Iterated_midpoint { eps })
-  | "async-tree-aa" -> Ok Async_tree_aa
-  | "round-sim-tree-aa" -> Ok Round_sim_tree_aa
-  | other ->
-      Error
-        (Printf.sprintf
-           "unknown protocol %S (have: tree-aa, nr-baseline, path-aa, \
-            known-path-aa, realaa, iterated-midpoint, async-tree-aa, \
-            round-sim-tree-aa)"
-           other)
-
-let parse_campaign_adversary s =
-  let open Campaign.Spec in
-  match s with
-  | "none" -> Ok Passive
-  | "silent" -> Ok Random_silent
-  | "crash" -> Ok Random_crash
-  | "spoiler" -> Ok Tree_spoiler
-  | "real-spoiler" -> Ok Real_spoiler
-  | "wedge" -> Ok Gradecast_wedge
-  | "any-tree" -> Ok Any_tree_adversary
-  | "any-real" -> Ok Any_real_adversary
-  | other ->
-      Error
-        (Printf.sprintf
-           "unknown adversary family %S (have: none, silent, crash, spoiler, \
-            real-spoiler, wedge, any-tree, any-real)"
-           other)
-
-let parse_campaign_inputs s =
-  let open Campaign.Spec in
-  match String.split_on_char ':' s with
-  | [ "vertices" ] -> Ok Random_vertices
-  | [ "linspace"; d ] -> Ok (Linspace_reals (float_of_string d))
-  | [ "loguniform"; lo; hi ] ->
-      Ok
-        (Log_uniform_reals
-           { log10_min = float_of_string lo; log10_max = float_of_string hi })
-  | _ ->
-      Error
-        (Printf.sprintf
-           "unknown input distribution %S (try vertices, linspace:D, \
-            loguniform:LOG10MIN:LOG10MAX)"
-           s)
+(* The campaign flag grammars live in the observability layer's Spec_io
+   (flight records persist specs with the same vocabulary), so the CLI
+   and record files can never drift apart. *)
+let parse_size = Spec_io.size_of_string
+let parse_tree_family = Spec_io.tree_family_of_string
+let parse_campaign_protocol = Spec_io.protocol_of_string
+let parse_campaign_adversary = Spec_io.adversary_of_string
+let parse_campaign_inputs = Spec_io.inputs_of_string
 
 let campaign_cmd =
   let protocol_term =
@@ -459,18 +386,52 @@ let campaign_cmd =
       & info [ "watchdogs" ]
           ~doc:"Install runtime invariant watchdogs on every task.")
   in
+  let trace_dir_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write one full telemetry trace per task to \
+             $(docv)/cell-NNNN.jsonl (off by default; execution is \
+             unaffected).")
+  in
+  let record_dir_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write one flight-recorder record per task to \
+             $(docv)/cell-NNNN.record.jsonl — spec, seeds, trace and \
+             outcome digest; 'treeaa replay' re-executes them.")
+  in
+  let repro_dir_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro-dir" ] ~docv:"DIR"
+          ~doc:
+            "For every failing cell (violated, engine-error), write a \
+             minimal repro record to $(docv)/cell-NNNN.repro.jsonl that \
+             'treeaa replay' accepts directly.")
+  in
+  let profile_term =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Collect per-task stage timings (setup/rounds/checks) and \
+             allocation counts into the JSONL stream's outcome objects.")
+  in
   let action protocol tree n t inputs adversary eps reps workers name out seed
-      fault_plan_str chaos watchdogs =
+      fault_plan_str chaos watchdogs trace_dir record_dir repro_dir profile =
     let ( let* ) = Result.bind in
     let* protocol = parse_campaign_protocol ~eps protocol in
     let* adversary = parse_campaign_adversary adversary in
     let* inputs = parse_campaign_inputs inputs in
-    let* tree =
-      try Ok (parse_tree_family tree) with Invalid_argument m -> Error m
-    in
-    let* n =
-      try Ok (parse_size n) with _ -> Error (Printf.sprintf "bad --n %S" n)
-    in
+    let* tree = parse_tree_family tree in
+    let* n = parse_size n in
     let* t_budget =
       if t = "third" then Ok Campaign.Spec.Up_to_third
       else
@@ -487,6 +448,7 @@ let campaign_cmd =
           | Ok p -> Ok (Campaign.Spec.Fault_plan p)
           | Error m -> Error ("bad --fault-plan: " ^ m))
     in
+    let reps = max 0 reps in
     let spec =
       {
         Campaign.Spec.name;
@@ -498,13 +460,84 @@ let campaign_cmd =
         adversary;
         faults;
         watchdogs;
-        repetitions = max 0 reps;
+        repetitions = reps;
         base_seed = seed;
       }
     in
     let* () = Campaign.Spec.validate spec in
     let workers = if workers <= 0 then Pool.default_workers () else workers in
-    let result = Campaign.run ~workers spec in
+    let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755 in
+    let cell_path dir task pattern = Filename.concat dir (Printf.sprintf pattern task) in
+    (* Per-task observability sinks. Trace files stream from the worker
+       domains (each task owns its file, so no cross-domain sharing);
+       record sinks accumulate in a per-task Stats slot and are written
+       out after the pool joins. Channels are closed after the run — a
+       task whose engine errors never reaches on_stop. *)
+    Option.iter ensure_dir trace_dir;
+    Option.iter ensure_dir record_dir;
+    Option.iter ensure_dir repro_dir;
+    let channels = Array.make reps None in
+    let stats = Array.make reps None in
+    let telemetry =
+      match (trace_dir, record_dir) with
+      | None, None -> None
+      | _ ->
+          Some
+            (fun ~task ->
+              let file_sink =
+                Option.map
+                  (fun dir ->
+                    let oc = open_out (cell_path dir task "cell-%04d.jsonl") in
+                    channels.(task) <- Some oc;
+                    Telemetry.Jsonl.sink oc)
+                  trace_dir
+              in
+              let stats_sink =
+                Option.map
+                  (fun _ ->
+                    let st = Telemetry.Stats.create () in
+                    stats.(task) <- Some st;
+                    Telemetry.Stats.sink st)
+                  record_dir
+              in
+              match (file_sink, stats_sink) with
+              | Some a, Some b -> Some (Telemetry.Sink.tee a b)
+              | (Some _ as s), None | None, (Some _ as s) -> s
+              | None, None -> None)
+    in
+    let result = Campaign.run ~workers ?telemetry ~profile spec in
+    Array.iter (Option.iter close_out) channels;
+    (match record_dir with
+    | None -> ()
+    | Some dir ->
+        Array.iter
+          (fun (tr : Campaign.task_result) ->
+            match (tr.Campaign.result, stats.(tr.Campaign.task)) with
+            | Ok o, Some st ->
+                let record =
+                  {
+                    Recorder.spec;
+                    task_seed = tr.Campaign.task_seed;
+                    engine_seed = o.Runner.seed;
+                    trace = Trace.of_stats st;
+                    outcome = Some (Campaign.json_of_outcome o);
+                    digest = Some (Recorder.digest_of_outcome o);
+                  }
+                in
+                Recorder.write_file
+                  (cell_path dir tr.Campaign.task "cell-%04d.record.jsonl")
+                  record
+            | _ -> ())
+          result.Campaign.results);
+    (match repro_dir with
+    | None -> ()
+    | Some dir ->
+        List.iter
+          (fun (task, record) ->
+            Recorder.write_file
+              (cell_path dir task "cell-%04d.repro.jsonl")
+              record)
+          (Recorder.failing_cells result));
     (match out with
     | None -> Campaign.write_jsonl stdout result
     | Some path ->
@@ -528,7 +561,162 @@ let campaign_cmd =
         (const action $ protocol_term $ tree_term $ n_term $ t_term
        $ inputs_term $ adversary_term $ eps_term $ reps_term $ workers_term
        $ name_term $ out_term $ seed_term $ fault_plan_term $ chaos_term
-       $ watchdogs_term))
+       $ watchdogs_term $ trace_dir_term $ record_dir_term $ repro_dir_term
+       $ profile_term))
+
+(* ---------- replay ---------- *)
+
+let replay_cmd =
+  let files_term =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"RECORD"
+          ~doc:
+            "Flight-recorder files (cell-NNNN.record.jsonl or \
+             cell-NNNN.repro.jsonl) to re-execute.")
+  in
+  let replay_one path =
+    match Recorder.read_file path with
+    | Error m ->
+        Printf.printf "%s: unreadable record: %s\n" path m;
+        false
+    | Ok record -> (
+        match Replay.run record with
+        | Error m ->
+            Printf.printf "%s: replay failed: %s\n" path m;
+            false
+        | Ok r -> (
+            match r.Replay.verdict with
+            | Ok () ->
+                Printf.printf "%s: replay clean (%s, %d rounds, digest %s)\n"
+                  path
+                  (Runner.status_label r.Replay.outcome.Runner.status)
+                  r.Replay.outcome.Runner.rounds_used r.Replay.digest;
+                true
+            | Error d ->
+                Printf.printf "%s: DIVERGED — %s\n" path
+                  (Format.asprintf "%a" Replay.pp_divergence d);
+                false))
+  in
+  let action files =
+    let clean = List.for_all Fun.id (List.map replay_one files) in
+    if clean then Ok ()
+    else Error "replay diverged (or records were unreadable)"
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute flight-recorder records and report the first \
+          divergence, if any")
+    Term.(term_result' (const action $ files_term))
+
+(* ---------- trace ---------- *)
+
+let trace_file_pos =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"TRACE" ~doc:"A telemetry trace or record file (JSONL).")
+
+let trace_summarize_cmd =
+  let action path =
+    match Trace.load path with
+    | Error m -> Error m
+    | Ok tr ->
+        (match tr.Trace.meta with
+        | Some m ->
+            Printf.printf
+              "run: %s/%s vs %s, n=%d t=%d seed=%d, initially corrupted: %s\n"
+              m.Telemetry.engine m.Telemetry.protocol m.Telemetry.adversary
+              m.Telemetry.n m.Telemetry.t m.Telemetry.seed
+              (match m.Telemetry.initial_corruptions with
+              | [] -> "none"
+              | ps -> String.concat "," (List.map string_of_int ps))
+        | None -> Printf.printf "run: (no start header)\n");
+        let events = tr.Trace.events in
+        Printf.printf "rounds: %d\n" (List.length events);
+        (match tr.Trace.summary with
+        | Some s ->
+            Printf.printf "messages: %d honest, %d adversary\n"
+              s.Telemetry.honest_messages s.Telemetry.adversary_messages
+        | None -> ());
+        let totals = Trace.send_totals tr in
+        if Array.length totals > 0 then
+          Printf.printf "sent per party: [%s]\n"
+            (String.concat "; "
+               (Array.to_list (Array.map string_of_int totals)));
+        (match Trace.convergence tr with
+        | [] -> ()
+        | curve ->
+            Printf.printf "convergence (round, spread): %s\n"
+              (String.concat " "
+                 (List.map
+                    (fun (r, sp) -> Printf.sprintf "(%d, %g)" r sp)
+                    curve)));
+        Ok ()
+  in
+  Cmd.v
+    (Cmd.info "summarize" ~doc:"Print a trace's headline numbers")
+    Term.(term_result' (const action $ trace_file_pos))
+
+let trace_diff_cmd =
+  let expected_pos =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"EXPECTED" ~doc:"The reference trace (JSONL).")
+  in
+  let actual_pos =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"ACTUAL" ~doc:"The trace to compare against it.")
+  in
+  let action expected actual =
+    let ( let* ) = Result.bind in
+    let* e = Trace.load expected in
+    let* a = Trace.load actual in
+    match Trace.diff ~expected:e ~actual:a with
+    | None ->
+        Printf.printf "identical (%d rounds)\n" (List.length e.Trace.events);
+        Ok ()
+    | Some d -> Error (Format.asprintf "%a" Trace.pp_divergence d)
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"First divergent round and field between two traces")
+    Term.(term_result' (const action $ expected_pos $ actual_pos))
+
+let trace_blame_cmd =
+  let action path =
+    (* Records carry their watchdog violations; plain traces localize by
+       spread expansion alone. *)
+    let ( let* ) = Result.bind in
+    let* tr, violations =
+      match Recorder.read_file path with
+      | Ok record -> Ok (record.Recorder.trace, Recorder.violations record)
+      | Error _ -> Result.map (fun tr -> (tr, [])) (Trace.load path)
+    in
+    match Trace.blame ~violations tr with
+    | Some b ->
+        Printf.printf "%s\n" (Format.asprintf "%a" Trace.pp_blame b);
+        Ok ()
+    | None ->
+        Printf.printf "no violation or spread expansion in this trace\n";
+        Ok ()
+  in
+  Cmd.v
+    (Cmd.info "blame"
+       ~doc:
+         "Localize where a run went wrong: first watchdog violation or \
+          spread expansion, with suspect parties")
+    Term.(term_result' (const action $ trace_file_pos))
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Analyze telemetry traces and records")
+    [ trace_summarize_cmd; trace_diff_cmd; trace_blame_cmd ]
 
 (* ---------- bounds ---------- *)
 
@@ -602,4 +790,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; inspect_cmd; run_cmd; campaign_cmd; bounds_cmd; chain_cmd ]))
+          [
+            gen_cmd;
+            inspect_cmd;
+            run_cmd;
+            campaign_cmd;
+            replay_cmd;
+            trace_cmd;
+            bounds_cmd;
+            chain_cmd;
+          ]))

@@ -557,7 +557,7 @@ let fold_task agg tr =
         errors = agg.errors + 1;
       }
 
-let run ?(workers = 1) ?telemetry (spec : Spec.t) =
+let run ?(workers = 1) ?telemetry ?(profile = false) (spec : Spec.t) =
   (match Spec.validate spec with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Campaign.run: " ^ msg));
@@ -571,7 +571,7 @@ let run ?(workers = 1) ?telemetry (spec : Spec.t) =
             let sink =
               match telemetry with None -> None | Some f -> f ~task:i
             in
-            Ok (runner.Runner.run ~seed:engine_seed ?telemetry:sink ())
+            Ok (runner.Runner.run ~seed:engine_seed ?telemetry:sink ~profile ())
           with exn -> Error (Printexc.to_string exn)
         in
         { task = i; task_seed; result })
@@ -643,6 +643,24 @@ let violation_fields (o : Runner.outcome) =
                vs) );
       ]
 
+(* Profile numbers are wall-clock measurements: present only on --profile
+   runs (so benign streams and goldens are unchanged) and deliberately
+   outside the bit-identical-for-any-workers determinism contract. *)
+let profile_fields (o : Runner.outcome) =
+  match o.Runner.profile with
+  | None -> []
+  | Some p ->
+      [
+        ( "profile",
+          Json.Obj
+            [
+              ("setup_ns", num p.Runner.setup_ns);
+              ("rounds_ns", num p.Runner.rounds_ns);
+              ("checks_ns", num p.Runner.checks_ns);
+              ("alloc_bytes", Json.Num p.Runner.alloc_bytes);
+            ] );
+      ]
+
 let json_of_outcome (o : Runner.outcome) =
   Json.Obj
     ([
@@ -661,7 +679,8 @@ let json_of_outcome (o : Runner.outcome) =
        ( "spread",
          match o.Runner.spread with None -> Json.Null | Some s -> Json.Num s );
      ]
-    @ status_fields o @ grade_fields o @ fault_fields o @ violation_fields o)
+    @ status_fields o @ grade_fields o @ fault_fields o @ violation_fields o
+    @ profile_fields o)
 
 let json_of_task_result tr =
   Json.Obj

@@ -160,13 +160,22 @@ val instantiate : Spec.t -> task_seed:int -> Runner.t * int
 val run :
   ?workers:int ->
   ?telemetry:(task:int -> Aat_telemetry.Telemetry.Sink.t option) ->
+  ?profile:bool ->
   Spec.t ->
   result
 (** Execute the campaign. [workers] defaults to [1]; results are
     bit-identical for every worker count. [telemetry], if given, supplies
     a per-task sink ([task] is the task index) — sinks may be invoked from
     pool worker domains concurrently, so distinct tasks must get distinct
-    (or domain-safe) sinks. *)
+    (or domain-safe) sinks. [profile] (default [false]) fills each
+    outcome's {!Runner.stage_profile}; the timing values themselves are
+    wall-clock measurements and sit outside the determinism contract. *)
+
+val json_of_outcome : Runner.outcome -> Aat_telemetry.Jsonx.t
+(** One task outcome as the ["task"]-line payload (without the task/seed
+    envelope): status, verdict, grade, headline numbers, fault and
+    watchdog accounting, and — on profiled runs — the stage profile.
+    Exposed for the observability layer's outcome digests. *)
 
 val json_of_task_result : task_result -> Aat_telemetry.Jsonx.t
 

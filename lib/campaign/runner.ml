@@ -17,6 +17,19 @@ let status_label = function
   | Timed_out _ -> "liveness-timeout"
   | Errored _ -> "engine-error"
 
+(* Per-stage cost breakdown of one run, measured only when the runner is
+   invoked with ~profile:true: [setup_ns] covers fault-filter compilation
+   and protocol/adversary/watchdog construction, [rounds_ns] the engine
+   execution, [checks_ns] verdict checking and grading. Wall-clock
+   measurements — excluded from the determinism contract and from replay
+   comparison. *)
+type stage_profile = {
+  setup_ns : int;
+  rounds_ns : int;
+  checks_ns : int;
+  alloc_bytes : float;
+}
+
 type outcome = {
   runner : string;
   seed : int;
@@ -34,6 +47,7 @@ type outcome = {
   spread : float option;
   faults : Report.fault_stats;
   violations : Aat_runtime.Watchdog.violation list;
+  profile : stage_profile option;
 }
 
 let ok o =
@@ -51,7 +65,12 @@ let verdict_of o =
 
 type t = {
   name : string;
-  run : seed:int -> ?telemetry:Aat_telemetry.Telemetry.Sink.t -> unit -> outcome;
+  run :
+    seed:int ->
+    ?telemetry:Aat_telemetry.Telemetry.Sink.t ->
+    ?profile:bool ->
+    unit ->
+    outcome;
 }
 
 let failed_verdict =
@@ -75,6 +94,7 @@ let errored ~runner ~seed ~engine ~stage exn =
     spread = None;
     faults = Report.no_faults;
     violations = [];
+    profile = None;
   }
 
 let outcome_of_report ~runner ~seed ~status ~excuse ~(verdict : Verdict.t)
@@ -99,6 +119,7 @@ let outcome_of_report ~runner ~seed ~status ~excuse ~(verdict : Verdict.t)
     spread;
     faults = report.Report.fault_stats;
     violations = report.Report.watchdog_violations;
+    profile = None;
   }
 
 (* An excusal reason for verdict failures under a fault plan. Two rules:
@@ -115,6 +136,20 @@ let excuse_of plan (status : status) =
     | Timed_out _ when not (Plan.is_empty plan) ->
         Some "liveness timeout under an active fault plan"
     | _ -> None
+
+(* Stage-timing scaffolding for profiled runs: [now false] never reads the
+   clock, so the default unprofiled path pays one boolean test per stage. *)
+let now enabled = if enabled then Unix.gettimeofday () else 0.
+
+let ns dt = int_of_float (dt *. 1e9)
+
+let stage_profile ~t0 ~t1 ~t2 ~t3 ~a0 =
+  {
+    setup_ns = ns (t1 -. t0);
+    rounds_ns = ns (t2 -. t1);
+    checks_ns = ns (t3 -. t2);
+    alloc_bytes = Gc.allocated_bytes () -. a0;
+  }
 
 (* Grade a structured engine outcome, never letting anything escape: the
    verdict [check] runs on complete *and* partial reports. *)
@@ -139,23 +174,38 @@ let conclude ~runner ~seed ~engine ~excuse ~check ~spread
 let of_protocol ~name ~n ~t ~max_rounds ~protocol ~adversary ?observe
     ?(fault_plan = Plan.empty) ?(watchdogs = fun () -> []) ~check
     ?(spread = fun _ -> None) () =
-  let run ~seed ?telemetry () =
+  let run ~seed ?telemetry ?(profile = false) () =
+    let t0 = now profile in
+    let a0 = if profile then Gc.allocated_bytes () else 0. in
     match
       let fault_filter =
         if Plan.is_empty fault_plan then None
         else Some (Inject.filter ~engine:`Sync ~seed fault_plan)
       in
-      Sync_engine.run_outcome ~n ~t ~seed ?telemetry ?observe ?fault_filter
-        ~crash_faults:(Plan.crashes fault_plan)
-        ~watchdogs:(watchdogs ())
-        ~max_rounds:(max 1 max_rounds)
-        ~protocol:(protocol ()) ~adversary:(adversary ()) ()
+      let protocol = protocol () in
+      let adversary = adversary () in
+      let watchdogs = watchdogs () in
+      let t1 = now profile in
+      let engine_outcome =
+        Sync_engine.run_outcome ~n ~t ~seed ?telemetry ~profile ?observe
+          ?fault_filter
+          ~crash_faults:(Plan.crashes fault_plan)
+          ~watchdogs
+          ~max_rounds:(max 1 max_rounds)
+          ~protocol ~adversary ()
+      in
+      (engine_outcome, t1, now profile)
     with
     | exception exn -> errored ~runner:name ~seed ~engine:"sync" ~stage:"engine" exn
-    | engine_outcome -> (
+    | engine_outcome, t1, t2 -> (
         try
-          conclude ~runner:name ~seed ~engine:"sync"
-            ~excuse:(excuse_of fault_plan) ~check ~spread engine_outcome
+          let o =
+            conclude ~runner:name ~seed ~engine:"sync"
+              ~excuse:(excuse_of fault_plan) ~check ~spread engine_outcome
+          in
+          if profile then
+            { o with profile = Some (stage_profile ~t0 ~t1 ~t2 ~t3:(now profile) ~a0) }
+          else o
         with exn -> errored ~runner:name ~seed ~engine:"sync" ~stage:"check" exn)
   in
   { name; run }
@@ -287,25 +337,38 @@ let to_engine_scheduler = function
 let run_async (type s m o) ~runner ~n ~t ~max_events ~fault_plan ~watchdogs
     ~(reactor : unit -> (s, m, o) Aat_async.Async_engine.reactor)
     ~(adversary : unit -> m Aat_async.Async_engine.adversary) ~check ~seed
-    ?telemetry () =
+    ?telemetry ?(profile = false) () =
+  let t0 = now profile in
+  let a0 = if profile then Gc.allocated_bytes () else 0. in
   match
     let fault_filter =
       if Plan.is_empty fault_plan then None
       else Some (Inject.filter ~engine:`Async ~seed fault_plan)
     in
-    Aat_async.Async_engine.run_outcome ~n ~t ~seed ?telemetry ~max_events
-      ?fault_filter
-      ~crash_faults:(Plan.crashes fault_plan)
-      ~watchdogs:(watchdogs ())
-      ~reactor:(reactor ()) ~adversary:(adversary ()) ()
+    let reactor = reactor () in
+    let adversary = adversary () in
+    let watchdogs = watchdogs () in
+    let t1 = now profile in
+    let engine_outcome =
+      Aat_async.Async_engine.run_outcome ~n ~t ~seed ?telemetry ~profile
+        ~max_events ?fault_filter
+        ~crash_faults:(Plan.crashes fault_plan)
+        ~watchdogs ~reactor ~adversary ()
+    in
+    (engine_outcome, t1, now profile)
   with
   | exception exn -> errored ~runner ~seed ~engine:"async" ~stage:"engine" exn
-  | engine_outcome -> (
+  | engine_outcome, t1, t2 -> (
       try
-        conclude ~runner ~seed ~engine:"async" ~excuse:(excuse_of fault_plan)
-          ~check
-          ~spread:(fun _ -> None)
-          engine_outcome
+        let o =
+          conclude ~runner ~seed ~engine:"async" ~excuse:(excuse_of fault_plan)
+            ~check
+            ~spread:(fun _ -> None)
+            engine_outcome
+        in
+        if profile then
+          { o with profile = Some (stage_profile ~t0 ~t1 ~t2 ~t3:(now profile) ~a0) }
+        else o
       with exn -> errored ~runner ~seed ~engine:"async" ~stage:"check" exn)
 
 let async_tree_aa ?(max_events = 2_000_000) ?(fault_plan = Plan.empty)
@@ -321,7 +384,7 @@ let async_tree_aa ?(max_events = 2_000_000) ?(fault_plan = Plan.empty)
            (fun (r : _ Aat_async.Async_aa.result) -> r.Aat_async.Async_aa.value)
            (Report.honest_outputs report))
   in
-  let run ~seed ?telemetry () =
+  let run ~seed ?telemetry ?profile () =
     run_async ~runner:"async-tree-aa" ~n ~t ~max_events ~fault_plan
       ~watchdogs:(budget_watchdogs ~t ~plan:fault_plan watch)
       ~reactor:(fun () ->
@@ -331,7 +394,7 @@ let async_tree_aa ?(max_events = 2_000_000) ?(fault_plan = Plan.empty)
         Aat_async.Async_engine.passive
           ~scheduler:(to_engine_scheduler scheduler)
           "none")
-      ~check ~seed ?telemetry ()
+      ~check ~seed ?telemetry ?profile ()
   in
   { name = "async-tree-aa"; run }
 
@@ -344,7 +407,7 @@ let round_sim_tree_aa ?(max_events = 2_000_000) ?(fault_plan = Plan.empty)
       ~honest_inputs:(Report.honest_inputs ~inputs report)
       ~honest_outputs:(List.map fst (Report.honest_outputs report))
   in
-  let run ~seed ?telemetry () =
+  let run ~seed ?telemetry ?profile () =
     run_async ~runner:"round-sim-tree-aa" ~n ~t ~max_events ~fault_plan
       ~watchdogs:(budget_watchdogs ~t ~plan:fault_plan watch)
       ~reactor:(fun () ->
@@ -354,6 +417,6 @@ let round_sim_tree_aa ?(max_events = 2_000_000) ?(fault_plan = Plan.empty)
         Aat_async.Async_engine.passive
           ~scheduler:(to_engine_scheduler scheduler)
           "none")
-      ~check ~seed ?telemetry ()
+      ~check ~seed ?telemetry ?profile ()
   in
   { name = "round-sim-tree-aa"; run }

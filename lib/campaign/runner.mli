@@ -41,6 +41,19 @@ val status_label : status -> string
 (** ["completed"] / ["liveness-timeout"] / ["engine-error"] — matching
     {!Aat_runtime.Outcome.label}. *)
 
+(** Per-stage cost breakdown of one run, present on {!outcome} only when
+    the runner was invoked with [~profile:true]: [setup_ns] covers
+    fault-filter compilation and protocol/adversary/watchdog construction,
+    [rounds_ns] the engine execution, [checks_ns] verdict checking and
+    grading. Wall-clock measurements: {e excluded} from the campaign
+    determinism contract and ignored by replay comparison. *)
+type stage_profile = {
+  setup_ns : int;
+  rounds_ns : int;
+  checks_ns : int;
+  alloc_bytes : float;  (** GC-allocated bytes over the whole run *)
+}
+
 type outcome = {
   runner : string;  (** the runner's name, e.g. ["tree-aa"] *)
   seed : int;  (** the engine/adversary seed this run used *)
@@ -64,6 +77,8 @@ type outcome = {
           no plan was given) *)
   violations : Aat_runtime.Watchdog.violation list;
       (** first violation per installed watchdog, in firing order *)
+  profile : stage_profile option;
+      (** stage cost breakdown; [None] unless run with [~profile:true] *)
 }
 
 val ok : outcome -> bool
@@ -76,8 +91,16 @@ val verdict_of : outcome -> Verdict.t
 
 type t = {
   name : string;
-  run : seed:int -> ?telemetry:Aat_telemetry.Telemetry.Sink.t -> unit -> outcome;
+  run :
+    seed:int ->
+    ?telemetry:Aat_telemetry.Telemetry.Sink.t ->
+    ?profile:bool ->
+    unit ->
+    outcome;
 }
+(** [profile] (default [false]) fills the outcome's {!stage_profile} and
+    asks the engine for per-round cost samples on telemetered runs; off,
+    no clock is ever read. *)
 
 val of_protocol :
   name:string ->

@@ -22,6 +22,9 @@
     - batch execution: {!Runner} (one erased entry point per protocol),
       {!Pool} (deterministic [Domain] fan-out), {!Campaign} (declarative
       batch specs with per-task seed splitting)
+    - observability: {!Spec_io} (spec codec), {!Trace} (parsed traces,
+      diffing, blame), {!Recorder} (flight records), {!Replay}
+      (deterministic replay with divergence detection)
     - analysis: {!Fekete}, {!Chain}, {!Rounds}, {!Tree_verdict} *)
 
 module Rng = Aat_util.Rng
@@ -92,6 +95,13 @@ module Async_aa = Aat_async.Async_aa
 module Runner = Aat_campaign.Runner
 module Pool = Aat_campaign.Pool
 module Campaign = Aat_campaign.Campaign
+
+(* observability: spec codec, parsed traces + blame, flight recorder,
+   deterministic replay *)
+module Spec_io = Aat_obs.Spec_io
+module Trace = Aat_obs.Trace
+module Recorder = Aat_obs.Recorder
+module Replay = Aat_obs.Replay
 
 (* authenticated setting *)
 module Auth = Aat_auth.Auth

@@ -24,6 +24,14 @@ type run_meta = {
   initial_corruptions : int list;
 }
 
+(* Opt-in per-round profiling sample, attached by an engine running with
+   [~profile:true] on a telemetered run: wall-clock nanoseconds and
+   GC-allocated bytes spent in the round (the chunk, for the async engine).
+   Samples are measurements, not semantics — replay comparison and trace
+   diffing ignore them, and with profiling off (the default) no sample is
+   ever built. *)
+type profile_sample = { wall_ns : int; alloc_bytes : float }
+
 type event = {
   round : int;  (* 1-based; for the async engine, the chunk index *)
   honest_msgs : int;  (* honest letters submitted this round *)
@@ -37,9 +45,47 @@ type event = {
   grades : (int * int * int) option;  (* gradecast (g0, g1, g2) histogram *)
   marks : (string * int) list;  (* generic probe counters *)
   snapshot : (int * float) list;  (* honest (party, observed value) *)
+  profile : profile_sample option;  (* opt-in per-round cost sample *)
 }
 
 type summary = { rounds : int; honest_messages : int; adversary_messages : int }
+
+(* ------------------------------------------------------------------ *)
+(* trace format versioning *)
+
+(* Version of the JSONL trace format, stamped into every "start" header
+   (and into the flight-recorder container lines built on top of it) as
+   "format_version": "MAJOR.MINOR". The major changes when a reader of the
+   old format can no longer make sense of the new one; readers must reject
+   unknown majors and accept newer minors of their own major. A header
+   without the field is a pre-versioning 1.x writer. *)
+let format_version = (1, 0)
+
+let format_version_string =
+  let major, minor = format_version in
+  Printf.sprintf "%d.%d" major minor
+
+(* Check the "format_version" field of a parsed JSONL header object. *)
+let check_format_version json =
+  match Jsonx.member "format_version" json with
+  | None -> Ok () (* pre-versioning writer: treat as 1.x *)
+  | Some (Jsonx.Str s) -> (
+      let major_text =
+        match String.index_opt s '.' with
+        | Some i -> String.sub s 0 i
+        | None -> s
+      in
+      match int_of_string_opt major_text with
+      | None -> Error (Printf.sprintf "malformed format_version %S" s)
+      | Some major ->
+          if major = fst format_version then Ok ()
+          else
+            Error
+              (Printf.sprintf
+                 "unsupported trace format_version %S (this reader speaks \
+                  major %d)"
+                 s (fst format_version)))
+  | Some _ -> Error "format_version must be a string"
 
 (* Approximate wire size of a message payload: its reachable heap footprint.
    Immediates (bare ints, constant constructors) report 0; structure shared
@@ -230,6 +276,7 @@ module Jsonl = struct
     Json.Obj
       [
         ("type", Json.Str "start");
+        ("format_version", Json.Str format_version_string);
         ("engine", Json.Str m.engine);
         ("protocol", Json.Str m.protocol);
         ("adversary", Json.Str m.adversary);
@@ -284,7 +331,20 @@ module Jsonl = struct
                    snap) );
           ]
     in
-    Json.Obj (base @ grades @ marks @ snapshot)
+    let profile =
+      match e.profile with
+      | None -> []
+      | Some p ->
+          [
+            ( "profile",
+              Json.Obj
+                [
+                  ("wall_ns", Json.Num (float_of_int p.wall_ns));
+                  ("alloc_bytes", Json.Num p.alloc_bytes);
+                ] );
+          ]
+    in
+    Json.Obj (base @ grades @ marks @ snapshot @ profile)
 
   let json_of_summary (s : summary) =
     Json.Obj

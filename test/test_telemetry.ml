@@ -134,9 +134,14 @@ let test_jsonl_round_trip () =
   let report = outcome.Quick.report in
   check "has start, rounds, stop" true (List.length lines >= 3);
   let jsons = List.map parse lines in
-  (* first line: the run metadata *)
+  (* first line: the run metadata, stamped with the format version *)
   let start = List.hd jsons in
   Alcotest.(check string) "start line" "start" (str_field "type" start);
+  Alcotest.(check string) "format version stamped"
+    Telemetry.format_version_string
+    (str_field "format_version" start);
+  check "own version accepted" true
+    (Result.is_ok (Telemetry.check_format_version start));
   check_int "n" 7 (int_field "n" start);
   check_int "t" 2 (int_field "t" start);
   Alcotest.(check string) "protocol" "tree-aa" (str_field "protocol" start);
@@ -304,6 +309,112 @@ let test_json_codec () =
   check "unicode escape" true
     (Telemetry.Json.of_string "\"\\u0041\"" = Ok (Telemetry.Json.Str "A"))
 
+(* property: the codec inverts on arbitrary values — every control
+   character escapes, every finite float survives the %.17g rendering,
+   arbitrary nesting parses back *)
+
+let json_gen =
+  let open QCheck2.Gen in
+  let str =
+    string_size ~gen:(map Char.chr (int_range 0 127)) (int_bound 12)
+  in
+  let num =
+    oneof
+      [
+        map float_of_int (int_range (-1_000_000) 1_000_000);
+        oneofl
+          [
+            0.; -0.; 1.5; -2.25; 3.141592653589793; 1e-9; 6.02e23;
+            1.7976931348623157e308; 2.2250738585072014e-308;
+          ];
+      ]
+  in
+  sized_size (int_bound 5)
+  @@ fix (fun self n ->
+         let leaf =
+           oneof
+             [
+               return Telemetry.Json.Null;
+               map (fun b -> Telemetry.Json.Bool b) bool;
+               map (fun f -> Telemetry.Json.Num f) num;
+               map (fun s -> Telemetry.Json.Str s) str;
+             ]
+         in
+         if n = 0 then leaf
+         else
+           oneof
+             [
+               leaf;
+               map
+                 (fun l -> Telemetry.Json.Arr l)
+                 (list_size (int_bound 4) (self (n / 2)));
+               map
+                 (fun kvs -> Telemetry.Json.Obj kvs)
+                 (list_size (int_bound 4) (pair str (self (n / 2))));
+             ])
+
+let prop_json_codec_inverts =
+  QCheck2.Test.make ~name:"json codec inverts on arbitrary values" ~count:500
+    json_gen
+    (fun v ->
+      match Telemetry.Json.of_string (Telemetry.Json.to_string v) with
+      | Ok v' -> v' = v
+      | Error e -> QCheck2.Test.fail_reportf "reparse failed: %s" e)
+
+let test_json_deep_nesting () =
+  let deep =
+    let rec go n acc =
+      if n = 0 then acc
+      else go (n - 1) (Telemetry.Json.Obj [ ("child", Telemetry.Json.Arr [ acc ]) ])
+    in
+    go 100 (Telemetry.Json.Str "leaf")
+  in
+  check "100-deep nesting round trips" true
+    (Telemetry.Json.of_string (Telemetry.Json.to_string deep) = Ok deep)
+
+let test_json_malformed_rejected () =
+  List.iter
+    (fun s ->
+      check (Printf.sprintf "rejects %S" s) true
+        (Result.is_error (Telemetry.Json.of_string s)))
+    [
+      "";
+      "{";
+      "[1,]";
+      "{\"a\":}";
+      "{\"a\" 1}";
+      "{\"a\":1,}";
+      "\"\\q\"";
+      "\"\\u12\"";
+      "tru";
+      "[1 2]";
+      "{1:2}";
+    ]
+
+(* the reader's version gate, on hand-written headers *)
+let test_format_version_gate () =
+  let header fields =
+    Telemetry.Json.Obj (("type", Telemetry.Json.Str "start") :: fields)
+  in
+  check "missing field accepted (pre-versioning writer)" true
+    (Result.is_ok (Telemetry.check_format_version (header [])));
+  check "newer minor of our major accepted" true
+    (Result.is_ok
+       (Telemetry.check_format_version
+          (header [ ("format_version", Telemetry.Json.Str "1.99") ])));
+  check "unknown major rejected" true
+    (Result.is_error
+       (Telemetry.check_format_version
+          (header [ ("format_version", Telemetry.Json.Str "2.0") ])));
+  check "non-string version rejected" true
+    (Result.is_error
+       (Telemetry.check_format_version
+          (header [ ("format_version", Telemetry.Json.Num 1.) ])));
+  check "malformed version rejected" true
+    (Result.is_error
+       (Telemetry.check_format_version
+          (header [ ("format_version", Telemetry.Json.Str "one.zero") ])))
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -319,6 +430,12 @@ let () =
         [
           Alcotest.test_case "golden round trip" `Quick test_jsonl_round_trip;
           Alcotest.test_case "json codec" `Quick test_json_codec;
+          QCheck_alcotest.to_alcotest prop_json_codec_inverts;
+          Alcotest.test_case "deep nesting" `Quick test_json_deep_nesting;
+          Alcotest.test_case "malformed rejected" `Quick
+            test_json_malformed_rejected;
+          Alcotest.test_case "format version gate" `Quick
+            test_format_version_gate;
         ] );
       ( "neutrality",
         [
