@@ -1072,6 +1072,73 @@ let bechamel () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* GAP — adversary synthesis against the Fekete lower bound. One small
+   (mu+lambda) search per default target (seed 1); the champion's measured
+   spread sits next to K(R, D), and the champion's flight record is
+   replayed on the spot — "clean" in the replay column is bit-identity
+   evidence. The search is bit-identical for any --workers, so the
+   committed BENCH_GAP.json regenerates exactly. *)
+
+let table_gap ~workers () =
+  let config =
+    {
+      Synth.driver = Synth.Mu_plus_lambda;
+      generations = 3;
+      population = 6;
+      seed = 1;
+      workers;
+    }
+  in
+  let rows =
+    List.map
+      (fun (target : Synth.target) ->
+        let r = Synth.search config target in
+        let replay_check =
+          match Replay.run r.Synth.champion.Synth.record with
+          | Error e -> "error: " ^ e
+          | Ok replay -> (
+              match replay.Replay.verdict with
+              | Ok () -> "clean"
+              | Error _ -> "DIVERGED")
+        in
+        [
+          target.Synth.label;
+          string_of_int target.Synth.n;
+          string_of_int target.Synth.t;
+          Printf.sprintf "%g" target.Synth.d;
+          string_of_int target.Synth.rounds;
+          Genome.to_string r.Synth.champion.Synth.genome;
+          Verdict.graded_label r.Synth.champion.Synth.outcome.Runner.grade;
+          Printf.sprintf "%.4g" r.Synth.gap.Synth.measured;
+          Printf.sprintf "%.4g" r.Synth.gap.Synth.k_theory;
+          Printf.sprintf "%.4g" r.Synth.gap.Synth.ratio;
+          (if r.Synth.gap.Synth.sound then "yes" else "NO");
+          replay_check;
+        ])
+      (Synth.default_targets ())
+  in
+  print_table
+    ~title:
+      "GAP synthesized worst case vs. Fekete lower bound ((mu+lambda), 3 \
+       generations x 6, seed 1)"
+    ~header:
+      [
+        "target";
+        "n";
+        "t";
+        "D";
+        "R";
+        "champion";
+        "grade";
+        "spread";
+        "K(R,D)";
+        "ratio";
+        "sound";
+        "replay";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 
 let tables ~workers =
   [
@@ -1087,6 +1154,7 @@ let tables ~workers =
     ("E10", table_e10);
     ("E-CHAOS", fun () -> table_echaos ~workers ());
     ("A", table_ablations);
+    ("GAP", fun () -> table_gap ~workers ());
   ]
 
 (* One table group as BENCH_<NAME>.json: the captured tables verbatim,

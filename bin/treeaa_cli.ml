@@ -5,6 +5,7 @@
      inspect  print metrics and the Euler-tour list of a tree
      run      execute TreeAA on a tree against a chosen adversary
      campaign run a declarative batch campaign (JSONL out, --workers N)
+     synth    search the adversary-genome space for worst-case executions
      replay   re-execute flight-recorder records, detect divergence
      trace    summarize / diff / blame telemetry traces and records
      bounds   print upper/lower round bounds for given n, t, D *)
@@ -784,6 +785,153 @@ let chain_cmd =
     (Cmd.info "chain" ~doc:"Walk Fekete's one-round lower-bound view chain")
     Term.(term_result' (const action $ n_term $ t_term $ d_term))
 
+(* ---------- synth ---------- *)
+
+let synth_cmd =
+  let protocol_term =
+    Arg.(
+      value & opt string "treeaa"
+      & info [ "protocol" ] ~docv:"P"
+          ~doc:
+            "Synthesis target: treeaa, realaa, iterated-midpoint, \
+             async-tree-aa, or all.")
+  in
+  let generations_term =
+    Arg.(
+      value & opt int 3
+      & info [ "generations" ] ~docv:"G"
+          ~doc:"Search generations (initial population included).")
+  in
+  let population_term =
+    Arg.(
+      value & opt int 6
+      & info [ "population" ] ~docv:"P" ~doc:"Genomes evaluated per generation.")
+  in
+  let driver_term =
+    Arg.(
+      value & opt string "evolve"
+      & info [ "driver" ] ~docv:"D"
+          ~doc:"Search driver: random, hill, or evolve ((mu+lambda)).")
+  in
+  let workers_term =
+    Arg.(
+      value & opt int 1
+      & info [ "workers"; "j" ] ~docv:"W"
+          ~doc:
+            "Evaluation worker domains (default 1; 0 means all cores). The \
+             champion, gap and printed report are identical for every value.")
+  in
+  let record_out_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the champion's flight record here (replay it with \
+             $(b,treeaa replay)). With --protocol all, one file per target \
+             (FILE.<target>).")
+  in
+  let json_out_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE" ~doc:"Write the gap report as JSON.")
+  in
+  let print_report (r : Synth.report) =
+    let t = r.Synth.target in
+    Printf.printf "target: %s (%s, %s engine)  n=%d t=%d D=%g R=%d\n" t.Synth.label
+      (Campaign.Spec.protocol_label t.Synth.protocol)
+      t.Synth.engine t.Synth.n t.Synth.t t.Synth.d t.Synth.rounds;
+    Printf.printf "driver: %s  generations=%d population=%d seed=%d\n"
+      (Synth.driver_label r.Synth.config.Synth.driver)
+      r.Synth.config.Synth.generations r.Synth.config.Synth.population
+      r.Synth.config.Synth.seed;
+    Printf.printf "evaluations: %d\n" r.Synth.evaluations;
+    Printf.printf "champion: genome:%s\n" (Genome.to_string r.Synth.champion.Synth.genome);
+    Printf.printf "  spread (fitness): %.6g\n" r.Synth.champion.Synth.fitness;
+    Printf.printf "  grade: %s\n"
+      (Verdict.graded_label r.Synth.champion.Synth.outcome.Runner.grade);
+    Printf.printf "gap after R=%d rounds:\n" t.Synth.rounds;
+    Printf.printf "  K(R,D)   = %.6g\n" r.Synth.gap.Synth.k_theory;
+    Printf.printf "  measured = %.6g\n" r.Synth.gap.Synth.measured;
+    Printf.printf "  ratio    = %.6g\n" r.Synth.gap.Synth.ratio;
+    (match r.Synth.gap.Synth.envelope with
+    | Some e -> Printf.printf "  lemma5   = %.6g\n" e
+    | None -> ());
+    Printf.printf "  sound    = %b\n" r.Synth.gap.Synth.sound;
+    Printf.printf "history: %s\n"
+      (String.concat ", "
+         (List.map
+            (fun (gen, fit) -> Printf.sprintf "g%d=%.6g" gen fit)
+            r.Synth.history))
+  in
+  let action protocol seed workers generations population driver record_out
+      json_out =
+    match Synth.driver_of_string driver with
+    | Error m -> Error m
+    | Ok driver -> (
+        let targets =
+          if protocol = "all" then Ok (Synth.default_targets ())
+          else Result.map (fun t -> [ t ]) (Synth.target_for protocol)
+        in
+        match targets with
+        | Error m -> Error m
+        | Ok targets ->
+            let config =
+              { Synth.driver; generations; population; seed; workers }
+            in
+            let reports =
+              List.mapi
+                (fun i target ->
+                  if i > 0 then print_newline ();
+                  let r = Synth.search config target in
+                  print_report r;
+                  r)
+                targets
+            in
+            (match record_out with
+            | None -> ()
+            | Some path ->
+                let single = match reports with [ _ ] -> true | _ -> false in
+                List.iter
+                  (fun (r : Synth.report) ->
+                    let file =
+                      if single then path
+                      else path ^ "." ^ r.Synth.target.Synth.label
+                    in
+                    Recorder.write_file file r.Synth.champion.Synth.record;
+                    Printf.printf "champion record: %s\n" file)
+                  reports);
+            (match json_out with
+            | None -> ()
+            | Some path ->
+                let json =
+                  Telemetry.Json.Obj
+                    [
+                      ("schema", Telemetry.Json.Str "treeagree-synth-gap/v1");
+                      ( "gaps",
+                        Telemetry.Json.Arr
+                          (List.map Synth.gap_json reports) );
+                    ]
+                in
+                let oc = open_out path in
+                output_string oc (Telemetry.Json.to_string json);
+                output_string oc "\n";
+                close_out oc;
+                Printf.printf "gap json: %s\n" path);
+            Ok ())
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:
+         "Search the adversary-genome space for worst-case executions and \
+          report the gap to the Fekete lower bound")
+    Term.(
+      term_result'
+        (const action $ protocol_term $ seed_term $ workers_term
+       $ generations_term $ population_term $ driver_term $ record_out_term
+       $ json_out_term))
+
 let () =
   let doc = "round-optimal Byzantine approximate agreement on trees" in
   let info = Cmd.info "treeaa" ~version:"1.0.0" ~doc in
@@ -795,6 +943,7 @@ let () =
             inspect_cmd;
             run_cmd;
             campaign_cmd;
+            synth_cmd;
             replay_cmd;
             trace_cmd;
             bounds_cmd;

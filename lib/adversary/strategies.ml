@@ -19,11 +19,32 @@ let random_silent ~count =
   }
 
 let crash ~at_round ~victims =
+  if at_round < 1 then
+    invalid_arg
+      (Printf.sprintf "Strategies.crash: at_round must be >= 1 (got %d)"
+         at_round);
   {
     Adversary.name = Printf.sprintf "crash@r%d" at_round;
     initial_corruptions = (fun ~n:_ ~t:_ _ -> []);
     corrupt_more =
-      (fun view -> if view.Adversary.round = at_round then victims else []);
+      (fun view ->
+        (* A requested round past the engine's horizon would otherwise
+           never fire (the run ends first): clamp it to the default round
+           cap for this [n], and trigger on [>=] rather than [=] so the
+           crash cannot be skipped over. Once the victims are corrupted
+           the filter empties and the strategy goes quiet. *)
+        let target =
+          min at_round (Aat_runtime.Defaults.max_rounds ~n:view.Adversary.n)
+        in
+        if
+          view.Adversary.round >= target
+          && List.exists
+               (fun v ->
+                 v >= 0 && v < view.Adversary.n
+                 && not view.Adversary.corrupted.(v))
+               victims
+        then victims
+        else []);
     deliver = (fun _ -> []);
   }
 

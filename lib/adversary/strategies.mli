@@ -23,7 +23,13 @@ val crash : at_round:Types.round -> victims:Types.party_id list -> 'msg Adversar
     adaptively corrupted at the start of round [at_round], from which point
     they send nothing — a mid-protocol crash, exercising the adaptive
     adversary of the model. Their round-[at_round] messages are already
-    retracted by the engine. *)
+    retracted by the engine.
+
+    Raises [Invalid_argument] if [at_round < 1]. An [at_round] beyond
+    [Aat_runtime.Defaults.max_rounds ~n] is clamped to that horizon — the
+    crash fires at the last default round rather than silently never
+    firing — and the trigger is [>=], so a strategy evaluated past its
+    target round still crashes its victims exactly once. *)
 
 val puppeteer :
   name:string ->

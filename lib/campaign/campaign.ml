@@ -6,6 +6,7 @@ module Metrics = Aat_tree.Metrics
 module Paths = Aat_tree.Paths
 module Adversary = Aat_engine.Adversary
 module Strategies = Aat_adversary.Strategies
+module Genome = Aat_adversary.Genome
 module Spoiler = Aat_adversary.Spoiler
 module Wedge = Aat_adversary.Wedge
 module Compose = Aat_adversary.Compose
@@ -44,6 +45,9 @@ module Spec = struct
     | Gradecast_wedge
     | Any_tree_adversary
     | Any_real_adversary
+    | Synth_genome of Aat_adversary.Genome.t
+        (** a synthesized strategy ([lib/synth]): fully determined by the
+            genome, no per-task adversary draws *)
 
   type protocol =
     | Tree_aa
@@ -86,10 +90,12 @@ module Spec = struct
 
   let generic_family = function
     | Passive | Random_silent | Random_crash -> true
+    | Synth_genome g -> Aat_adversary.Genome.generic g
     | _ -> false
 
   let real_family = function
     | Real_spoiler | Gradecast_wedge | Any_real_adversary -> true
+    | Synth_genome _ -> true (* every attack gene speaks the gradecast wire *)
     | f -> generic_family f
 
   let vertex_inputs = function Random_vertices -> true | _ -> false
@@ -128,16 +134,20 @@ module Spec = struct
       | Error _ as e -> e
       | Ok () -> (
       match s.protocol with
-      | Tree_aa ->
+      | Tree_aa -> (
           if not (vertex_inputs s.inputs) then
             err "%s takes vertex inputs (Random_vertices)" label
-          else if real_family s.adversary && not (generic_family s.adversary)
-          then
-            err
-              "%s speaks the composed TreeAA wire type; real-valued \
-               adversary families do not apply"
-              label
-          else Ok ()
+          else
+            match s.adversary with
+            (* genomes compile phase-by-phase across the composition
+               boundary, so they face TreeAA even with gradecast genes *)
+            | Synth_genome _ -> Ok ()
+            | a when real_family a && not (generic_family a) ->
+                err
+                  "%s speaks the composed TreeAA wire type; real-valued \
+                   adversary families do not apply"
+                  label
+            | _ -> Ok ())
       | Nr_baseline ->
           if not (vertex_inputs s.inputs) then
             err "%s takes vertex inputs (Random_vertices)" label
@@ -166,10 +176,25 @@ module Spec = struct
           else if not (real_family s.adversary) then
             err "%s cannot face tree-composed adversary families" label
           else Ok ()
-      | Async_tree_aa | Round_sim_tree_aa ->
+      | Async_tree_aa -> (
+          if not (vertex_inputs s.inputs) then
+            err "%s takes vertex inputs (Random_vertices)" label
+          else
+            match s.adversary with
+            | Passive -> Ok ()
+            | Synth_genome g when Aat_adversary.Genome.generic g -> Ok ()
+            | Synth_genome _ ->
+                err
+                  "%s accepts only protocol-agnostic genomes (the \
+                   gradecast attacks do not speak its wire)"
+                  label
+            | _ -> err "%s currently runs only under the passive adversary" label)
+      | Round_sim_tree_aa ->
           if not (vertex_inputs s.inputs) then
             err "%s takes vertex inputs (Random_vertices)" label
           else if s.adversary <> Passive then
+            (* the round simulation stalls once a party is corrupted (its
+               batches never arrive), so even genomes are rejected here *)
             err "%s currently runs only under the passive adversary" label
           else Ok ())
 end
@@ -315,9 +340,18 @@ let generic_adversary : type m.
       let bound = max 1 (min n (t + 3)) in
       let victims = Rng.sample_without_replacement rng (min t bound) bound in
       Some (fun () -> Strategies.crash ~at_round ~victims)
+  | Spec.Synth_genome g when Genome.generic g ->
+      Some
+        (fun () ->
+          match Genome.compile_generic ~n g with
+          | Some a -> a
+          | None -> assert false)
   | _ -> None
 
-let tree_spoiler_thunk ~tree ~t =
+(* TreeAA's two phases are RealAA instances with these schedule lengths;
+   both the hand-written spoiler and genome compilation phase their attack
+   across the same boundary. *)
+let tree_phase_shape ~tree =
   let barrier = max 1 (Paths_finder.rounds ~tree) in
   let nv = Tree.n_vertices tree in
   let first_iterations =
@@ -328,10 +362,19 @@ let tree_spoiler_thunk ~tree ~t =
       ~range:(float_of_int (max 2 (Metrics.diameter tree)))
       ~eps:1.
   in
+  (barrier, first_iterations, second_iterations)
+
+let tree_spoiler_thunk ~tree ~t =
+  let barrier, first_iterations, second_iterations = tree_phase_shape ~tree in
   fun () ->
     Compose.phased ~name:"spoiler" ~barrier
       ~first:(Spoiler.realaa_spoiler ~t ~iterations:first_iterations)
       ~second:(Spoiler.realaa_spoiler ~t ~iterations:second_iterations)
+
+let tree_genome_thunk ~tree ~t ~n g =
+  let barrier, first_iterations, second_iterations = tree_phase_shape ~tree in
+  fun () ->
+    Genome.compile_tree ~n ~t ~barrier ~first_iterations ~second_iterations g
 
 let tree_aa_adversary rng ~tree ~t ~n ~rounds_hint family =
   let generic f =
@@ -342,6 +385,7 @@ let tree_aa_adversary rng ~tree ~t ~n ~rounds_hint family =
   match family with
   | (Spec.Passive | Spec.Random_silent | Spec.Random_crash) as f -> generic f
   | Spec.Tree_spoiler -> tree_spoiler_thunk ~tree ~t
+  | Spec.Synth_genome g -> tree_genome_thunk ~tree ~t ~n g
   | Spec.Any_tree_adversary -> (
       match Rng.int rng 4 with
       | 0 -> generic Spec.Passive
@@ -361,6 +405,7 @@ let real_adversary rng ~t ~n ~rounds_hint ~iterations family =
   | (Spec.Passive | Spec.Random_silent | Spec.Random_crash) as f -> generic f
   | Spec.Real_spoiler -> fun () -> Spoiler.realaa_spoiler ~t ~iterations
   | Spec.Gradecast_wedge -> fun () -> Wedge.gradecast_wedge ()
+  | Spec.Synth_genome g -> fun () -> Genome.compile_real ~n ~t ~iterations g
   | Spec.Any_real_adversary -> (
       match Rng.int rng 3 with
       | 0 -> generic Spec.Passive
@@ -484,14 +529,34 @@ let instantiate (spec : Spec.t) ~task_seed =
         draw_engine_seed rng )
   | Spec.Async_tree_aa ->
       let tree, n, t, inputs = vertex_setup () in
-      let scheduler = draw_scheduler rng in
+      (* A genome fixes the scheduler (its async gene) and compiles to a
+         wire-polymorphic adversary; the passive path draws the scheduler
+         exactly as before, keeping its task streams unchanged. *)
+      let scheduler, adversary =
+        match spec.Spec.adversary with
+        | Spec.Synth_genome g ->
+            let scheduler =
+              match g.Genome.scheduler with
+              | Genome.Fifo -> Runner.Fifo
+              | Genome.Lifo -> Runner.Lifo
+              | Genome.Random_order -> Runner.Random_order
+            in
+            ( scheduler,
+              Some
+                (fun () ->
+                  match Genome.compile_generic ~n g with
+                  | Some a -> a
+                  | None -> assert false) )
+        | _ -> (draw_scheduler rng, None)
+      in
       (* round hints are delivery events under the async engine: roughly
          n^2 letters cross the network per protocol round *)
       let rounds_hint =
         max 1 (n * n * 3 * Nr_baseline.iterations_for tree)
       in
       let fault_plan = draw_fault_plan rng spec ~n ~rounds_hint in
-      ( Runner.async_tree_aa ~fault_plan ~watch ~tree ~inputs ~t ~scheduler (),
+      ( Runner.async_tree_aa ~fault_plan ~watch ~tree ~inputs ~t ~scheduler
+          ?adversary (),
         draw_engine_seed rng )
   | Spec.Round_sim_tree_aa ->
       let tree, n, t, inputs = vertex_setup () in

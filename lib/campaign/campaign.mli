@@ -54,6 +54,13 @@ module Spec : sig
     | Any_tree_adversary
         (** per-task mix of passive / silent / crash / tree spoiler *)
     | Any_real_adversary  (** per-task mix of passive / silent / spoiler *)
+    | Synth_genome of Aat_adversary.Genome.t
+        (** a synthesized strategy ([lib/synth]): the genome fully
+            determines the attack, so no per-task adversary draws are
+            made. Valid on every synchronous protocol (generic genomes
+            only on the NR baseline) and, for protocol-agnostic genomes,
+            on the native asynchronous runner, where its scheduler gene
+            replaces the per-task scheduler draw. *)
 
   type protocol =
     | Tree_aa

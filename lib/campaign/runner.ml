@@ -336,8 +336,8 @@ let to_engine_scheduler = function
 
 let run_async (type s m o) ~runner ~n ~t ~max_events ~fault_plan ~watchdogs
     ~(reactor : unit -> (s, m, o) Aat_async.Async_engine.reactor)
-    ~(adversary : unit -> m Aat_async.Async_engine.adversary) ~check ~seed
-    ?telemetry ?(profile = false) () =
+    ~(adversary : unit -> m Aat_async.Async_engine.adversary) ~check
+    ?(spread = fun _ -> None) ~seed ?telemetry ?(profile = false) () =
   let t0 = now profile in
   let a0 = if profile then Gc.allocated_bytes () else 0. in
   match
@@ -362,27 +362,76 @@ let run_async (type s m o) ~runner ~n ~t ~max_events ~fault_plan ~watchdogs
       try
         let o =
           conclude ~runner ~seed ~engine:"async" ~excuse:(excuse_of fault_plan)
-            ~check
-            ~spread:(fun _ -> None)
-            engine_outcome
+            ~check ~spread engine_outcome
         in
         if profile then
           { o with profile = Some (stage_profile ~t0 ~t1 ~t2 ~t3:(now profile) ~a0) }
         else o
       with exn -> errored ~runner ~seed ~engine:"async" ~stage:"check" exn)
 
+(* Maximum pairwise tree distance of a vertex set — the output spread of
+   the tree-valued protocols, in the paper's metric. BFS per distinct
+   vertex; output sets are at most n vertices on trees the campaigns keep
+   small. *)
+let tree_distance_spread ~tree vertices =
+  let module T = Aat_tree.Labeled_tree in
+  let distinct = List.sort_uniq compare vertices in
+  match distinct with
+  | [] | [ _ ] -> 0.
+  | vs ->
+      let nv = T.n_vertices tree in
+      let eccentricity_within src =
+        let dist = Array.make nv (-1) in
+        dist.(src) <- 0;
+        let q = Queue.create () in
+        Queue.add src q;
+        while not (Queue.is_empty q) do
+          let u = Queue.pop q in
+          List.iter
+            (fun v ->
+              if dist.(v) < 0 then begin
+                dist.(v) <- dist.(u) + 1;
+                Queue.add v q
+              end)
+            (T.neighbors tree u)
+        done;
+        List.fold_left (fun acc v -> max acc dist.(v)) 0 vs
+      in
+      float_of_int (List.fold_left (fun acc v -> max acc (eccentricity_within v)) 0 vs)
+
 let async_tree_aa ?(max_events = 2_000_000) ?(fault_plan = Plan.empty)
-    ?(watch = false) ~tree ~inputs ~t ~scheduler () =
+    ?(watch = false) ?adversary ~tree ~inputs ~t ~scheduler () =
   let n = Array.length inputs in
   let iterations = Nr_baseline.iterations_for tree in
+  let output_values report =
+    List.map
+      (fun (r : _ Aat_async.Async_aa.result) -> r.Aat_async.Async_aa.value)
+      (Report.honest_outputs report)
+  in
   let check report =
     Tree_verdict.check ~tree
       ~n_honest:(n - List.length report.Report.corrupted)
       ~honest_inputs:(Report.honest_inputs ~inputs report)
-      ~honest_outputs:
-        (List.map
-           (fun (r : _ Aat_async.Async_aa.result) -> r.Aat_async.Async_aa.value)
-           (Report.honest_outputs report))
+      ~honest_outputs:(output_values report)
+  in
+  (* With an explicit adversary (the synthesis path) the outcome also
+     carries the honest output spread in the tree metric; the passive
+     default keeps its historical spread-less outcomes. *)
+  let spread =
+    match adversary with
+    | None -> fun _ -> None
+    | Some _ -> fun report -> Some (tree_distance_spread ~tree (output_values report))
+  in
+  let engine_adversary () =
+    match adversary with
+    | None ->
+        Aat_async.Async_engine.passive
+          ~scheduler:(to_engine_scheduler scheduler)
+          "none"
+    | Some a ->
+        Aat_async.Async_engine.with_scheduler
+          ~scheduler:(to_engine_scheduler scheduler)
+          (a ())
   in
   let run ~seed ?telemetry ?profile () =
     run_async ~runner:"async-tree-aa" ~n ~t ~max_events ~fault_plan
@@ -390,11 +439,7 @@ let async_tree_aa ?(max_events = 2_000_000) ?(fault_plan = Plan.empty)
       ~reactor:(fun () ->
         Aat_async.Async_aa.tree ~tree ~inputs:(fun i -> inputs.(i)) ~t
           ~iterations)
-      ~adversary:(fun () ->
-        Aat_async.Async_engine.passive
-          ~scheduler:(to_engine_scheduler scheduler)
-          "none")
-      ~check ~seed ?telemetry ?profile ()
+      ~adversary:engine_adversary ~check ~spread ~seed ?telemetry ?profile ()
   in
   { name = "async-tree-aa"; run }
 

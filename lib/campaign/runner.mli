@@ -206,6 +206,7 @@ val async_tree_aa :
   ?max_events:int ->
   ?fault_plan:Aat_faults.Plan.t ->
   ?watch:bool ->
+  ?adversary:(unit -> Labeled_tree.vertex Aat_async.Async_aa.msg Adversary.t) ->
   tree:Labeled_tree.t ->
   inputs:Labeled_tree.vertex array ->
   t:int ->
@@ -213,7 +214,11 @@ val async_tree_aa :
   unit ->
   t
 (** The native asynchronous tree protocol ([Async_aa.tree], Nowak–Rybicki
-    style) under a passive adversary with the given scheduler.
+    style) under the given scheduler. [adversary] (default: passive) is a
+    synchronous-world strategy lifted through
+    [Async_engine.with_scheduler] — the synthesis harness drives the
+    protocol-agnostic genome attacks through it; when present, the outcome
+    additionally reports the honest output spread in the tree metric.
     [max_events] defaults to [2_000_000] (soak's budget — enough for the
     large random trees the campaigns draw). The async engine honours the
     full fault vocabulary, [Duplicate] and [Delay] included. *)

@@ -69,6 +69,7 @@ module Strategies = Aat_adversary.Strategies
 module Spoiler = Aat_adversary.Spoiler
 module Wedge = Aat_adversary.Wedge
 module Compose_adversary = Aat_adversary.Compose
+module Genome = Aat_adversary.Genome
 
 (* protocols *)
 module Gradecast = Aat_gradecast.Gradecast
@@ -109,6 +110,9 @@ module Auth = Aat_auth.Auth
 (* analysis *)
 module Fekete = Aat_lowerbound.Fekete
 module Chain = Aat_lowerbound.Chain
+
+(* adversary synthesis: genome search against the lower bound *)
+module Synth = Aat_synth.Synth
 
 (** High-level facade: run TreeAA and get the honest outputs, checked. *)
 module Quick = struct

@@ -106,11 +106,16 @@ let adversary_of_string s =
   | "wedge" -> Ok Gradecast_wedge
   | "any-tree" -> Ok Any_tree_adversary
   | "any-real" -> Ok Any_real_adversary
+  | other when String.length other > 7 && String.sub other 0 7 = "genome:" ->
+      Result.map
+        (fun g -> Synth_genome g)
+        (Aat_adversary.Genome.of_string
+           (String.sub other 7 (String.length other - 7)))
   | other ->
       Error
         (Printf.sprintf
            "unknown adversary family %S (have: none, silent, crash, spoiler, \
-            real-spoiler, wedge, any-tree, any-real)"
+            real-spoiler, wedge, any-tree, any-real, genome:<encoded>)"
            other)
 
 let adversary_to_string = function
@@ -122,6 +127,7 @@ let adversary_to_string = function
   | Spec.Gradecast_wedge -> "wedge"
   | Spec.Any_tree_adversary -> "any-tree"
   | Spec.Any_real_adversary -> "any-real"
+  | Spec.Synth_genome g -> "genome:" ^ Aat_adversary.Genome.to_string g
 
 let inputs_of_string s =
   let open Spec in

@@ -1,0 +1,137 @@
+(** Adversary synthesis: searching the genome space for worst-case
+    executions, measured against the Fekete lower bound.
+
+    The paper's lower bound says every [R]-round protocol admits an
+    execution whose output spread is at least [K(R, D)]
+    ({!Aat_lowerbound.Fekete.k_bound}); the hand-written adversaries in
+    [lib/adversary] are single points in attack space, and nothing in the
+    repository measured how close any execution actually gets. This
+    module closes that loop: a search driver breeds
+    {!Aat_adversary.Genome.t} strategies, evaluates each one as a
+    single-cell campaign through the flight recorder (so every
+    evaluation — champion included — is replayable bit-for-bit), and
+    reports the best-found spread next to [K(R, D)].
+
+    {b Fitness} is the measured honest-output spread after the target's
+    fixed round budget [R], taken from the run's telemetry: the outcome's
+    spread when the runner reports one (the real-valued protocols, and
+    the async runner under synthesis), otherwise the last point of the
+    recorded convergence curve. Maximizing spread at fixed [R] is
+    maximizing spread-per-round, the quantity [K] bounds.
+
+    {b Determinism}: all genome draws (initial population, mutation,
+    crossover, parent selection) happen on the main thread from one
+    SplitMix64 stream seeded by [config.seed]; every genome in a
+    generation is evaluated under the {e same} task seed (paired
+    comparison — same tree, inputs and engine seed for all candidates)
+    through {!Aat_campaign.Pool.map}, whose results are order-stable for
+    any worker count. Ties in fitness break on the genome's string form.
+    A search is therefore bit-identical for any [workers]. *)
+
+module Genome = Aat_adversary.Genome
+module Campaign = Aat_campaign.Campaign
+module Runner = Aat_campaign.Runner
+module Recorder = Aat_obs.Recorder
+
+(** What to attack: a concrete protocol instance with a declared input
+    diameter and round budget — the [(R, D)] the gap report cites. *)
+type target = {
+  label : string;  (** CLI name: [treeaa], [realaa], ... *)
+  protocol : Campaign.Spec.protocol;
+  engine : string;  (** ["sync"] or ["async"] *)
+  tree : Campaign.Spec.tree_family;
+  n : int;
+  t : int;
+  inputs : Campaign.Spec.input_dist;
+  d : float;
+      (** input-space diameter: exact for linspace real inputs, the tree
+          diameter (worst case over input draws) for vertex inputs *)
+  rounds : int;
+      (** the round budget [R] of [K(R, D)] — engine rounds for the
+          synchronous targets, the equivalent synchronous schedule for
+          the async target (whose engine counts delivery events) *)
+  iterations : int option;
+      (** gradecast iteration count, when the Lemma-5 envelope applies *)
+  max_round : int;  (** horizon for the crash gene *)
+  generic_only : bool;
+      (** restrict the genome space to protocol-agnostic attacks (the
+          NR-style wires do not speak gradecast) *)
+}
+
+val default_targets : unit -> target list
+(** One target per protocol/engine the gap report covers: TreeAA
+    (composed, sync), RealAA and iterated midpoint (real-valued, sync,
+    in the nonzero-spread [R <= t] regime), and the native async tree
+    protocol. Small sizes — a full search over a target takes seconds. *)
+
+val target_for : string -> (target, string) result
+(** Look a default target up by [label] ([treeaa]/[tree-aa] are
+    synonyms). *)
+
+val spec_for : target -> Genome.t -> Campaign.Spec.t
+(** The single-cell campaign spec evaluating [genome] against [target]
+    (watchdogs on, no injected faults, one repetition). *)
+
+type driver = Random_search | Hill_climb | Mu_plus_lambda
+
+val driver_of_string : string -> (driver, string) result
+val driver_label : driver -> string
+
+type config = {
+  driver : driver;
+  generations : int;  (** total generations, initial population included *)
+  population : int;  (** genomes evaluated per generation *)
+  seed : int;
+  workers : int;  (** evaluation parallelism; never affects the result *)
+}
+
+(** One evaluated genome. [record] is the flight record of the very run
+    that produced [fitness] — replaying it reproduces the evaluation
+    bit-for-bit. *)
+type eval = {
+  genome : Genome.t;
+  fitness : float;
+  spread : float;
+  outcome : Runner.outcome;
+  record : Recorder.t;
+}
+
+(** Best-found spread against theory. [ratio = measured /. k_theory]
+    quantifies how far above the information-theoretic floor the
+    protocol's worst found execution sits; [sound] checks the bound is
+    respected ([k_theory <= measured] up to float dust — [K] lower-bounds
+    the worst case, so no execution may beat it the other way), and that
+    the measured spread stays within the Lemma-5 envelope when one
+    applies. *)
+type gap = {
+  measured : float;
+  k_theory : float;
+  ratio : float;
+  envelope : float option;
+  sound : bool;
+}
+
+type report = {
+  target : target;
+  config : config;
+  champion : eval;
+  gap : gap;
+  evaluations : int;  (** total runs executed *)
+  history : (int * float) list;  (** generation -> best fitness so far *)
+}
+
+val evaluate : target -> task_seed:int -> Genome.t -> (eval, string) result
+(** One recorded run of [genome] against [target]; [Error] only if the
+    spec fails to validate or instantiate (a harness bug, not a protocol
+    failure — engine failures come back inside the outcome). *)
+
+val search : config -> target -> report
+(** Run the configured driver. Raises [Failure] if every evaluation of a
+    generation errors (cannot happen for the default targets). *)
+
+val gap_json : report -> Aat_telemetry.Jsonx.t
+(** One JSON object per report, schema-stable for the committed
+    [BENCH_GAP.json]: target parameters, champion genome (string form),
+    measured/theoretical numbers, ratio, soundness, and the seeds needed
+    to regenerate the champion's flight record. Worker count is excluded
+    — the object is bit-identical for any [workers]. *)
