@@ -48,6 +48,7 @@ let phased ~name ~barrier ~first ~second =
   in
   {
     Adversary.name;
+    passive = false;
     initial_corruptions = first.Adversary.initial_corruptions;
     corrupt_more =
       (fun view ->

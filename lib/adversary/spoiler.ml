@@ -172,6 +172,7 @@ let generic_spoiler ~relentless ~project ~embed ~t ~iterations =
   in
   {
     Adversary.name = "realaa-spoiler";
+    passive = false;
     initial_corruptions = (fun ~n ~t rng -> ignore rng; parties_of ~n ~t);
     corrupt_more = (fun _ -> []);
     deliver;

@@ -3,6 +3,7 @@ open Aat_engine
 let silent ~victims =
   {
     Adversary.name = "silent";
+    passive = false;
     initial_corruptions = (fun ~n:_ ~t:_ _ -> victims);
     corrupt_more = (fun _ -> []);
     deliver = (fun _ -> []);
@@ -11,6 +12,7 @@ let silent ~victims =
 let random_silent ~count =
   {
     Adversary.name = "random-silent";
+    passive = false;
     initial_corruptions =
       (fun ~n ~t rng ->
         Aat_util.Rng.sample_without_replacement rng (min count (min t n)) n);
@@ -25,6 +27,7 @@ let crash ~at_round ~victims =
          at_round);
   {
     Adversary.name = Printf.sprintf "crash@r%d" at_round;
+    passive = false;
     initial_corruptions = (fun ~n:_ ~t:_ _ -> []);
     corrupt_more =
       (fun view ->
@@ -86,6 +89,7 @@ let puppeteer ~name ~protocol ~victims ~twist =
   in
   {
     Adversary.name;
+    passive = false;
     initial_corruptions = (fun ~n:_ ~t:_ _ -> victims);
     corrupt_more = (fun _ -> []);
     deliver =

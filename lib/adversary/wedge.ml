@@ -33,6 +33,7 @@ let naive_wedge () =
   in
   {
     Adversary.name = "naive-wedge";
+    passive = false;
     initial_corruptions = (fun ~n ~t _ -> List.init t (fun i -> n - t + i));
     corrupt_more = (fun _ -> []);
     deliver =
@@ -78,6 +79,7 @@ let gradecast_wedge () =
   let honest_round1 = ref ([] : (Types.party_id * float) list) in
   {
     Adversary.name = "gradecast-wedge";
+    passive = false;
     initial_corruptions = (fun ~n ~t _ -> List.init t (fun i -> n - t + i));
     corrupt_more = (fun _ -> []);
     deliver =

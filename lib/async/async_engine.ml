@@ -135,11 +135,25 @@ let run_outcome (type s m o) ~n ~t ?(max_events = Runtime.Defaults.max_events)
   Runtime.Corruption.corrupt_all corruption ~at:0
     (adversary.core.initial_corruptions ~n ~t rng);
   let corrupted p = Runtime.Corruption.is_corrupted corruption p in
+  (* A passive adversary never corrupts, injects, or reads its view, so
+     the per-event view (and the delivered-letter history backing it) is
+     skipped wholesale — the history list is what made long passive runs
+     scale with total deliveries rather than pool size. *)
+  let passive = adversary.core.Adversary.passive in
+  let track_history = (not passive) || record_trace in
   let states : s option array = Array.make n None in
   let outputs : o option array = Array.make n None in
   let decided_at = Array.make n (-1) in
+  (* Count of honest-and-undecided parties, kept incrementally so the
+     per-event termination check is O(1) instead of an O(n) scan. *)
+  let undecided = ref 0 in
+  let counting = ref false in
   let crash p ~at =
+    let was_undecided = !counting && p >= 0 && p < n && outputs.(p) = None in
+    (* [force_corrupt] returning true means [p] was honest until now, so
+       [was_undecided] is exactly the honest-and-undecided test. *)
     if Runtime.Corruption.force_corrupt corruption ~at p then begin
+      if was_undecided then decr undecided;
       incr crashed;
       states.(p) <- None;
       outputs.(p) <- None;
@@ -300,13 +314,11 @@ let run_outcome (type s m o) ~n ~t ?(max_events = Runtime.Defaults.max_events)
       post_from p letters
     end
   done;
-  let all_decided () =
-    let ok = ref true in
-    for p = 0 to n - 1 do
-      if (not (corrupted p)) && outputs.(p) = None then ok := false
-    done;
-    !ok
-  in
+  for p = 0 to n - 1 do
+    if (not (corrupted p)) && outputs.(p) = None then incr undecided
+  done;
+  counting := true;
+  let all_decided () = !undecided = 0 in
   let undecided_parties () =
     let acc = ref [] in
     for p = n - 1 downto 0 do
@@ -321,7 +333,7 @@ let run_outcome (type s m o) ~n ~t ?(max_events = Runtime.Defaults.max_events)
     match !pending_watchdogs with
     | [] -> ()
     | wds ->
-        let corrupted_now = Runtime.Corruption.corrupted_list corruption in
+        let corrupted_now = Runtime.Corruption.set corruption in
         let wd_states =
           let acc = ref [] in
           for p = n - 1 downto 0 do
@@ -355,7 +367,7 @@ let run_outcome (type s m o) ~n ~t ?(max_events = Runtime.Defaults.max_events)
       Adversary.round = !step;
       n;
       t;
-      corrupted = Array.copy (Runtime.Corruption.flags corruption);
+      corrupted = Runtime.Corruption.flags corruption;
       honest_outbox = [];
       history = !history;
       rng;
@@ -378,37 +390,42 @@ let run_outcome (type s m o) ~n ~t ?(max_events = Runtime.Defaults.max_events)
         crash_faults;
       (* adaptive corruptions: a party corrupted at event [e] stops
          reacting — its in-flight messages were sent while honest and stay
-         deliverable *)
-      List.iter
-        (fun p ->
-          if Runtime.Corruption.corrupt corruption ~at:!step p then begin
-            states.(p) <- None;
-            outputs.(p) <- None;
-            decided_at.(p) <- -1
-          end)
-        (adversary.core.corrupt_more (view ()));
-      (* adversarial injections, authenticated-channel screening *)
-      let forgeries_before = Runtime.Mailbox.rejected_forgeries mailbox in
-      let injected =
-        Runtime.Mailbox.screen mailbox ~adversary:adversary.core.name
-          ~corrupted:(Runtime.Corruption.flags corruption)
-          (adversary.core.deliver (view ()))
-      in
-      if live then
-        chunk_forgeries :=
-          !chunk_forgeries
-          + (Runtime.Mailbox.rejected_forgeries mailbox - forgeries_before);
-      List.iter
-        (fun (l : m Types.letter) ->
-          Runtime.Mailbox.note_adversary mailbox 1;
-          if live then begin
-            incr chunk_injected;
-            chunk_sent_by.(l.Types.src) <- chunk_sent_by.(l.Types.src) + 1;
-            chunk_adversary_bytes :=
-              !chunk_adversary_bytes + Telemetry.payload_bytes l.Types.body
-          end;
-          enqueue l)
-        injected;
+         deliverable. Skipped outright for a passive adversary, which
+         neither corrupts nor injects and never reads the view. *)
+      if not passive then begin
+        List.iter
+          (fun p ->
+            let was_undecided = p >= 0 && p < n && outputs.(p) = None in
+            if Runtime.Corruption.corrupt corruption ~at:!step p then begin
+              if was_undecided then decr undecided;
+              states.(p) <- None;
+              outputs.(p) <- None;
+              decided_at.(p) <- -1
+            end)
+          (adversary.core.corrupt_more (view ()));
+        (* adversarial injections, authenticated-channel screening *)
+        let forgeries_before = Runtime.Mailbox.rejected_forgeries mailbox in
+        let injected =
+          Runtime.Mailbox.screen mailbox ~adversary:adversary.core.name
+            ~corrupted:(Runtime.Corruption.set corruption)
+            (adversary.core.deliver (view ()))
+        in
+        if live then
+          chunk_forgeries :=
+            !chunk_forgeries
+            + (Runtime.Mailbox.rejected_forgeries mailbox - forgeries_before);
+        List.iter
+          (fun (l : m Types.letter) ->
+            Runtime.Mailbox.note_adversary mailbox 1;
+            if live then begin
+              incr chunk_injected;
+              chunk_sent_by.(l.Types.src) <- chunk_sent_by.(l.Types.src) + 1;
+              chunk_adversary_bytes :=
+                !chunk_adversary_bytes + Telemetry.payload_bytes l.Types.body
+            end;
+            enqueue l)
+          injected
+      end;
       if Pool.is_empty pool then
         stall :=
           Some
@@ -422,7 +439,7 @@ let run_outcome (type s m o) ~n ~t ?(max_events = Runtime.Defaults.max_events)
             pool
         in
         let { letter; _ } = Pool.take pool idx in
-        history := [ letter ] :: !history;
+        if track_history then history := [ letter ] :: !history;
         let dst = letter.Types.dst in
         (* A decided party keeps reacting: in the asynchronous model "output"
            does not mean "halt" — its echoes may still be needed for other
@@ -445,7 +462,8 @@ let run_outcome (type s m o) ~n ~t ?(max_events = Runtime.Defaults.max_events)
                  match reactor.output st with
                  | Some o ->
                      outputs.(dst) <- Some o;
-                     decided_at.(dst) <- !step
+                     decided_at.(dst) <- !step;
+                     decr undecided
                  | None -> ());
               post_from dst letters
         end;

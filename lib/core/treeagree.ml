@@ -45,6 +45,7 @@ module Tree_io = Aat_tree.Tree_io
 (* runtime substrate — one transport/adversary/report layer under both
    engines; [Engine.run] and [Async_engine.run] both return [Report.t] *)
 module Types = Aat_engine.Types
+module Party_set = Aat_runtime.Party_set
 module Mailbox = Aat_runtime.Mailbox
 module Report = Aat_runtime.Report
 module Defaults = Aat_runtime.Defaults

@@ -22,6 +22,10 @@ type 'msg view = 'msg Aat_runtime.Adversary.view = {
 
 type 'msg t = 'msg Aat_runtime.Adversary.t = {
   name : string;
+  passive : bool;
+      (** Observably inert: never corrupts, never sends, never reads its
+          view — lets engines skip view materialisation. Only
+          {!passive} sets this. *)
   initial_corruptions : n:int -> t:int -> Aat_util.Rng.t -> Types.party_id list;
       (** Corrupted set at round 1; may be empty for a purely adaptive
           strategy. Lists longer than [t] are truncated by the engine. *)

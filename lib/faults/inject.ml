@@ -42,13 +42,22 @@ let compile_fault ~engine rng (fault : Plan.fault) :
           Mailbox.Drop
         else Mailbox.Deliver
   | Plan.Partition { blocks; from_round; to_round } ->
-      let block_of = Hashtbl.create 16 in
+      (* Flat block table indexed by party: O(1) per letter with no
+         hashing. Parties in no listed block (including any id beyond the
+         listed range) share the implicit "rest" block [-1]. *)
+      let top =
+        List.fold_left
+          (fun acc block -> List.fold_left (fun a p -> max a p) acc block)
+          (-1) blocks
+      in
+      let block_of = Array.make (top + 1) (-1) in
       List.iteri
         (fun i block ->
-          List.iter (fun p -> Hashtbl.replace block_of p i) block)
+          List.iter (fun p -> if p >= 0 then block_of.(p) <- i) block)
         blocks;
-      (* parties in no listed block share one implicit "rest" block *)
-      let lookup p = Option.value ~default:(-1) (Hashtbl.find_opt block_of p) in
+      let lookup p =
+        if p >= 0 && p <= top then Array.unsafe_get block_of p else -1
+      in
       fun ~round ~src ~dst ->
         if
           round >= from_round && round <= to_round && lookup src <> lookup dst

@@ -6,7 +6,7 @@ let corruption_budget ~t =
   let high_water = ref 0 in
   RW.make ~name:"corruption-budget"
     (fun ~round:_ ~delivered:_ ~states:_ ~corrupted ->
-      let k = List.length corrupted in
+      let k = Aat_runtime.Party_set.cardinal corrupted in
       if k < !high_water then
         Some
           (Printf.sprintf "corruption set shrank from %d to %d parties"
@@ -66,7 +66,7 @@ let hull_containment ~rooted ~inputs ~vertex_of () =
                [Report.honest_inputs]). *)
             let generators =
               List.filteri
-                (fun p _ -> not (List.mem p corrupted))
+                (fun p _ -> not (Aat_runtime.Party_set.mem corrupted p))
                 (Array.to_list inputs)
             in
             let h = Convex_hull.compute rooted generators in

@@ -28,14 +28,21 @@ module Multi = struct
   let rounds = 3
 
   let start ~n ~t ~self ~own =
+    (* [echoes] and [votes] start with every sender slot pointing at one
+       shared all-[None] row: a slot is only ever {e replaced} wholesale
+       when that sender's row arrives (see [receive]), never mutated in
+       place, so the sharing is invisible — and state creation is O(n)
+       instead of the O(n²) of two materialised matrices (which made
+       running n parallel instances Θ(n³) before a single message moved). *)
+    let empty : 'v option array = Array.make n None in
     {
       n;
       t;
       self;
       own;
       heard = Array.make n None;
-      echoes = Array.make_matrix n n None;
-      votes = Array.make_matrix n n None;
+      echoes = Array.make n empty;
+      votes = Array.make n empty;
       finished = None;
     }
 
@@ -43,24 +50,57 @@ module Multi = struct
 
   (* The most frequent [Some] entry of column [leader] in [table], with its
      multiplicity. Ties break toward the smaller value (total order via
-     polymorphic compare) so every honest party resolves them identically. *)
+     polymorphic compare) so every honest party resolves them identically.
+     Distinct values are counted in flat parallel buffers probed with
+     [compare]-equality — the same grouping the polymorphic [Hashtbl] this
+     replaces used for its keys. A gradecast column holds very few
+     distinct values (honest senders echo identically), so the linear
+     probe beats hashing; the winner criterion is order-independent, so
+     the change cannot move any result. *)
   let plurality table leader =
-    let counts = Hashtbl.create 8 in
+    let vals : 'v option array ref = ref (Array.make 8 None) in
+    let counts = ref (Array.make 8 0) in
+    let d = ref 0 in
     Array.iter
       (fun (row : 'v option array) ->
         match row.(leader) with
         | None -> ()
         | Some v ->
-            Hashtbl.replace counts v
-              (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
+            let rec probe i =
+              if i = !d then begin
+                (if !d = Array.length !vals then begin
+                   let nv = Array.make (2 * !d) None in
+                   Array.blit !vals 0 nv 0 !d;
+                   vals := nv;
+                   let nc = Array.make (2 * !d) 0 in
+                   Array.blit !counts 0 nc 0 !d;
+                   counts := nc
+                 end);
+                !vals.(!d) <- Some v;
+                !counts.(!d) <- 1;
+                incr d
+              end
+              else
+                match !vals.(i) with
+                | Some u when compare u v = 0 ->
+                    !counts.(i) <- !counts.(i) + 1
+                | _ -> probe (i + 1)
+            in
+            probe 0)
       table;
-    Hashtbl.fold
-      (fun v c best ->
-        match best with
-        | None -> Some (v, c)
-        | Some (bv, bc) ->
-            if c > bc || (c = bc && compare v bv < 0) then Some (v, c) else best)
-      counts None
+    let best = ref None in
+    for i = 0 to !d - 1 do
+      match !vals.(i) with
+      | Some v -> (
+          let c = !counts.(i) in
+          match !best with
+          | None -> best := Some (v, c)
+          | Some (bv, bc) ->
+              if c > bc || (c = bc && compare v bv < 0) then best := Some (v, c)
+          )
+      | None -> ()
+    done;
+    !best
 
   let send ~round st =
     match round with
@@ -78,37 +118,43 @@ module Multi = struct
         broadcast st (Vote vote)
     | _ -> invalid_arg "Gradecast.Multi.send: round out of range"
 
+  (* State updates are in place: both engines treat protocol state
+     linearly (the pre-receive state is discarded as soon as the
+     post-receive one exists), so copying the full echo/vote matrix per
+     received letter — Θ(n²) each, Θ(n³) per round across parties — bought
+     nothing. Received rows are stored {e by reference}: the sender built
+     (or copied) the row before broadcast and no reader ever mutates a
+     stored row, so one physical row may back many parties' tables. An
+     adversary crafting [Echo]/[Vote] payloads must hand over fresh rows
+     it does not mutate afterwards — every in-repo strategy does. *)
   let receive ~round ~inbox st =
     match round with
     | 1 ->
-        let heard = Array.copy st.heard in
         List.iter
           (fun (e : _ Types.envelope) ->
             match e.payload with
-            | Value v -> heard.(e.sender) <- Some v
+            | Value v -> st.heard.(e.sender) <- Some v
             | Echo _ | Vote _ -> ())
           inbox;
-        { st with heard }
+        st
     | 2 ->
-        let echoes = Array.map Array.copy st.echoes in
         List.iter
           (fun (e : _ Types.envelope) ->
             match e.payload with
-            | Echo row when Array.length row = st.n -> echoes.(e.sender) <- Array.copy row
+            | Echo row when Array.length row = st.n -> st.echoes.(e.sender) <- row
             | Echo _ | Value _ | Vote _ -> ())
           inbox;
-        { st with echoes }
+        st
     | 3 ->
-        let votes = Array.map Array.copy st.votes in
         List.iter
           (fun (e : _ Types.envelope) ->
             match e.payload with
-            | Vote row when Array.length row = st.n -> votes.(e.sender) <- Array.copy row
+            | Vote row when Array.length row = st.n -> st.votes.(e.sender) <- row
             | Vote _ | Value _ | Echo _ -> ())
           inbox;
         let finished =
           Array.init st.n (fun leader ->
-              match plurality votes leader with
+              match plurality st.votes leader with
               | Some (v, c) when c >= st.n - st.t -> { value = Some v; grade = G2 }
               | Some (v, c) when c >= st.t + 1 -> { value = Some v; grade = G1 }
               | Some _ | None -> { value = None; grade = G0 })
@@ -124,7 +170,7 @@ module Multi = struct
              finished;
            Aat_telemetry.Telemetry.Probe.grade_histogram ~g0:!g0 ~g1:!g1 ~g2:!g2
          end);
-        { st with votes; finished = Some finished }
+        { st with finished = Some finished }
     | _ -> invalid_arg "Gradecast.Multi.receive: round out of range"
 
   let results st =

@@ -10,6 +10,7 @@ type 'msg view = {
 
 type 'msg t = {
   name : string;
+  passive : bool;
   initial_corruptions : n:int -> t:int -> Aat_util.Rng.t -> Types.party_id list;
   corrupt_more : 'msg view -> Types.party_id list;
   deliver : 'msg view -> 'msg Types.letter list;
@@ -18,13 +19,20 @@ type 'msg t = {
 let passive name =
   {
     name;
+    passive = true;
     initial_corruptions = (fun ~n:_ ~t:_ _ -> []);
     corrupt_more = (fun _ -> []);
     deliver = (fun _ -> []);
   }
 
 let static ~name ~pick ~deliver =
-  { name; initial_corruptions = pick; corrupt_more = (fun _ -> []); deliver }
+  {
+    name;
+    passive = false;
+    initial_corruptions = pick;
+    corrupt_more = (fun _ -> []);
+    deliver;
+  }
 
 let corrupted_parties view =
   List.filter (fun p -> view.corrupted.(p)) (List.init view.n Fun.id)

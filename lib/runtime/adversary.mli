@@ -44,6 +44,13 @@ type 'msg view = {
 
 type 'msg t = {
   name : string;
+  passive : bool;
+      (** Declares the strategy observably inert: it never corrupts and
+          never sends, {e and does not read its view} — so engines may
+          skip materialising the view (history retention, outbox reversal,
+          corruption-flag copies) entirely. Only {!passive} sets this;
+          a passive-by-construction custom strategy that still inspects
+          its view must leave it [false]. *)
   initial_corruptions : n:int -> t:int -> Aat_util.Rng.t -> Types.party_id list;
       (** Corrupted set at the start of the run; may be empty for a purely
           adaptive strategy. Lists longer than [t] are truncated by the

@@ -1,16 +1,16 @@
 type t = {
   n : int;
-  flags : bool array;
+  set : Party_set.t;
   round_of : int array;
   mutable budget : int;
 }
 
 let create ~n ~t =
-  { n; flags = Array.make n false; round_of = Array.make n (-1); budget = t }
+  { n; set = Party_set.create ~n; round_of = Array.make n (-1); budget = t }
 
 let corrupt c ~at p =
-  if p >= 0 && p < c.n && (not c.flags.(p)) && c.budget > 0 then begin
-    c.flags.(p) <- true;
+  if p >= 0 && p < c.n && (not (Party_set.mem c.set p)) && c.budget > 0 then begin
+    Party_set.add c.set p;
     c.round_of.(p) <- at;
     c.budget <- c.budget - 1;
     true
@@ -20,21 +20,22 @@ let corrupt c ~at p =
 let corrupt_all c ~at ps = List.iter (fun p -> ignore (corrupt c ~at p)) ps
 
 let force_corrupt c ~at p =
-  if p >= 0 && p < c.n && not c.flags.(p) then begin
-    c.flags.(p) <- true;
+  if p >= 0 && p < c.n && not (Party_set.mem c.set p) then begin
+    Party_set.add c.set p;
     c.round_of.(p) <- at;
     true
   end
   else false
 
-let is_corrupted c p = c.flags.(p)
+let is_corrupted c p = Party_set.mem c.set p
 
-let flags c = c.flags
+let set c = c.set
 
-let corrupted_list c =
-  List.filter (fun p -> c.flags.(p)) (List.init c.n Fun.id)
+let count c = Party_set.cardinal c.set
+
+let flags c = Party_set.to_bool_array c.set
+
+let corrupted_list c = Party_set.to_list c.set
 
 let rounds_list c =
-  List.filter_map
-    (fun p -> if c.flags.(p) then Some (p, c.round_of.(p)) else None)
-    (List.init c.n Fun.id)
+  List.map (fun p -> (p, c.round_of.(p))) (Party_set.to_list c.set)

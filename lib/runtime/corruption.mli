@@ -29,9 +29,17 @@ val corrupt_all : t -> at:Types.round -> Types.party_id list -> unit
 
 val is_corrupted : t -> Types.party_id -> bool
 
+val set : t -> Party_set.t
+(** The live corruption set. Shared, not a copy — mutated as further
+    parties fall; callers exposing it (e.g. in an adversary view) must
+    snapshot first. *)
+
+val count : t -> int
+(** Number of corrupted parties so far; O(1). *)
+
 val flags : t -> bool array
-(** The live corruption flags, length [n]. Shared, not a copy — callers
-    building an adversary view must copy before exposing it. *)
+(** A fresh membership array, length [n] — the shape the public adversary
+    view exposes. O(n): prefer {!set} / {!is_corrupted} on hot paths. *)
 
 val corrupted_list : t -> Types.party_id list
 (** Corrupted parties, ascending. *)

@@ -8,14 +8,25 @@ type fault_filter =
   round:Types.round -> src:Types.party_id -> dst:Types.party_id ->
   fault_decision
 
+(* Flat-array transport: the per-round delivery state is an n×n seen
+   bitmatrix (one bit per (src, dst) pair, recipient-major so a
+   recipient's inbox is one contiguous bit row) plus one lazily-allocated
+   payload row per recipient, indexed by sender. [post] is a couple of
+   array writes; [inbox] walks the recipient's bit row ascending, so the
+   sorted-by-sender contract costs no sort at all. Rows keep their
+   capacity across rounds — [begin_round] only clears the bitmatrix. *)
 type 'msg t = {
   n : int;
+  stride : int; (* bytes per recipient row in [seen] *)
   mutable honest_messages : int;
   mutable adversary_messages : int;
   mutable rejected_forgeries : int;
-  seen : (Types.party_id * Types.party_id, unit) Hashtbl.t;
-  inboxes : (Types.party_id, 'msg Types.envelope list) Hashtbl.t;
+  seen : Bytes.t; (* bit (dst * stride * 8) + src: pair delivered this round *)
+  rows : 'msg array option array; (* rows.(dst).(src): payload, if seen *)
   mutable delivered_rev : 'msg Types.letter list;
+  mutable delivered_count : int;
+  mutable track_delivered : bool;
+  mutable scratch : 'msg Types.letter array; (* [post_last_wins] staging *)
   mutable fault_filter : fault_filter option;
   mutable round : Types.round;
   mutable fault_dropped : int;
@@ -24,14 +35,20 @@ type 'msg t = {
 }
 
 let create ~n =
+  if n < 0 then invalid_arg "Mailbox.create: n < 0";
+  let stride = (n + 7) lsr 3 in
   {
     n;
+    stride;
     honest_messages = 0;
     adversary_messages = 0;
     rejected_forgeries = 0;
-    seen = Hashtbl.create 64;
-    inboxes = Hashtbl.create 16;
+    seen = Bytes.make (n * stride) '\000';
+    rows = Array.make n None;
     delivered_rev = [];
+    delivered_count = 0;
+    track_delivered = true;
+    scratch = [||];
     fault_filter = None;
     round = 0;
     fault_dropped = 0;
@@ -41,11 +58,13 @@ let create ~n =
 
 let set_fault_filter mb f = mb.fault_filter <- Some f
 
-let decide mb ~round (l : _ Types.letter) =
+let set_delivered_tracking mb on = mb.track_delivered <- on
+
+let decide_route mb ~round ~src ~dst =
   match mb.fault_filter with
   | None -> Deliver
   | Some f -> (
-      match f ~round ~src:l.src ~dst:l.dst with
+      match f ~round ~src ~dst with
       | Deliver -> Deliver
       | Drop ->
           mb.fault_dropped <- mb.fault_dropped + 1;
@@ -56,6 +75,9 @@ let decide mb ~round (l : _ Types.letter) =
       | Delay d ->
           mb.fault_delayed <- mb.fault_delayed + 1;
           Delay d)
+
+let decide mb ~round (l : _ Types.letter) =
+  decide_route mb ~round ~src:l.src ~dst:l.dst
 
 let fault_stats mb ~crashed =
   {
@@ -69,7 +91,7 @@ let screen mb ~adversary ~corrupted letters =
   List.filter
     (fun (l : _ Types.letter) ->
       if l.dst < 0 || l.dst >= mb.n then false
-      else if l.src >= 0 && l.src < mb.n && corrupted.(l.src) then true
+      else if Party_set.mem corrupted l.src then true
       else begin
         mb.rejected_forgeries <- mb.rejected_forgeries + 1;
         Log.warn (fun f ->
@@ -84,34 +106,96 @@ let note_adversary mb k = mb.adversary_messages <- mb.adversary_messages + k
 
 let begin_round ?round mb =
   (match round with Some r -> mb.round <- r | None -> mb.round <- mb.round + 1);
-  Hashtbl.reset mb.seen;
-  Hashtbl.reset mb.inboxes;
-  mb.delivered_rev <- []
+  Bytes.fill mb.seen 0 (Bytes.length mb.seen) '\000';
+  mb.delivered_rev <- [];
+  mb.delivered_count <- 0
 
-let post mb (l : 'msg Types.letter) =
+let post_direct mb ~src ~dst body =
+  if src < 0 || src >= mb.n || dst < 0 || dst >= mb.n then
+    invalid_arg
+      (Printf.sprintf "Mailbox.post: pair (%d, %d) outside [0, %d)" src dst
+         mb.n);
   (* The fault decision comes before per-pair dedup: a dropped first
      submission does not occupy the pair's delivery slot, so a later
      duplicate submission may still get through. [Duplicate]/[Delay] have
      no synchronous reading and deliver normally (the compiler in
      [Aat_faults.Inject] never emits them for the sync engine). *)
-  let verdict =
-    match decide mb ~round:mb.round l with Drop -> `Drop | _ -> `Deliver
+  let deliver =
+    match decide_route mb ~round:mb.round ~src ~dst with
+    | Drop -> false
+    | Deliver | Duplicate | Delay _ -> true
   in
-  if verdict = `Deliver && not (Hashtbl.mem mb.seen (l.src, l.dst)) then begin
-    Hashtbl.replace mb.seen (l.src, l.dst) ();
-    mb.delivered_rev <- l :: mb.delivered_rev;
-    let prev = Option.value ~default:[] (Hashtbl.find_opt mb.inboxes l.dst) in
-    Hashtbl.replace mb.inboxes l.dst
-      ({ Types.sender = l.src; payload = l.body } :: prev)
+  if deliver then begin
+    let byte = (dst * mb.stride) + (src lsr 3) in
+    let mask = 1 lsl (src land 7) in
+    let c = Char.code (Bytes.unsafe_get mb.seen byte) in
+    if c land mask = 0 then begin
+      Bytes.unsafe_set mb.seen byte (Char.unsafe_chr (c lor mask));
+      (match mb.rows.(dst) with
+      | Some row -> Array.unsafe_set row src body
+      | None ->
+          (* First delivery to this recipient ever: allocate its payload
+             row, using the payload itself as the (never-read) filler. *)
+          mb.rows.(dst) <- Some (Array.make mb.n body));
+      mb.delivered_count <- mb.delivered_count + 1;
+      if mb.track_delivered then
+        mb.delivered_rev <- { Types.src; dst; body } :: mb.delivered_rev
+    end
   end
 
-let post_last_wins mb letters = List.iter (post mb) (List.rev letters)
+let post mb (l : _ Types.letter) = post_direct mb ~src:l.src ~dst:l.dst l.body
+
+let post_last_wins mb letters =
+  (* Last submitted wins = post in reverse submission order under
+     first-posted-wins. The batch is staged into a reusable scratch array
+     and walked end-to-start: no [List.rev] allocation, and the fault
+     filter sees its decisions in exactly the order it always did (one
+     draw per submission, most recent first). *)
+  match letters with
+  | [] -> ()
+  | first :: _ ->
+      let k = List.length letters in
+      if Array.length mb.scratch < k then
+        mb.scratch <- Array.make (max 64 (2 * k)) first;
+      let scratch = mb.scratch in
+      let i = ref 0 in
+      List.iter
+        (fun l ->
+          scratch.(!i) <- l;
+          incr i)
+        letters;
+      for j = k - 1 downto 0 do
+        post mb scratch.(j)
+      done
 
 let inbox mb p =
-  Option.value ~default:[] (Hashtbl.find_opt mb.inboxes p)
-  |> List.sort (fun (a : _ Types.envelope) b -> compare a.sender b.sender)
+  if p < 0 || p >= mb.n then []
+  else
+    match mb.rows.(p) with
+    | None -> []
+    | Some row ->
+        (* Walk the recipient's seen-bit row descending and cons: the
+           result comes out sorted by sender ascending with no sort.
+           O(n/8) byte scans plus one envelope per delivered letter. *)
+        let base = p * mb.stride in
+        let acc = ref [] in
+        for byte = mb.stride - 1 downto 0 do
+          let c = Char.code (Bytes.unsafe_get mb.seen (base + byte)) in
+          if c <> 0 then
+            for bit = 7 downto 0 do
+              if c land (1 lsl bit) <> 0 then begin
+                let src = (byte lsl 3) lor bit in
+                acc :=
+                  { Types.sender = src; payload = Array.unsafe_get row src }
+                  :: !acc
+              end
+            done
+        done;
+        !acc
 
 let delivered mb = mb.delivered_rev
+
+let delivered_count mb = mb.delivered_count
 
 let honest_messages mb = mb.honest_messages
 

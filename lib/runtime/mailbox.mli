@@ -17,7 +17,13 @@
     The asynchronous engine uses only screening and accounting — its
     delivery is the scheduler's business; the synchronous engine also runs
     its per-round delivery ([begin_round] / [post] / [inbox]) through the
-    mailbox. *)
+    mailbox.
+
+    Internally the per-round state is flat: an n×n seen bitmatrix plus
+    one payload row per recipient, both preallocated and reused across
+    rounds, so a round of all-pairs traffic costs O(1) per letter and no
+    per-read sorting — [inbox] walks the recipient's bit row, which is
+    sorted by construction. *)
 
 type 'msg t
 
@@ -65,7 +71,7 @@ val fault_stats : 'msg t -> crashed:int -> Report.fault_stats
 val screen :
   'msg t ->
   adversary:string ->
-  corrupted:bool array ->
+  corrupted:Party_set.t ->
   'msg Types.letter list ->
   'msg Types.letter list
 (** Filter adversary-submitted letters: keep those from corrupted in-range
@@ -100,7 +106,16 @@ val post : 'msg t -> 'msg Types.letter -> unit
     pair already delivered this round — first posted wins. The fault
     decision is taken {e before} dedup (each submission crosses the
     faulty network independently), so a dropped first submission leaves
-    the pair's slot open for a later one. *)
+    the pair's slot open for a later one. Raises [Invalid_argument] when
+    [src] or [dst] falls outside [0, n): honest senders are validated by
+    the engine and adversarial ones by {!screen}, so an out-of-range id
+    reaching the transport is a harness bug, not traffic. *)
+
+val post_direct :
+  'msg t -> src:Types.party_id -> dst:Types.party_id -> 'msg -> unit
+(** Exactly {!post} without the letter record: the engines' streaming hot
+    path posts components straight from the protocol's send list, and a
+    letter value is only materialized if delivered-letter tracking is on. *)
 
 val post_last_wins : 'msg t -> 'msg Types.letter list -> unit
 (** Post a submission batch so that the {e last} submitted letter per pair
@@ -109,8 +124,23 @@ val post_last_wins : 'msg t -> 'msg Types.letter list -> unit
     choice. *)
 
 val inbox : 'msg t -> Types.party_id -> 'msg Types.envelope list
-(** The recipient's inbox for this round, sorted by sender ascending. *)
+(** The recipient's inbox for this round, sorted by sender ascending
+    (senders are unique after dedup, so this order is total). Built fresh
+    per call in O(n/8 + k) by walking the seen bitmatrix — never sorted.
+    Out-of-range recipients have empty inboxes. *)
 
 val delivered : 'msg t -> 'msg Types.letter list
 (** All letters delivered this round, most recently posted first — the
-    shape stored in adversary history and traces. *)
+    shape stored in adversary history and traces. Empty when
+    delivered-letter tracking is off. *)
+
+val delivered_count : 'msg t -> int
+(** Letters delivered this round; O(1), maintained at post time whether
+    or not tracking is on — the telemetry counter without the list. *)
+
+val set_delivered_tracking : 'msg t -> bool -> unit
+(** Default on. Engines switch tracking off when nothing will read the
+    per-round delivered {e list} (passive adversary, no watchdogs, no
+    trace recording): at n = 10^4 the list alone is ~10^8 live letters a
+    round, and no reader means no reason to build it. {!delivered_count}
+    keeps counting either way. *)

@@ -1,0 +1,104 @@
+(* A mutable set of party ids over a fixed universe [0, n), backed by an
+   int-array bitmap with a maintained cardinality. All single-element
+   operations are O(1); whole-set operations (iter/fold/to_list) are
+   O(n / bits_per_word + |set|) thanks to word skipping.
+
+   OCaml's native [int] has 63 usable bits on 64-bit platforms; we use 62
+   bits per word so every mask fits comfortably whatever the platform
+   word size, and the divisions by a constant compile to multiplies. *)
+
+let bits = 62
+
+type t = {
+  n : int;
+  words : int array;
+  mutable cardinal : int;
+}
+
+let create ~n =
+  if n < 0 then invalid_arg "Party_set.create: n < 0";
+  { n; words = Array.make ((n + bits - 1) / bits) 0; cardinal = 0 }
+
+let n s = s.n
+
+let cardinal s = s.cardinal
+
+let is_empty s = s.cardinal = 0
+
+let in_range s p = p >= 0 && p < s.n
+
+let mem s p =
+  in_range s p && s.words.(p / bits) land (1 lsl (p mod bits)) <> 0
+
+let add s p =
+  if not (in_range s p) then
+    invalid_arg (Printf.sprintf "Party_set.add: party %d outside [0, %d)" p s.n);
+  let w = p / bits and m = 1 lsl (p mod bits) in
+  if s.words.(w) land m = 0 then begin
+    s.words.(w) <- s.words.(w) lor m;
+    s.cardinal <- s.cardinal + 1
+  end
+
+let remove s p =
+  if in_range s p then begin
+    let w = p / bits and m = 1 lsl (p mod bits) in
+    if s.words.(w) land m <> 0 then begin
+      s.words.(w) <- s.words.(w) land lnot m;
+      s.cardinal <- s.cardinal - 1
+    end
+  end
+
+let clear s =
+  Array.fill s.words 0 (Array.length s.words) 0;
+  s.cardinal <- 0
+
+let iter f s =
+  for w = 0 to Array.length s.words - 1 do
+    let word = s.words.(w) in
+    if word <> 0 then begin
+      let base = w * bits in
+      for b = 0 to bits - 1 do
+        if word land (1 lsl b) <> 0 then f (base + b)
+      done
+    end
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun p -> acc := f p !acc) s;
+  !acc
+
+let to_list s =
+  let acc = ref [] in
+  for w = Array.length s.words - 1 downto 0 do
+    let word = s.words.(w) in
+    if word <> 0 then begin
+      let base = w * bits in
+      for b = bits - 1 downto 0 do
+        if word land (1 lsl b) <> 0 then acc := (base + b) :: !acc
+      done
+    end
+  done;
+  !acc
+
+let of_list ~n ps =
+  let s = create ~n in
+  List.iter (fun p -> add s p) ps;
+  s
+
+let to_bool_array s =
+  Array.init s.n (fun p -> s.words.(p / bits) land (1 lsl (p mod bits)) <> 0)
+
+let exists f s =
+  try
+    iter (fun p -> if f p then raise Exit) s;
+    false
+  with Exit -> true
+
+let for_all f s = not (exists (fun p -> not (f p)) s)
+
+let copy s = { n = s.n; words = Array.copy s.words; cardinal = s.cardinal }
+
+let pp fmt s =
+  Format.fprintf fmt "{%s}"
+    (String.concat ", " (List.map string_of_int (to_list s)))

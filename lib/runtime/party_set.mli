@@ -1,0 +1,59 @@
+(** A mutable set of party ids over the fixed universe [0, n).
+
+    Backed by an int-array bitmap with a maintained cardinality:
+    membership, insertion and removal are O(1), [cardinal] is O(1), and
+    the whole-set operations cost O(n/62) words plus one callback per
+    member. This is the runtime's replacement for the [party_id list]
+    scans ([List.mem], [List.length], [List.filter] over [List.init n])
+    that used to dominate the per-round bookkeeping of corruption /
+    honest / crashed sets at large [n]. *)
+
+type t
+
+val create : n:int -> t
+(** The empty set over universe [0, n). Raises [Invalid_argument] when
+    [n < 0]. *)
+
+val n : t -> int
+(** The universe size the set was created with. *)
+
+val cardinal : t -> int
+(** Number of members; O(1) (maintained, not recounted). *)
+
+val is_empty : t -> bool
+
+val mem : t -> int -> bool
+(** O(1); out-of-range ids are never members. *)
+
+val add : t -> int -> unit
+(** Raises [Invalid_argument] on out-of-range ids: silently ignoring a
+    corruption would understate the adversary. Adding a member twice is a
+    no-op. *)
+
+val remove : t -> int -> unit
+(** Removing a non-member (or an out-of-range id) is a no-op. *)
+
+val clear : t -> unit
+
+val iter : (int -> unit) -> t -> unit
+(** Ascending id order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Ascending id order. *)
+
+val to_list : t -> int list
+(** Members, ascending. *)
+
+val of_list : n:int -> int list -> t
+
+val to_bool_array : t -> bool array
+(** A fresh [n]-length membership array — the shape the public adversary
+    view exposes. *)
+
+val exists : (int -> bool) -> t -> bool
+
+val for_all : (int -> bool) -> t -> bool
+
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -40,22 +40,24 @@ let initially_corrupted report =
     (fun (p, r) -> if r = 0 then Some p else None)
     report.corruption_rounds
 
+let initially_corrupted_set report =
+  let s = Party_set.create ~n:report.n in
+  List.iter
+    (fun (p, r) -> if r = 0 && p >= 0 && p < report.n then Party_set.add s p)
+    report.corruption_rounds;
+  s
+
 let honest_inputs ~inputs report =
-  let n = Array.length inputs in
-  (* Bitset over the initially-corrupted set: one linear pass over the
+  (* Party_set over the initially-corrupted set: one linear pass over the
      corruption records, then one over the inputs — O(n + |corrupted|)
      instead of the List.mem-per-input quadratic scan. *)
-  let corrupted_at_start = Bytes.make n '\000' in
-  List.iter
-    (fun (p, r) ->
-      if r = 0 && p >= 0 && p < n then Bytes.set corrupted_at_start p '\001')
-    report.corruption_rounds;
+  let n = Array.length inputs in
+  let corrupted_at_start = initially_corrupted_set report in
   let rec collect i acc =
     if i < 0 then acc
     else
       collect (i - 1)
-        (if Bytes.get corrupted_at_start i = '\000' then inputs.(i) :: acc
-         else acc)
+        (if Party_set.mem corrupted_at_start i then acc else inputs.(i) :: acc)
   in
   collect (n - 1) []
 

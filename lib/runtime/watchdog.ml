@@ -10,7 +10,7 @@ type ('s, 'msg) t = {
     round:Types.round ->
     delivered:'msg Types.letter list ->
     states:(Types.party_id * 's) list ->
-    corrupted:Types.party_id list ->
+    corrupted:Party_set.t ->
     string option;
 }
 

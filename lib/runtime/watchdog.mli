@@ -31,13 +31,16 @@ val make :
   (round:Types.round ->
   delivered:'msg Types.letter list ->
   states:(Types.party_id * 's) list ->
-  corrupted:Types.party_id list ->
+  corrupted:Party_set.t ->
   string option) ->
   ('s, 'msg) t
 (** [states] holds every party still honest at this step paired with its
     protocol state — under the synchronous engine including parties that
     decided {e this} round (their final state is observable exactly
-    once), under the asynchronous engine the currently-undecided ones. *)
+    once), under the asynchronous engine the currently-undecided ones.
+    [corrupted] is the engine's {e live} corruption set (a
+    {!Party_set.t}, O(1) membership) — read it during the check; do not
+    retain it across rounds, it mutates as further parties fall. *)
 
 val name : ('s, 'msg) t -> string
 
@@ -46,7 +49,7 @@ val check :
   round:Types.round ->
   delivered:'msg Types.letter list ->
   states:(Types.party_id * 's) list ->
-  corrupted:Types.party_id list ->
+  corrupted:Party_set.t ->
   string option
 
 val pp_violation : Format.formatter -> violation -> unit

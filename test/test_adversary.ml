@@ -160,6 +160,7 @@ let test_phased_adapter_routing () =
   let probe seen =
     {
       Adversary.name = "probe";
+      passive = false;
       initial_corruptions = (fun ~n:_ ~t:_ _ -> [ 3 ]);
       corrupt_more = (fun _ -> []);
       deliver =

@@ -74,6 +74,7 @@ let equivocator ~victim ~keyring =
   let key = Auth.Keyring.key keyring victim in
   {
     Adversary.name = "signed-equivocator";
+    passive = false;
     initial_corruptions = (fun ~n:_ ~t:_ _ -> [ victim ]);
     corrupt_more = (fun _ -> []);
     deliver =
@@ -120,6 +121,7 @@ let selective ~victim ~keyring =
   let key = Auth.Keyring.key keyring victim in
   {
     Adversary.name = "selective-sender";
+    passive = false;
     initial_corruptions = (fun ~n:_ ~t:_ _ -> [ victim ]);
     corrupt_more = (fun _ -> []);
     deliver =
@@ -154,6 +156,7 @@ let replayer ~keyring:_ =
   let stash = ref [] in
   {
     Adversary.name = "replayer";
+    passive = false;
     initial_corruptions = (fun ~n:_ ~t:_ _ -> [ 6 ]);
     corrupt_more = (fun _ -> []);
     deliver =
@@ -205,6 +208,7 @@ let prop_random_byz_value_consistency =
       let adversary =
         {
           Adversary.name = "random-signed";
+          passive = false;
           initial_corruptions = (fun ~n:_ ~t:_ _ -> [ 6 ]);
           corrupt_more = (fun _ -> []);
           deliver =

@@ -354,22 +354,24 @@ let test_corruption_budget_fires () =
 
 let no_letters : unit Types.letter list = []
 
+let no_corrupted = Aat_runtime.Party_set.create ~n:8
+
 let test_spread_non_expansion_direct () =
   let w = Fault_watchdogs.spread_non_expansion ~observe:(fun x -> Some x) () in
   check "round 1 establishes the envelope" true
     (Watchdog.check w ~round:1 ~delivered:no_letters
        ~states:[ (0, 0.); (1, 10.) ]
-       ~corrupted:[]
+       ~corrupted:no_corrupted
     = None);
   check "contraction passes" true
     (Watchdog.check w ~round:2 ~delivered:no_letters
        ~states:[ (0, 2.); (1, 8.) ]
-       ~corrupted:[]
+       ~corrupted:no_corrupted
     = None);
   check "expansion fires" true
     (Watchdog.check w ~round:3 ~delivered:no_letters
        ~states:[ (0, -5.); (1, 12.) ]
-       ~corrupted:[]
+       ~corrupted:no_corrupted
     <> None)
 
 let test_hull_containment_direct () =
@@ -382,12 +384,12 @@ let test_hull_containment_direct () =
   check "in-hull positions pass" true
     (Watchdog.check w ~round:1 ~delivered:no_letters
        ~states:[ (0, 2); (1, 3) ]
-       ~corrupted:[]
+       ~corrupted:no_corrupted
     = None);
   check "out-of-hull position fires" true
     (Watchdog.check w ~round:2 ~delivered:no_letters
        ~states:[ (0, 0) ]
-       ~corrupted:[]
+       ~corrupted:no_corrupted
     <> None)
 
 let test_grade_consistency_direct () =
@@ -397,12 +399,12 @@ let test_grade_consistency_direct () =
   check "agreeing grade-2 values pass" true
     (Watchdog.check w ~round:1 ~delivered:no_letters
        ~states:[ (0, [ (0, "x") ]); (1, [ (0, "x") ]) ]
-       ~corrupted:[]
+       ~corrupted:no_corrupted
     = None);
   check "conflicting grade-2 values fire" true
     (Watchdog.check w ~round:2 ~delivered:no_letters
        ~states:[ (0, [ (0, "x") ]); (1, [ (0, "y") ]) ]
-       ~corrupted:[]
+       ~corrupted:no_corrupted
     <> None)
 
 (* ------------------------------------------------------------------ *)
@@ -449,7 +451,10 @@ let test_runner_contains_engine_error () =
   let exploding () =
     {
       (Adversary.passive "exploding") with
-      Adversary.corrupt_more = (fun _ -> failwith "adversary exploded");
+      Adversary.passive = false;
+      (* the [passive] flag must be dropped along with the no-op hook:
+         engines skip a passive adversary's hooks entirely *)
+      corrupt_more = (fun _ -> failwith "adversary exploded");
     }
   in
   let runner =

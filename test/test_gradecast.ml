@@ -118,6 +118,7 @@ let random_forger ~seed =
   let rng = Rng.create seed in
   {
     Adversary.name = "random-forger";
+    passive = false;
     initial_corruptions = (fun ~n ~t _ -> List.init t (fun i -> n - t + i));
     corrupt_more = (fun _ -> []);
     deliver =

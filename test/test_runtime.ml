@@ -132,7 +132,7 @@ let test_mailbox_dedup_and_inbox_order () =
 
 let test_mailbox_screen () =
   let mb : int Runtime.Mailbox.t = Runtime.Mailbox.create ~n:4 in
-  let corrupted = [| false; false; false; true |] in
+  let corrupted = Runtime.Party_set.of_list ~n:4 [ 3 ] in
   let kept =
     Runtime.Mailbox.screen mb ~adversary:"test" ~corrupted
       [
