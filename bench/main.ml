@@ -742,7 +742,7 @@ let table_e10 () =
    failures surface as violations, out-of-model ones as excusals or
    liveness timeouts, and nothing ever escapes as an exception. *)
 
-let table_echaos ?(workers = 1) () =
+let table_echaos ?(workers = 1) ?(distributed = false) () =
   let reps = 12 in
   let protocols =
     [
@@ -786,15 +786,36 @@ let table_echaos ?(workers = 1) () =
             base_seed = 1000 + idx;
           }
         in
-        let result = Campaign.run ~workers spec in
-        let agg = result.Campaign.aggregate in
-        let ok =
-          Array.fold_left
-            (fun acc (tr : Campaign.task_result) ->
-              match tr.Campaign.result with
-              | Ok o when Runner.ok o -> acc + 1
-              | _ -> acc)
-            0 result.Campaign.results
+        (* --distributed routes each cell campaign through the
+           multi-process service; its determinism contract keeps every
+           digit of the table identical. The "ok" column comes from the
+           outcome JSON's "ok" field — the wire image of [Runner.ok]. *)
+        let agg, ok =
+          if distributed then (
+            match Service.run ~workers spec with
+            | Error e ->
+                Printf.eprintf "E-CHAOS: campaign service failed: %s\n" e;
+                exit 1
+            | Ok r ->
+                ( r.Service.aggregate,
+                  Array.fold_left
+                    (fun acc cell ->
+                      match cell with
+                      | Some (Ok j)
+                        when Telemetry.Json.member "ok" j
+                             = Some (Telemetry.Json.Bool true) ->
+                          acc + 1
+                      | _ -> acc)
+                    0 r.Service.cells ))
+          else
+            let result = Campaign.run ~workers spec in
+            ( result.Campaign.aggregate,
+              Array.fold_left
+                (fun acc (tr : Campaign.task_result) ->
+                  match tr.Campaign.result with
+                  | Ok o when Runner.ok o -> acc + 1
+                  | _ -> acc)
+                0 result.Campaign.results )
         in
         [
           name;
@@ -1242,7 +1263,7 @@ let table_scale () =
 
 (* ------------------------------------------------------------------ *)
 
-let tables ~workers =
+let tables ~workers ~distributed =
   [
     ("E1", fun () -> table_e1 ~workers ());
     ("E2", table_e2);
@@ -1254,7 +1275,7 @@ let tables ~workers =
     ("E8", table_e8);
     ("E9", table_e9);
     ("E10", table_e10);
-    ("E-CHAOS", fun () -> table_echaos ~workers ());
+    ("E-CHAOS", fun () -> table_echaos ~workers ~distributed ());
     ("A", table_ablations);
     ("GAP", fun () -> table_gap ~workers ());
     ("SCALE", table_scale);
@@ -1333,19 +1354,30 @@ let () =
   (* --workers N / --json-out / --profile may appear anywhere; none of
      them affects a single digit of the tables (the parallel tables run
      on the deterministic Pool; capture and measurement only observe). *)
-  let rec extract_workers acc = function
-    | "--workers" :: n :: rest -> (int_of_string n, List.rev_append acc rest)
-    | x :: rest -> extract_workers (x :: acc) rest
-    | [] -> (1, List.rev acc)
+  let rec extract_opt name acc = function
+    | flag :: n :: rest when flag = name ->
+        (Some (int_of_string n), List.rev_append acc rest)
+    | x :: rest -> extract_opt name (x :: acc) rest
+    | [] -> (None, List.rev acc)
   in
   let extract_flag name args =
     (List.mem name args, List.filter (fun a -> a <> name) args)
   in
-  let workers, args = extract_workers [] args in
+  let workers, args = extract_opt "--workers" [] args in
+  let workers = Option.value workers ~default:1 in
   let workers = if workers <= 0 then Pool.default_workers () else workers in
+  (* --distributed N: campaign-backed tables (E-CHAOS) run on N service
+     worker processes instead of in-process domains; every digit stays
+     the same. *)
+  let distributed_n, args = extract_opt "--distributed" [] args in
+  let workers, distributed =
+    match distributed_n with
+    | Some w -> ((if w <= 0 then Pool.default_workers () else w), true)
+    | None -> (workers, false)
+  in
   let json_out, args = extract_flag "--json-out" args in
   let profile, args = extract_flag "--profile" args in
-  let tables = tables ~workers in
+  let tables = tables ~workers ~distributed in
   let run = run_table ~json_out ~profile in
   match args with
   | [ "--bechamel" ] -> bechamel ()
@@ -1367,5 +1399,6 @@ let () =
   | _ ->
       Printf.eprintf
         "usage: main.exe [--table E1..E10 | --bechamel | --convergence \
-         [FILE] | --all] [--workers N] [--json-out] [--profile]\n";
+         [FILE] | --all] [--workers N] [--distributed N] [--json-out] \
+         [--profile]\n";
       exit 1

@@ -1,0 +1,120 @@
+(* Service smoke: the crash-resume drill CI runs via @service-smoke.
+
+   One small grid, three executions:
+     1. the in-process baseline (`Campaign.run ~workers:1`) — the stream
+        every distributed run must reproduce byte for byte;
+     2. a 2-worker distributed run in which the worker that delivers the
+        3rd cell is SIGKILLed mid-run — the campaign must complete
+        anyway (shard re-queue + respawn) with an identical stream;
+     3. a coordinator crash: a 2-worker run halted after 4 cells (all
+        workers SIGKILLed, partial record-dir left behind), then a
+        second run resuming from the record-dir — it must restore every
+        checkpointed cell untouched and produce the identical stream.
+
+   Exits non-zero on any divergence; prints one summary line CI greps. *)
+
+open Treeagree
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let spec =
+  {
+    Campaign.Spec.name = "service-smoke";
+    protocol = Campaign.Spec.Tree_aa;
+    tree = Campaign.Spec.Random_tree (Campaign.Spec.Between (2, 12));
+    n = Campaign.Spec.Between (4, 7);
+    t_budget = Campaign.Spec.Up_to_third;
+    inputs = Campaign.Spec.Random_vertices;
+    adversary = Campaign.Spec.Any_tree_adversary;
+    faults = Campaign.Spec.Chaos { intensity = 0.4 };
+    watchdogs = true;
+    repetitions = 12;
+    base_seed = 23;
+  }
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let cell_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".record.jsonl")
+  |> List.sort compare
+
+let () =
+  let baseline = Campaign.jsonl_string (Campaign.run ~workers:1 spec) in
+
+  (* Drill 1: kill -9 a worker mid-run; completion + bit-identity. *)
+  let dir1 = Filename.concat (Filename.get_temp_dir_name ()) "svc-smoke-kill" in
+  rm_rf dir1;
+  let r1 =
+    match
+      Service.run ~workers:2 ~record_dir:dir1 ~kill_worker_after_cells:3 spec
+    with
+    | Ok r -> r
+    | Error e -> die "worker-kill drill failed: %s" e
+  in
+  (match r1.Service.status with
+  | Service.Completed -> ()
+  | Service.Halted _ -> die "worker-kill drill: campaign did not complete");
+  if r1.Service.manifest.Service.worker_restarts < 1 then
+    die "worker-kill drill: expected at least one worker respawn";
+  if Service.jsonl_string r1 <> baseline then
+    die "worker-kill drill: stream diverged from the single-process run";
+
+  (* Drill 2: coordinator crash after 4 cells, then resume. *)
+  let dir2 = Filename.concat (Filename.get_temp_dir_name ()) "svc-smoke-halt" in
+  rm_rf dir2;
+  let halted =
+    match Service.run ~workers:2 ~record_dir:dir2 ~halt_after_cells:4 spec with
+    | Ok r -> r
+    | Error e -> die "halt drill failed: %s" e
+  in
+  let halted_cells =
+    match halted.Service.status with
+    | Service.Halted { cells_done } -> cells_done
+    | Service.Completed -> die "halt drill: expected a halted campaign"
+  in
+  if halted_cells < 4 then die "halt drill: halted after %d < 4" halted_cells;
+  let before = cell_files dir2 in
+  let snapshot =
+    List.map
+      (fun f ->
+        let ic = open_in_bin (Filename.concat dir2 f) in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        (f, s))
+      before
+  in
+  let resumed =
+    match Service.run ~workers:2 ~record_dir:dir2 spec with
+    | Ok r -> r
+    | Error e -> die "resume failed: %s" e
+  in
+  (match resumed.Service.status with
+  | Service.Completed -> ()
+  | Service.Halted _ -> die "resume: campaign did not complete");
+  if resumed.Service.manifest.Service.resumed <> List.length before then
+    die "resume: expected %d resumed cells, got %d" (List.length before)
+      resumed.Service.manifest.Service.resumed;
+  List.iter
+    (fun (f, s) ->
+      let ic = open_in_bin (Filename.concat dir2 f) in
+      let s' = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      if s' <> s then die "resume recomputed checkpointed cell %s" f)
+    snapshot;
+  if Service.jsonl_string resumed <> baseline then
+    die "resume: stream diverged from the single-process run";
+
+  rm_rf dir1;
+  rm_rf dir2;
+  Printf.printf
+    "service smoke clean (%d cells, worker kill + coordinator halt, %d \
+     resumed)\n"
+    spec.Campaign.Spec.repetitions
+    resumed.Service.manifest.Service.resumed

@@ -81,7 +81,44 @@ let family_specs ~runs ~seed ~faults ~watchdogs =
     };
   ]
 
-let soak runs seed workers chaos =
+(* Both execution paths produce the same aggregate and per-task errors:
+   the in-process campaign pool, or — under --distributed — the
+   multi-process campaign service (whose JSONL/aggregate determinism
+   contract makes the soak output identical either way). *)
+let run_spec ~workers ~distributed (spec : Campaign.Spec.t) =
+  if distributed then (
+    match Service.run ~workers spec with
+    | Error e ->
+        Printf.eprintf "[%s] campaign service failed: %s\n"
+          spec.Campaign.Spec.name e;
+        exit 1
+    | Ok r ->
+        let seeds =
+          Campaign.task_seeds ~base_seed:spec.Campaign.Spec.base_seed
+            ~count:spec.Campaign.Spec.repetitions
+        in
+        Array.iteri
+          (fun task cell ->
+            match cell with
+            | Some (Error e) ->
+                Printf.eprintf "[%s] task %d (seed %d) raised %s\n"
+                  spec.Campaign.Spec.name task seeds.(task) e
+            | _ -> ())
+          r.Service.cells;
+        r.Service.aggregate)
+  else
+    let result = Campaign.run ~workers spec in
+    Array.iter
+      (fun (tr : Campaign.task_result) ->
+        match tr.Campaign.result with
+        | Ok _ -> ()
+        | Error e ->
+            Printf.eprintf "[%s] task %d (seed %d) raised %s\n"
+              spec.Campaign.Spec.name tr.Campaign.task tr.Campaign.task_seed e)
+      result.Campaign.results;
+    result.Campaign.aggregate
+
+let soak runs seed workers chaos spec_file distributed =
   let faults, watchdogs =
     match chaos with
     | None -> (Campaign.Spec.No_faults, false)
@@ -93,19 +130,29 @@ let soak runs seed workers chaos =
   let timeouts = ref 0 in
   let engine_errors = ref 0 in
   let excused = ref 0 in
+  let specs =
+    match spec_file with
+    | None -> family_specs ~runs ~seed ~faults ~watchdogs
+    | Some path -> (
+        (* A single spec parsed through the same Spec_io codec as
+           'treeaa campaign --spec' and the flight-record headers; the
+           grid-shape flags (--runs, --seed, --chaos) are ignored. *)
+        let ic = open_in_bin path in
+        let contents = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        match
+          Result.bind
+            (Telemetry.Json.of_string (String.trim contents))
+            Spec_io.of_json
+        with
+        | Ok spec -> [ spec ]
+        | Error m ->
+            Printf.eprintf "%s: bad campaign spec: %s\n" path m;
+            exit 1)
+  in
   List.iter
     (fun (spec : Campaign.Spec.t) ->
-      let result = Campaign.run ~workers spec in
-      Array.iter
-        (fun (tr : Campaign.task_result) ->
-          match tr.Campaign.result with
-          | Ok _ -> ()
-          | Error e ->
-              Printf.eprintf "[%s] task %d (seed %d) raised %s\n"
-                spec.Campaign.Spec.name tr.Campaign.task tr.Campaign.task_seed
-                e)
-        result.Campaign.results;
-      let agg = result.Campaign.aggregate in
+      let agg = run_spec ~workers ~distributed spec in
       failures := !failures + agg.Campaign.violations;
       total := !total + agg.Campaign.tasks;
       timeouts := !timeouts + agg.Campaign.timeouts;
@@ -117,7 +164,7 @@ let soak runs seed workers chaos =
            Printf.sprintf "  (%d excused, %d timeouts)" agg.Campaign.excused
              agg.Campaign.timeouts
          else ""))
-    (family_specs ~runs ~seed ~faults ~watchdogs);
+    specs;
   (* Engine errors are uncontained exceptions the structured-outcome layer
      caught; under any fault plan they indicate a containment bug. *)
   if !engine_errors > 0 then begin
@@ -167,6 +214,27 @@ let chaos_t =
            [0, 1], scaling fault probabilities) and enable the invariant \
            watchdogs. Deterministic in --seed.")
 
+let spec_t =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "spec" ] ~docv:"FILE"
+        ~doc:
+          "Soak one campaign spec loaded from a JSON file (the Spec_io \
+           codec shared with 'treeaa campaign --spec' and flight-record \
+           headers) instead of the built-in protocol families; --runs, \
+           --seed and --chaos are ignored.")
+
+let distributed_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "distributed" ] ~docv:"W"
+        ~doc:
+          "Run each family through the multi-process campaign service on \
+           $(docv) worker processes instead of in-process domains; the \
+           soak output is identical. Overrides --workers.")
+
 (* The old positional form `soak.exe RUNS SEED` is gone; catch it with a
    clear pointer instead of silently ignoring the arguments. *)
 let no_positional_t =
@@ -186,7 +254,14 @@ let cmd =
   Cmd.v
     (Cmd.info "soak" ~doc)
     Term.(
-      const (fun () runs seed workers chaos -> soak runs seed workers chaos)
-      $ no_positional_t $ runs_t $ seed_t $ workers_t $ chaos_t)
+      const (fun () runs seed workers chaos spec distributed ->
+          let workers, distributed =
+            match distributed with
+            | Some w -> (w, true)
+            | None -> (workers, false)
+          in
+          soak runs seed workers chaos spec distributed)
+      $ no_positional_t $ runs_t $ seed_t $ workers_t $ chaos_t $ spec_t
+      $ distributed_t)
 
 let () = exit (Cmd.eval cmd)

@@ -284,7 +284,55 @@ let parse_campaign_protocol = Spec_io.protocol_of_string
 let parse_campaign_adversary = Spec_io.adversary_of_string
 let parse_campaign_inputs = Spec_io.inputs_of_string
 
-let campaign_cmd =
+(* Spec files are the same JSON Spec_io embeds in flight-record headers:
+   one [treeaa campaign --spec] file describes the whole grid. *)
+let load_spec_file path =
+  let ( let* ) = Result.bind in
+  let* contents =
+    try
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Ok s
+    with Sys_error m -> Error m
+  in
+  let* json =
+    Result.map_error
+      (fun m -> Printf.sprintf "%s: not JSON: %s" path m)
+      (Telemetry.Json.of_string (String.trim contents))
+  in
+  Result.map_error
+    (fun m -> Printf.sprintf "%s: bad campaign spec: %s" path m)
+    (Spec_io.of_json json)
+
+let spec_file_term =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "spec" ] ~docv:"FILE"
+        ~doc:
+          "Load the full campaign spec from a JSON file (the same object \
+           Spec_io embeds in flight-record headers and the service wire \
+           hello). Takes precedence over every grid-shape flag \
+           (--protocol, --tree, --n, --t, --inputs, --adversary, --eps, \
+           --reps, --name, --seed, --fault-plan, --chaos, --watchdogs).")
+
+let aggregate_summary name (agg : Campaign.aggregate) =
+  let opt label v = if v = 0 then "" else Printf.sprintf ", %d %s" v label in
+  Printf.eprintf "campaign %s: %d tasks, %d violations, %d errors%s%s%s\n"
+    name agg.Campaign.tasks agg.Campaign.violations agg.Campaign.errors
+    (opt "timeouts" agg.Campaign.timeouts)
+    (opt "engine-errors" agg.Campaign.engine_errors)
+    (opt "excused" agg.Campaign.excused)
+
+let write_stream_to out write =
+  match out with
+  | None -> write stdout
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc)
+
+let campaign_run_cmd =
   let protocol_term =
     Arg.(
       value & opt string "tree-aa"
@@ -425,47 +473,86 @@ let campaign_cmd =
             "Collect per-task stage timings (setup/rounds/checks) and \
              allocation counts into the JSONL stream's outcome objects.")
   in
+  let distributed_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "distributed" ] ~docv:"W"
+          ~doc:
+            "Run the grid on $(docv) worker $(i,processes) via the campaign \
+             service (coordinator + forked workers over socketpairs; 0 \
+             means all cores) instead of in-process domains. The JSONL \
+             stream is bit-identical either way. --record-dir becomes the \
+             service's crash-resume checkpoint directory; incompatible \
+             with --trace-dir, --repro-dir and --profile.")
+  in
   let action protocol tree n t inputs adversary eps reps workers name out seed
-      fault_plan_str chaos watchdogs trace_dir record_dir repro_dir profile =
+      fault_plan_str chaos watchdogs trace_dir record_dir repro_dir profile
+      spec_file distributed =
     let ( let* ) = Result.bind in
-    let* protocol = parse_campaign_protocol ~eps protocol in
-    let* adversary = parse_campaign_adversary adversary in
-    let* inputs = parse_campaign_inputs inputs in
-    let* tree = parse_tree_family tree in
-    let* n = parse_size n in
-    let* t_budget =
-      if t = "third" then Ok Campaign.Spec.Up_to_third
-      else
-        try Ok (Campaign.Spec.Fixed_t (int_of_string t))
-        with _ -> Error (Printf.sprintf "bad --t %S" t)
-    in
-    let* faults =
-      match (fault_plan_str, chaos) with
-      | "none", None -> Ok Campaign.Spec.No_faults
-      | "none", Some intensity -> Ok (Campaign.Spec.Chaos { intensity })
-      | _, Some _ -> Error "--fault-plan and --chaos are mutually exclusive"
-      | s, None -> (
-          match Fault_plan_io.parse s with
-          | Ok p -> Ok (Campaign.Spec.Fault_plan p)
-          | Error m -> Error ("bad --fault-plan: " ^ m))
-    in
-    let reps = max 0 reps in
-    let spec =
-      {
-        Campaign.Spec.name;
-        protocol;
-        tree;
-        n;
-        t_budget;
-        inputs;
-        adversary;
-        faults;
-        watchdogs;
-        repetitions = reps;
-        base_seed = seed;
-      }
+    let* spec =
+      match spec_file with
+      | Some path -> load_spec_file path
+      | None ->
+          let* protocol = parse_campaign_protocol ~eps protocol in
+          let* adversary = parse_campaign_adversary adversary in
+          let* inputs = parse_campaign_inputs inputs in
+          let* tree = parse_tree_family tree in
+          let* n = parse_size n in
+          let* t_budget =
+            if t = "third" then Ok Campaign.Spec.Up_to_third
+            else
+              try Ok (Campaign.Spec.Fixed_t (int_of_string t))
+              with _ -> Error (Printf.sprintf "bad --t %S" t)
+          in
+          let* faults =
+            match (fault_plan_str, chaos) with
+            | "none", None -> Ok Campaign.Spec.No_faults
+            | "none", Some intensity -> Ok (Campaign.Spec.Chaos { intensity })
+            | _, Some _ ->
+                Error "--fault-plan and --chaos are mutually exclusive"
+            | s, None -> (
+                match Fault_plan_io.parse s with
+                | Ok p -> Ok (Campaign.Spec.Fault_plan p)
+                | Error m -> Error ("bad --fault-plan: " ^ m))
+          in
+          Ok
+            {
+              Campaign.Spec.name;
+              protocol;
+              tree;
+              n;
+              t_budget;
+              inputs;
+              adversary;
+              faults;
+              watchdogs;
+              repetitions = max 0 reps;
+              base_seed = seed;
+            }
     in
     let* () = Campaign.Spec.validate spec in
+    let name = spec.Campaign.Spec.name in
+    let reps = spec.Campaign.Spec.repetitions in
+    match distributed with
+    | Some w ->
+        (* The service path: worker processes, wire protocol, optional
+           crash-resume checkpoints under --record-dir. Per-cell
+           telemetry stays with the in-process runner. *)
+        let* () =
+          if trace_dir <> None || repro_dir <> None || profile then
+            Error
+              "--distributed is incompatible with --trace-dir, --repro-dir \
+               and --profile (service workers ship outcomes, not traces; \
+               use --record-dir for replayable checkpoints)"
+          else Ok ()
+        in
+        let w = if w <= 0 then Pool.default_workers () else w in
+        let* result = Service.run ~workers:w ?record_dir spec in
+        write_stream_to out (fun oc -> Service.write_jsonl oc result);
+        aggregate_summary name result.Service.aggregate;
+        Ok ()
+    | None ->
     let workers = if workers <= 0 then Pool.default_workers () else workers in
     let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755 in
     let cell_path dir task pattern = Filename.concat dir (Printf.sprintf pattern task) in
@@ -539,31 +626,107 @@ let campaign_cmd =
               (cell_path dir task "cell-%04d.repro.jsonl")
               record)
           (Recorder.failing_cells result));
-    (match out with
-    | None -> Campaign.write_jsonl stdout result
-    | Some path ->
-        let oc = open_out path in
-        Fun.protect
-          ~finally:(fun () -> close_out oc)
-          (fun () -> Campaign.write_jsonl oc result));
-    let agg = result.Campaign.aggregate in
-    let opt label v = if v = 0 then "" else Printf.sprintf ", %d %s" v label in
-    Printf.eprintf "campaign %s: %d tasks, %d violations, %d errors%s%s%s\n"
-      name agg.Campaign.tasks agg.Campaign.violations agg.Campaign.errors
-      (opt "timeouts" agg.Campaign.timeouts)
-      (opt "engine-errors" agg.Campaign.engine_errors)
-      (opt "excused" agg.Campaign.excused);
+    write_stream_to out (fun oc -> Campaign.write_jsonl oc result);
+    aggregate_summary name result.Campaign.aggregate;
+    Ok ()
+  in
+  Term.(
+    term_result'
+      (const action $ protocol_term $ tree_term $ n_term $ t_term
+     $ inputs_term $ adversary_term $ eps_term $ reps_term $ workers_term
+     $ name_term $ out_term $ seed_term $ fault_plan_term $ chaos_term
+     $ watchdogs_term $ trace_dir_term $ record_dir_term $ repro_dir_term
+     $ profile_term $ spec_file_term $ distributed_term))
+
+(* ---------- campaign serve ---------- *)
+
+let campaign_serve_cmd =
+  let spec_req_term =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "spec" ] ~docv:"FILE"
+          ~doc:
+            "The campaign spec, as a JSON file (required; same codec as \
+             'treeaa campaign --spec').")
+  in
+  let workers_term =
+    Arg.(
+      value & opt int 2
+      & info [ "workers"; "j" ] ~docv:"W"
+          ~doc:"Worker processes (default 2; 0 means all cores).")
+  in
+  let record_dir_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record-dir" ] ~docv:"DIR"
+          ~doc:
+            "Checkpoint every completed cell to \
+             $(docv)/cell-NNNN.record.jsonl and resume matching \
+             checkpoints on start — a killed service re-run with the \
+             same spec and $(docv) recomputes nothing it already \
+             finished.")
+  in
+  let out_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the JSONL result stream to $(docv) (default: stdout).")
+  in
+  let heartbeat_period_term =
+    Arg.(
+      value & opt float 0.25
+      & info [ "heartbeat-period" ] ~docv:"SECONDS"
+          ~doc:"Worker heartbeat period (default 0.25s).")
+  in
+  let heartbeat_timeout_term =
+    Arg.(
+      value & opt float 30.
+      & info [ "heartbeat-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Silence after which a worker is presumed dead, SIGKILLed \
+             and its shard re-queued (default 30s).")
+  in
+  let max_respawns_term =
+    Arg.(
+      value & opt int 2
+      & info [ "max-respawns" ] ~docv:"K"
+          ~doc:"Respawn budget per worker slot (default 2).")
+  in
+  let action spec_file workers record_dir out heartbeat_period
+      heartbeat_timeout max_respawns =
+    let ( let* ) = Result.bind in
+    let* spec = load_spec_file spec_file in
+    let* () = Campaign.Spec.validate spec in
+    let workers = if workers <= 0 then Pool.default_workers () else workers in
+    let* result =
+      Service.run ~workers ?record_dir ~heartbeat_period ~heartbeat_timeout
+        ~max_respawns spec
+    in
+    write_stream_to out (fun oc -> Service.write_jsonl oc result);
+    Printf.eprintf "%s\n" (Telemetry.Json.to_string (Service.manifest_json result));
     Ok ()
   in
   Cmd.v
-    (Cmd.info "campaign" ~doc:"Run a declarative batch campaign, JSONL out")
+    (Cmd.info "serve"
+       ~doc:
+         "Run a campaign spec on forked worker processes with crash-resume \
+          checkpoints; the end-of-run manifest goes to stderr")
     Term.(
       term_result'
-        (const action $ protocol_term $ tree_term $ n_term $ t_term
-       $ inputs_term $ adversary_term $ eps_term $ reps_term $ workers_term
-       $ name_term $ out_term $ seed_term $ fault_plan_term $ chaos_term
-       $ watchdogs_term $ trace_dir_term $ record_dir_term $ repro_dir_term
-       $ profile_term))
+        (const action $ spec_req_term $ workers_term $ record_dir_term
+       $ out_term $ heartbeat_period_term $ heartbeat_timeout_term
+       $ max_respawns_term))
+
+let campaign_cmd =
+  Cmd.group ~default:campaign_run_cmd
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a declarative batch campaign, JSONL out (see 'campaign serve' \
+          for the multi-process service)")
+    [ campaign_serve_cmd ]
 
 (* ---------- replay ---------- *)
 

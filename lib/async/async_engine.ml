@@ -52,26 +52,81 @@ exception Exceeded_max_events of string
 
 (* The pending pool is a growable array with swap-removal: delivery order is
    entirely in the scheduler's hands (plus the patience override), so pool
-   order does not matter semantically. *)
-module Pool = struct
-  type 'msg t = { mutable items : 'msg pending array; mutable len : int }
+   order does not matter semantically.
 
-  let create () = { items = [||]; len = 0 }
+   The patience override (and Fifo, the default scheduler) needs the
+   oldest pending message on *every* delivery event; a linear scan made
+   every async run quadratic in pool size. A segment tree over the slot
+   keys keeps the argmin at its root: [key.(j)] is slot [j]'s
+   [enqueued_at] ([max_int] when free), [tree] holds [2 * base] node
+   entries with leaf [base + j] fixed at [j] and every internal node the
+   argmin of its children {e with ties to the left}. Leaf order equals
+   slot order, so a left-tie-break yields the {e leftmost} minimal slot
+   — exactly the index the old first-minimum scan produced, which is
+   what keeps the n=7 async bit-identity goldens green. O(log) updates
+   on add/take, O(1) root read. Keys need not be monotone ([Delay]
+   faults enqueue into the future), which rules out a plain FIFO ring
+   but not an argmin tree. *)
+module Pool = struct
+  type 'msg t = {
+    mutable items : 'msg pending array;
+    mutable len : int;
+    mutable base : int;  (* capacity; a power of two (or 0 when empty) *)
+    mutable key : int array;
+    mutable tree : int array;
+  }
+
+  let create () = { items = [||]; len = 0; base = 0; key = [||]; tree = [||] }
+
+  (* Recompute the argmin path from slot [j]'s leaf to the root. *)
+  let update pool j =
+    let v = ref ((pool.base + j) / 2) in
+    while !v >= 1 do
+      let l = pool.tree.(2 * !v) and r = pool.tree.((2 * !v) + 1) in
+      pool.tree.(!v) <- (if pool.key.(l) <= pool.key.(r) then l else r);
+      v := !v / 2
+    done
+
+  let rebuild pool =
+    for j = 0 to pool.base - 1 do
+      pool.tree.(pool.base + j) <- j
+    done;
+    for v = pool.base - 1 downto 1 do
+      let l = pool.tree.(2 * v) and r = pool.tree.((2 * v) + 1) in
+      pool.tree.(v) <- (if pool.key.(l) <= pool.key.(r) then l else r)
+    done
+
+  let grow pool p =
+    let cap = max 16 (2 * pool.base) in
+    let items = Array.make cap p in
+    Array.blit pool.items 0 items 0 pool.len;
+    let key = Array.make cap max_int in
+    Array.blit pool.key 0 key 0 pool.len;
+    pool.items <- items;
+    pool.key <- key;
+    pool.base <- cap;
+    pool.tree <- Array.make (2 * cap) 0;
+    rebuild pool
 
   let add pool p =
-    if pool.len = Array.length pool.items then begin
-      let grown = Array.make (max 16 (2 * pool.len)) p in
-      Array.blit pool.items 0 grown 0 pool.len;
-      pool.items <- grown
-    end;
+    if pool.len = pool.base then grow pool p;
     pool.items.(pool.len) <- p;
+    pool.key.(pool.len) <- p.enqueued_at;
+    update pool pool.len;
     pool.len <- pool.len + 1
 
   let take pool i =
     let p = pool.items.(i) in
     pool.len <- pool.len - 1;
     pool.items.(i) <- pool.items.(pool.len);
+    pool.key.(i) <- pool.key.(pool.len);
+    update pool i;
+    pool.key.(pool.len) <- max_int;
+    update pool pool.len;
     p
+
+  let oldest_slot pool = pool.tree.(1)
+  (* leftmost slot with minimal [enqueued_at]; meaningful when non-empty *)
 
   let view pool = Array.sub pool.items 0 pool.len
 
@@ -81,15 +136,11 @@ end
 let pick_index (type m) ~(scheduler : m scheduler) ~patience ~step ~rng
     (pool : m Pool.t) =
   (* patience override: the longest-waiting message must go out *)
-  let oldest = ref 0 in
-  for i = 1 to pool.Pool.len - 1 do
-    if pool.Pool.items.(i).enqueued_at < pool.Pool.items.(!oldest).enqueued_at
-    then oldest := i
-  done;
-  if step - pool.Pool.items.(!oldest).enqueued_at >= patience then !oldest
+  let oldest = Pool.oldest_slot pool in
+  if step - pool.Pool.items.(oldest).enqueued_at >= patience then oldest
   else
     match scheduler with
-    | Fifo -> !oldest
+    | Fifo -> oldest
     | Lifo -> pool.Pool.len - 1
     | Random_order -> Aat_util.Rng.int rng pool.Pool.len
     | Laggards lagging ->

@@ -434,6 +434,16 @@ let draw_fault_plan rng (spec : Spec.t) ~n ~rounds_hint =
         ~sync_only:(Spec.sync_protocol spec.Spec.protocol)
         ~intensity ()
 
+(* Campaign cells construct every run through the unified
+   [Runner.Config]: one record built from the drawn fault plan, the
+   spec's watchdog flag and (for the async protocols) the drawn
+   scheduler. *)
+let run_config ?scheduler ~fault_plan ~watch () =
+  let base = { Runner.Config.default with Runner.Config.fault_plan; watch } in
+  match scheduler with
+  | None -> base
+  | Some s -> { base with Runner.Config.scheduler = s }
+
 let instantiate (spec : Spec.t) ~task_seed =
   (match Spec.validate spec with
   | Ok () -> ()
@@ -453,7 +463,9 @@ let instantiate (spec : Spec.t) ~task_seed =
       let rounds_hint = max 1 (Tree_aa.rounds ~tree) in
       let adversary = tree_aa_adversary rng ~tree ~t ~n ~rounds_hint spec.adversary in
       let fault_plan = draw_fault_plan rng spec ~n ~rounds_hint in
-      ( Runner.tree_aa ~fault_plan ~watch ~tree ~inputs ~t ~adversary (),
+      ( Runner.tree_aa
+          ~config:(run_config ~fault_plan ~watch ())
+          ~tree ~inputs ~t ~adversary (),
         draw_engine_seed rng )
   | Spec.Nr_baseline ->
       let tree, n, t, inputs = vertex_setup () in
@@ -465,7 +477,9 @@ let instantiate (spec : Spec.t) ~task_seed =
             incompatible ~protocol:"nr-baseline" ~family:"protocol-specific"
       in
       let fault_plan = draw_fault_plan rng spec ~n ~rounds_hint in
-      ( Runner.nr_baseline ~fault_plan ~watch ~tree ~inputs ~t ~adversary (),
+      ( Runner.nr_baseline
+          ~config:(run_config ~fault_plan ~watch ())
+          ~tree ~inputs ~t ~adversary (),
         draw_engine_seed rng )
   | Spec.Path_aa ->
       let path, n, t, inputs = vertex_setup () in
@@ -479,7 +493,9 @@ let instantiate (spec : Spec.t) ~task_seed =
         real_adversary rng ~t ~n ~rounds_hint ~iterations spec.adversary
       in
       let fault_plan = draw_fault_plan rng spec ~n ~rounds_hint in
-      ( Runner.path_aa ~fault_plan ~watch ~path ~inputs ~t ~adversary (),
+      ( Runner.path_aa
+          ~config:(run_config ~fault_plan ~watch ())
+          ~path ~inputs ~t ~adversary (),
         draw_engine_seed rng )
   | Spec.Known_path_aa ->
       let tree, n, t, inputs = vertex_setup () in
@@ -494,8 +510,9 @@ let instantiate (spec : Spec.t) ~task_seed =
         real_adversary rng ~t ~n ~rounds_hint ~iterations spec.adversary
       in
       let fault_plan = draw_fault_plan rng spec ~n ~rounds_hint in
-      ( Runner.known_path_aa ~fault_plan ~watch ~tree ~path ~inputs ~t
-          ~adversary (),
+      ( Runner.known_path_aa
+          ~config:(run_config ~fault_plan ~watch ())
+          ~tree ~path ~inputs ~t ~adversary (),
         draw_engine_seed rng )
   | Spec.Real_aa { eps } ->
       let n = max 1 (draw_size rng spec.n) in
@@ -509,8 +526,9 @@ let instantiate (spec : Spec.t) ~task_seed =
       let fault_plan =
         draw_fault_plan rng spec ~n ~rounds_hint:(3 * iterations)
       in
-      ( Runner.real_aa ~fault_plan ~watch ~eps ~inputs ~t ~iterations
-          ~adversary (),
+      ( Runner.real_aa
+          ~config:(run_config ~fault_plan ~watch ())
+          ~eps ~inputs ~t ~iterations ~adversary (),
         draw_engine_seed rng )
   | Spec.Iterated_midpoint { eps } ->
       let n = max 1 (draw_size rng spec.n) in
@@ -524,8 +542,9 @@ let instantiate (spec : Spec.t) ~task_seed =
       let fault_plan =
         draw_fault_plan rng spec ~n ~rounds_hint:(3 * iterations)
       in
-      ( Runner.iterated_midpoint ~fault_plan ~watch ~eps ~inputs ~t ~iterations
-          ~adversary (),
+      ( Runner.iterated_midpoint
+          ~config:(run_config ~fault_plan ~watch ())
+          ~eps ~inputs ~t ~iterations ~adversary (),
         draw_engine_seed rng )
   | Spec.Async_tree_aa ->
       let tree, n, t, inputs = vertex_setup () in
@@ -555,16 +574,18 @@ let instantiate (spec : Spec.t) ~task_seed =
         max 1 (n * n * 3 * Nr_baseline.iterations_for tree)
       in
       let fault_plan = draw_fault_plan rng spec ~n ~rounds_hint in
-      ( Runner.async_tree_aa ~fault_plan ~watch ~tree ~inputs ~t ~scheduler
-          ?adversary (),
+      ( Runner.async_tree_aa
+          ~config:(run_config ~scheduler ~fault_plan ~watch ())
+          ~tree ~inputs ~t ?adversary (),
         draw_engine_seed rng )
   | Spec.Round_sim_tree_aa ->
       let tree, n, t, inputs = vertex_setup () in
       let scheduler = draw_scheduler rng in
       let rounds_hint = max 1 (n * n * Tree_aa.rounds ~tree) in
       let fault_plan = draw_fault_plan rng spec ~n ~rounds_hint in
-      ( Runner.round_sim_tree_aa ~fault_plan ~watch ~tree ~inputs ~t
-          ~scheduler (),
+      ( Runner.round_sim_tree_aa
+          ~config:(run_config ~scheduler ~fault_plan ~watch ())
+          ~tree ~inputs ~t (),
         draw_engine_seed rng )
 
 (* ------------------------------------------------------------------ *)
@@ -620,6 +641,56 @@ let fold_task agg tr =
         tasks = agg.tasks + 1;
         violations = agg.violations + 1;
         errors = agg.errors + 1;
+      }
+
+(* The service-side twin of [fold_task]: fold an outcome already in its
+   JSON rendering (as shipped over the wire or resumed from a record
+   file) into the aggregate. Field-for-field equivalent to [fold_task]
+   composed with [json_of_outcome]: Violated is exactly "the verdict
+   triple fails and the grade is not excused" (see Verdict.grade), the
+   timeout/engine-error statuses come from the "status" field, and the
+   totals read the always-present headline numbers. *)
+let fold_outcome_json agg payload =
+  match payload with
+  | Error _ ->
+      {
+        agg with
+        tasks = agg.tasks + 1;
+        violations = agg.violations + 1;
+        errors = agg.errors + 1;
+      }
+  | Ok j ->
+      let b p = if p then 1 else 0 in
+      let bool name =
+        match Json.member name j with Some (Json.Bool v) -> v | _ -> false
+      in
+      let int name =
+        match Option.bind (Json.member name j) Json.to_int with
+        | Some v -> v
+        | None -> 0
+      in
+      let status = Option.bind (Json.member "status" j) Json.to_str in
+      let excused =
+        Option.bind (Json.member "grade" j) Json.to_str = Some "excused"
+      in
+      let all_ok = bool "termination" && bool "validity" && bool "agreement" in
+      {
+        tasks = agg.tasks + 1;
+        violations = agg.violations + b ((not all_ok) && not excused);
+        errors = agg.errors;
+        timeouts = agg.timeouts + b (status = Some "liveness-timeout");
+        engine_errors = agg.engine_errors + b (status = Some "engine-error");
+        excused = agg.excused + b excused;
+        total_rounds = agg.total_rounds + int "rounds_used";
+        total_honest_messages =
+          agg.total_honest_messages + int "honest_messages";
+        total_adversary_messages =
+          agg.total_adversary_messages + int "adversary_messages";
+        max_spread =
+          merge_spread agg.max_spread
+            (match Json.member "spread" j with
+            | Some (Json.Num s) -> Some s
+            | _ -> None);
       }
 
 let run ?(workers = 1) ?telemetry ?(profile = false) (spec : Spec.t) =
@@ -759,12 +830,32 @@ let json_of_task_result tr =
     | Ok o -> [ ("outcome", json_of_outcome o) ]
     | Error e -> [ ("error", Json.Str e) ])
 
+(* Re-render a task line from a payload already in JSON form — the
+   service wire path: workers ship rendered outcome JSON, the
+   coordinator parses and re-renders the line in task order.
+   Byte-identical to [json_of_task_result] on the same outcome because
+   [Json] parse/render round-trips exactly. *)
+let json_of_task_line ~task ~task_seed payload =
+  Json.Obj
+    ([
+       ("type", Json.Str "task");
+       ("task", num task);
+       ("task_seed", num task_seed);
+     ]
+    @
+    match payload with
+    | Ok o -> [ ("outcome", o) ]
+    | Error e -> [ ("error", Json.Str e) ])
+
 (* The header deliberately omits the worker count: the stream must be
-   byte-identical however the campaign was scheduled. *)
+   byte-identical however the campaign was scheduled. It carries the
+   telemetry [format_version] gate, like every recorder/trace header. *)
 let json_header (spec : Spec.t) =
   Json.Obj
     ([
        ("type", Json.Str "campaign-start");
+       ( "format_version",
+         Json.Str Aat_telemetry.Telemetry.format_version_string );
        ("name", Json.Str spec.name);
        ("protocol", Json.Str (Spec.protocol_label spec.protocol));
        ("repetitions", num spec.repetitions);

@@ -178,6 +178,20 @@ val run :
     outcome's {!Runner.stage_profile}; the timing values themselves are
     wall-clock measurements and sit outside the determinism contract. *)
 
+val empty_aggregate : aggregate
+
+val fold_task : aggregate -> task_result -> aggregate
+(** Fold one task result into the aggregate. [run] folds in task index
+    order; external drivers (the campaign service) must do the same so
+    the aggregate never depends on completion order. *)
+
+val fold_outcome_json :
+  aggregate -> (Aat_telemetry.Jsonx.t, string) Stdlib.result -> aggregate
+(** The service-side twin of {!fold_task}: fold an outcome already in
+    its {!json_of_outcome} rendering (as shipped over the service wire
+    or resumed from a flight record) into the aggregate. Equivalent to
+    [fold_task] on the outcome the JSON was rendered from. *)
+
 val json_of_outcome : Runner.outcome -> Aat_telemetry.Jsonx.t
 (** One task outcome as the ["task"]-line payload (without the task/seed
     envelope): status, verdict, grade, headline numbers, fault and
@@ -185,6 +199,23 @@ val json_of_outcome : Runner.outcome -> Aat_telemetry.Jsonx.t
     Exposed for the observability layer's outcome digests. *)
 
 val json_of_task_result : task_result -> Aat_telemetry.Jsonx.t
+
+val json_of_task_line :
+  task:int ->
+  task_seed:int ->
+  (Aat_telemetry.Jsonx.t, string) Stdlib.result ->
+  Aat_telemetry.Jsonx.t
+(** Re-render a ["task"] line from a payload already in JSON form — the
+    service wire path. Byte-identical to {!json_of_task_result} on the
+    same outcome, because [Jsonx] parse/render round-trips exactly. *)
+
+val json_header : Spec.t -> Aat_telemetry.Jsonx.t
+(** The ["campaign-start"] header object. Carries the telemetry
+    [format_version] gate; deliberately omits the worker count — the
+    stream is byte-identical however the campaign was scheduled. *)
+
+val json_footer : aggregate -> Aat_telemetry.Jsonx.t
+(** The ["campaign-stop"] footer object for an aggregate. *)
 
 val jsonl_lines : result -> Aat_telemetry.Jsonx.t list
 (** The campaign result stream: one ["campaign-start"] header object, one

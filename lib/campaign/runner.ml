@@ -235,9 +235,42 @@ let budget_watchdogs ~t ~plan enabled =
   if enabled then fun () -> [ budget_watchdog ~t ~plan ] else fun () -> []
 
 (* ------------------------------------------------------------------ *)
+(* unified run configuration *)
+
+type scheduler = Fifo | Lifo | Random_order
+
+module Config = struct
+  type t = {
+    fault_plan : Plan.t;
+    watch : bool;
+    scheduler : scheduler;
+    max_events : int;
+    knobs : Bdh.knobs option;
+  }
+
+  let default =
+    {
+      fault_plan = Plan.empty;
+      watch = false;
+      scheduler = Fifo;
+      max_events = 2_000_000;
+      knobs = None;
+    }
+end
+
+(* Per-constructor resolution: an explicitly passed legacy optional wins
+   over the [config] field, so the old labelled call sites keep their
+   exact behaviour while new code passes one record. *)
+let resolve ?fault_plan ?watch (config : Config.t) =
+  ( Option.value fault_plan ~default:config.Config.fault_plan,
+    Option.value watch ~default:config.Config.watch )
+
+(* ------------------------------------------------------------------ *)
 (* synchronous runners *)
 
-let tree_aa ?(fault_plan = Plan.empty) ?(watch = false) ~tree ~inputs ~t ~adversary () =
+let tree_aa ?(config = Config.default) ?fault_plan ?watch ~tree ~inputs ~t
+    ~adversary () =
+  let fault_plan, watch = resolve ?fault_plan ?watch config in
   of_protocol ~name:"tree-aa" ~n:(Array.length inputs) ~t
     ~max_rounds:(Tree_aa.rounds ~tree)
     ~protocol:(fun () -> Tree_aa.protocol ~tree ~inputs:(fun i -> inputs.(i)) ~t)
@@ -246,7 +279,9 @@ let tree_aa ?(fault_plan = Plan.empty) ?(watch = false) ~tree ~inputs ~t ~advers
     ~check:(tree_check ~tree ~inputs)
     ()
 
-let nr_baseline ?(fault_plan = Plan.empty) ?(watch = false) ~tree ~inputs ~t ~adversary () =
+let nr_baseline ?(config = Config.default) ?fault_plan ?watch ~tree ~inputs ~t
+    ~adversary () =
+  let fault_plan, watch = resolve ?fault_plan ?watch config in
   let iterations = Nr_baseline.iterations_for tree in
   of_protocol ~name:"nr-baseline" ~n:(Array.length inputs) ~t
     ~max_rounds:(3 * iterations)
@@ -257,7 +292,9 @@ let nr_baseline ?(fault_plan = Plan.empty) ?(watch = false) ~tree ~inputs ~t ~ad
     ~check:(tree_check ~tree ~inputs)
     ()
 
-let path_aa ?(fault_plan = Plan.empty) ?(watch = false) ~path ~inputs ~t ~adversary () =
+let path_aa ?(config = Config.default) ?fault_plan ?watch ~path ~inputs ~t
+    ~adversary () =
+  let fault_plan, watch = resolve ?fault_plan ?watch config in
   of_protocol ~name:"path-aa" ~n:(Array.length inputs) ~t
     ~max_rounds:(Path_aa.rounds ~path)
     ~protocol:(fun () ->
@@ -273,8 +310,9 @@ let path_aa ?(fault_plan = Plan.empty) ?(watch = false) ~path ~inputs ~t ~advers
     ~check:(tree_check ~tree:path ~inputs)
     ()
 
-let known_path_aa ?(fault_plan = Plan.empty) ?(watch = false) ~tree ~path ~inputs ~t
-    ~adversary () =
+let known_path_aa ?(config = Config.default) ?fault_plan ?watch ~tree ~path
+    ~inputs ~t ~adversary () =
+  let fault_plan, watch = resolve ?fault_plan ?watch config in
   of_protocol ~name:"known-path-aa" ~n:(Array.length inputs) ~t
     ~max_rounds:(Known_path_aa.rounds ~path)
     ~protocol:(fun () ->
@@ -284,8 +322,12 @@ let known_path_aa ?(fault_plan = Plan.empty) ?(watch = false) ~tree ~path ~input
     ~check:(tree_check ~tree ~inputs)
     ()
 
-let real_aa ?knobs ?(fault_plan = Plan.empty) ?(watch = false) ~eps ~inputs ~t ~iterations
-    ~adversary () =
+let real_aa ?(config = Config.default) ?knobs ?fault_plan ?watch ~eps ~inputs
+    ~t ~iterations ~adversary () =
+  let fault_plan, watch = resolve ?fault_plan ?watch config in
+  let knobs =
+    match knobs with Some k -> Some k | None -> config.Config.knobs
+  in
   let value (r : Bdh.result) = r.Bdh.value in
   of_protocol ~name:"realaa" ~n:(Array.length inputs) ~t
     ~max_rounds:(3 * iterations)
@@ -303,8 +345,9 @@ let real_aa ?knobs ?(fault_plan = Plan.empty) ?(watch = false) ~eps ~inputs ~t ~
     ~spread:(real_spread ~value)
     ()
 
-let iterated_midpoint ?(fault_plan = Plan.empty) ?(watch = false) ~eps ~inputs ~t ~iterations
-    ~adversary () =
+let iterated_midpoint ?(config = Config.default) ?fault_plan ?watch ~eps
+    ~inputs ~t ~iterations ~adversary () =
+  let fault_plan, watch = resolve ?fault_plan ?watch config in
   let value (r : Iterated_midpoint.result) = r.Iterated_midpoint.value in
   of_protocol ~name:"iterated-midpoint" ~n:(Array.length inputs) ~t
     ~max_rounds:(3 * iterations)
@@ -326,8 +369,6 @@ let iterated_midpoint ?(fault_plan = Plan.empty) ?(watch = false) ~eps ~inputs ~
 
 (* ------------------------------------------------------------------ *)
 (* asynchronous runners *)
-
-type scheduler = Fifo | Lifo | Random_order
 
 let to_engine_scheduler = function
   | Fifo -> Aat_async.Async_engine.Fifo
@@ -399,8 +440,11 @@ let tree_distance_spread ~tree vertices =
       in
       float_of_int (List.fold_left (fun acc v -> max acc (eccentricity_within v)) 0 vs)
 
-let async_tree_aa ?(max_events = 2_000_000) ?(fault_plan = Plan.empty)
-    ?(watch = false) ?adversary ~tree ~inputs ~t ~scheduler () =
+let async_tree_aa ?(config = Config.default) ?max_events ?fault_plan ?watch
+    ?adversary ~tree ~inputs ~t ?scheduler () =
+  let fault_plan, watch = resolve ?fault_plan ?watch config in
+  let max_events = Option.value max_events ~default:config.Config.max_events in
+  let scheduler = Option.value scheduler ~default:config.Config.scheduler in
   let n = Array.length inputs in
   let iterations = Nr_baseline.iterations_for tree in
   let output_values report =
@@ -443,8 +487,11 @@ let async_tree_aa ?(max_events = 2_000_000) ?(fault_plan = Plan.empty)
   in
   { name = "async-tree-aa"; run }
 
-let round_sim_tree_aa ?(max_events = 2_000_000) ?(fault_plan = Plan.empty)
-    ?(watch = false) ~tree ~inputs ~t ~scheduler () =
+let round_sim_tree_aa ?(config = Config.default) ?max_events ?fault_plan
+    ?watch ~tree ~inputs ~t ?scheduler () =
+  let fault_plan, watch = resolve ?fault_plan ?watch config in
+  let max_events = Option.value max_events ~default:config.Config.max_events in
+  let scheduler = Option.value scheduler ~default:config.Config.scheduler in
   let n = Array.length inputs in
   let check report =
     Tree_verdict.check ~tree

@@ -124,14 +124,50 @@ val of_protocol :
     (default {!Aat_faults.Plan.empty}) must be
     {!Aat_faults.Plan.sync_compatible}. *)
 
+(** Scheduler choice for the asynchronous runners (the [Custom] scheduler
+    is not representable in a declarative campaign spec). *)
+type scheduler = Fifo | Lifo | Random_order
+
+(** The unified run configuration. The repository's runners accreted a
+    per-constructor spread of optionals ([?fault_plan], [?watch],
+    [?max_events], [?knobs], [~scheduler]); {!Config.t} consolidates them
+    into one record so campaign, service, bench and soak all construct
+    runs the same way: build a record from {!Config.default}, override
+    the fields you need, and pass [~config]. Fields a protocol does not
+    use (e.g. [scheduler] on a synchronous runner, [knobs] anywhere but
+    RealAA) are ignored by that constructor.
+
+    The per-run adversary thunk stays a separate labelled argument — its
+    message type is protocol-specific, so it cannot live in a shared
+    record without erasing it; likewise [?telemetry]/[?profile] remain
+    per-call knobs on {!t}[.run] because they vary per invocation, not
+    per runner. *)
+module Config : sig
+  type t = {
+    fault_plan : Aat_faults.Plan.t;  (** default: {!Aat_faults.Plan.empty} *)
+    watch : bool;  (** install the standard watchdog catalog *)
+    scheduler : scheduler;  (** async runners only; default [Fifo] *)
+    max_events : int;  (** async delivery budget; default [2_000_000] *)
+    knobs : Aat_realaa.Bdh.knobs option;  (** RealAA only *)
+  }
+
+  val default : t
+end
+
 (** {1 The repository's protocols as runners}
 
-    All take [?fault_plan] (default: no faults) and [?watch] (default
-    [false]): when set, the standard watchdog catalog applicable to the
+    All take [?config] (default {!Config.default}) plus the legacy
+    per-field optionals [?fault_plan] / [?watch] (and, where applicable,
+    [?max_events] / [?knobs] / [?scheduler]). The legacy optionals are
+    {b deprecated thin wrappers}: when passed explicitly they override
+    the corresponding [config] field, preserving every existing call
+    site bit-for-bit, but new code should construct a {!Config.t}. When
+    [watch] is set, the standard watchdog catalog applicable to the
     protocol — corruption-budget monotonicity everywhere, spread
     non-expansion where a scalar observation exists — is installed. *)
 
 val tree_aa :
+  ?config:Config.t ->
   ?fault_plan:Aat_faults.Plan.t ->
   ?watch:bool ->
   tree:Labeled_tree.t ->
@@ -142,6 +178,7 @@ val tree_aa :
   t
 
 val nr_baseline :
+  ?config:Config.t ->
   ?fault_plan:Aat_faults.Plan.t ->
   ?watch:bool ->
   tree:Labeled_tree.t ->
@@ -152,6 +189,7 @@ val nr_baseline :
   t
 
 val path_aa :
+  ?config:Config.t ->
   ?fault_plan:Aat_faults.Plan.t ->
   ?watch:bool ->
   path:Labeled_tree.t ->
@@ -163,6 +201,7 @@ val path_aa :
 (** [path] must be a path graph, as for [Path_aa.protocol]. *)
 
 val known_path_aa :
+  ?config:Config.t ->
   ?fault_plan:Aat_faults.Plan.t ->
   ?watch:bool ->
   tree:Labeled_tree.t ->
@@ -174,6 +213,7 @@ val known_path_aa :
   t
 
 val real_aa :
+  ?config:Config.t ->
   ?knobs:Aat_realaa.Bdh.knobs ->
   ?fault_plan:Aat_faults.Plan.t ->
   ?watch:bool ->
@@ -187,6 +227,7 @@ val real_aa :
 (** RealAA ([Bdh]); [eps] is the agreement distance the verdict checks. *)
 
 val iterated_midpoint :
+  ?config:Config.t ->
   ?fault_plan:Aat_faults.Plan.t ->
   ?watch:bool ->
   eps:float ->
@@ -198,11 +239,8 @@ val iterated_midpoint :
   t
 (** The gradecast variant of the classic halving baseline. *)
 
-(** Scheduler choice for the asynchronous runners (the [Custom] scheduler
-    is not representable in a declarative campaign spec). *)
-type scheduler = Fifo | Lifo | Random_order
-
 val async_tree_aa :
+  ?config:Config.t ->
   ?max_events:int ->
   ?fault_plan:Aat_faults.Plan.t ->
   ?watch:bool ->
@@ -210,7 +248,7 @@ val async_tree_aa :
   tree:Labeled_tree.t ->
   inputs:Labeled_tree.vertex array ->
   t:int ->
-  scheduler:scheduler ->
+  ?scheduler:scheduler ->
   unit ->
   t
 (** The native asynchronous tree protocol ([Async_aa.tree], Nowak–Rybicki
@@ -224,13 +262,14 @@ val async_tree_aa :
     full fault vocabulary, [Duplicate] and [Delay] included. *)
 
 val round_sim_tree_aa :
+  ?config:Config.t ->
   ?max_events:int ->
   ?fault_plan:Aat_faults.Plan.t ->
   ?watch:bool ->
   tree:Labeled_tree.t ->
   inputs:Labeled_tree.vertex array ->
   t:int ->
-  scheduler:scheduler ->
+  ?scheduler:scheduler ->
   unit ->
   t
 (** Synchronous TreeAA lifted into the asynchronous engine through

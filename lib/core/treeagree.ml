@@ -105,6 +105,10 @@ module Trace = Aat_obs.Trace
 module Recorder = Aat_obs.Recorder
 module Replay = Aat_obs.Replay
 
+(* the sharded multi-process campaign service with crash-resume *)
+module Service = Aat_service.Service
+module Service_wire = Aat_service.Wire
+
 (* authenticated setting *)
 module Auth = Aat_auth.Auth
 

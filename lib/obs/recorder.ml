@@ -32,13 +32,15 @@ type t = {
 (* The digest pins the structured outcome, minus the profile block:
    profile numbers are wall-clock measurements, so a record made with
    profiling on must still replay clean with profiling off. *)
-let digest_of_outcome o =
+let digest_of_outcome_json j =
   let json =
-    match Campaign.json_of_outcome o with
+    match j with
     | Json.Obj kvs -> Json.Obj (List.filter (fun (k, _) -> k <> "profile") kvs)
     | j -> j
   in
   Digest.to_hex (Digest.string (Json.to_string json))
+
+let digest_of_outcome o = digest_of_outcome_json (Campaign.json_of_outcome o)
 
 let record ?(profile = false) spec ~task_seed =
   match Campaign.Spec.validate spec with

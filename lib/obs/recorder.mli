@@ -33,6 +33,11 @@ val digest_of_outcome : Aat_campaign.Runner.outcome -> string
 (** The digest replay compares: MD5 over the rendered outcome minus
     ["profile"] (wall-clock numbers must not break replay). *)
 
+val digest_of_outcome_json : Aat_telemetry.Jsonx.t -> string
+(** The same digest computed from an outcome already in its JSON
+    rendering — the campaign service checkpoints cells it only ever
+    sees as wire JSON. *)
+
 val record :
   ?profile:bool ->
   Aat_campaign.Campaign.Spec.t ->

@@ -1,0 +1,637 @@
+(* The sharded multi-process campaign service. See service.mli for the
+   protocol and the determinism contract; docs/CAMPAIGN.md for the
+   design discussion. *)
+
+module Json = Aat_telemetry.Jsonx
+module Telemetry = Aat_telemetry.Telemetry
+module Campaign = Aat_campaign.Campaign
+module Runner = Aat_campaign.Runner
+module Spec_io = Aat_obs.Spec_io
+module Recorder = Aat_obs.Recorder
+module Trace = Aat_obs.Trace
+
+type manifest = {
+  tasks : int;
+  computed : int;
+  resumed : int;
+  requeued_shards : int;
+  worker_restarts : int;
+  workers : int;
+  shards : int;
+}
+
+type status = Completed | Halted of { cells_done : int }
+
+type result = {
+  status : status;
+  spec : Campaign.Spec.t;
+  cells : (Json.t, string) Stdlib.result option array;
+  aggregate : Campaign.aggregate;
+  manifest : manifest;
+}
+
+exception Service_error of string
+
+(* ------------------------------------------------------------------ *)
+(* messages *)
+
+let num i = Json.Num (float_of_int i)
+
+let msg_type j =
+  match Json.member "type" j with Some (Json.Str s) -> s | _ -> ""
+
+let hello_msg ~spec ~heartbeat_period =
+  Json.Obj
+    [
+      ("type", Json.Str "hello");
+      ("format_version", Json.Str Telemetry.format_version_string);
+      ("heartbeat_period", Json.Num heartbeat_period);
+      ("spec", Spec_io.to_json spec);
+    ]
+
+let ready_msg () =
+  Json.Obj
+    [
+      ("type", Json.Str "ready");
+      ("format_version", Json.Str Telemetry.format_version_string);
+      ("pid", num (Unix.getpid ()));
+    ]
+
+let shard_msg tasks =
+  Json.Obj
+    [
+      ("type", Json.Str "shard");
+      ( "tasks",
+        Json.Arr
+          (List.map
+             (fun (task, seed) ->
+               Json.Obj [ ("task", num task); ("task_seed", num seed) ])
+             tasks) );
+    ]
+
+let cell_msg ~task ~task_seed payload =
+  Json.Obj
+    ([ ("type", Json.Str "cell"); ("task", num task); ("task_seed", num task_seed) ]
+    @
+    match payload with
+    | Ok o -> [ ("outcome", o) ]
+    | Error e -> [ ("error", Json.Str e) ])
+
+let simple_msg ty = Json.Obj [ ("type", Json.Str ty) ]
+
+let send fd j = Wire.write_frame fd (Json.to_string j)
+
+let int_field name j =
+  match Option.bind (Json.member name j) Json.to_int with
+  | Some v -> v
+  | None -> raise (Service_error (Printf.sprintf "missing %S field" name))
+
+(* ------------------------------------------------------------------ *)
+(* worker process *)
+
+(* One campaign cell, exactly as [Campaign.run]'s task body computes it:
+   instantiate from the task seed, run with the derived engine seed,
+   catch instantiation/spec exceptions as [Error]. The worker ships the
+   *rendered* outcome JSON — the coordinator re-renders it byte-for-byte
+   (Jsonx round-trips exactly), which is what makes the distributed
+   stream bit-identical to the in-process one. *)
+let run_cell spec ~task_seed =
+  try
+    let runner, engine_seed = Campaign.instantiate spec ~task_seed in
+    Ok (Campaign.json_of_outcome (runner.Runner.run ~seed:engine_seed ()))
+  with exn -> Error (Printexc.to_string exn)
+
+let worker_main fd =
+  let reader = Wire.Reader.create fd in
+  let write_mutex = Mutex.create () in
+  let locked_send j =
+    Mutex.lock write_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock write_mutex)
+      (fun () -> send fd j)
+  in
+  let inbox = Queue.create () in
+  let rec next_msg () =
+    if not (Queue.is_empty inbox) then Some (Queue.pop inbox)
+    else
+      match Wire.Reader.poll reader with
+      | Wire.Reader.Eof -> None
+      | Wire.Reader.Frames fs ->
+          List.iter (fun f -> Queue.add f inbox) fs;
+          next_msg ()
+  in
+  let parse payload =
+    match Json.of_string payload with
+    | Ok j -> j
+    | Error e -> raise (Service_error ("worker: malformed frame: " ^ e))
+  in
+  (* The handshake: the coordinator speaks first. *)
+  let spec, heartbeat_period =
+    match next_msg () with
+    | None -> Unix._exit 0
+    | Some payload -> (
+        let j = parse payload in
+        if msg_type j <> "hello" then
+          raise (Service_error "worker: expected hello");
+        (match Telemetry.check_format_version j with
+        | Ok () -> ()
+        | Error e -> raise (Service_error ("worker: " ^ e)));
+        match Json.member "spec" j with
+        | None -> raise (Service_error "worker: hello carries no spec")
+        | Some sj -> (
+            match Spec_io.of_json sj with
+            | Error e -> raise (Service_error ("worker: bad spec: " ^ e))
+            | Ok spec ->
+                let period =
+                  match
+                    Option.bind (Json.member "heartbeat_period" j) Json.to_float
+                  with
+                  | Some p when p > 0. -> p
+                  | _ -> 0.25
+                in
+                (spec, period)))
+  in
+  locked_send (ready_msg ());
+  (* Heartbeats ride a background thread so a long cell never looks like
+     a hung worker; the write mutex keeps frames atomic. A failed write
+     means the coordinator is gone — nothing left to do. *)
+  let _hb : Thread.t =
+    Thread.create
+      (fun () ->
+        let rec loop () =
+          Thread.delay heartbeat_period;
+          match locked_send (simple_msg "heartbeat") with
+          | () -> loop ()
+          | exception _ -> Unix._exit 0
+        in
+        loop ())
+      ()
+  in
+  let rec serve () =
+    match next_msg () with
+    | None -> Unix._exit 0 (* coordinator went away *)
+    | Some payload ->
+        let j = parse payload in
+        (match msg_type j with
+        | "shard" ->
+            let tasks =
+              match Option.bind (Json.member "tasks" j) Json.to_list with
+              | Some l -> l
+              | None -> raise (Service_error "worker: shard carries no tasks")
+            in
+            List.iter
+              (fun tj ->
+                let task = int_field "task" tj in
+                let task_seed = int_field "task_seed" tj in
+                let payload = run_cell spec ~task_seed in
+                locked_send (cell_msg ~task ~task_seed payload))
+              tasks;
+            locked_send (simple_msg "shard-done")
+        | "shutdown" -> Unix._exit 0
+        | _ -> () (* forward-compatible: ignore unknown message types *));
+        serve ()
+  in
+  serve ()
+
+(* ------------------------------------------------------------------ *)
+(* checkpoints *)
+
+let cell_path dir task =
+  Filename.concat dir (Printf.sprintf "cell-%04d.record.jsonl" task)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* A checkpoint is a trace-less flight record — the same shape the
+   campaign CLI's --record-dir writes and `treeaa replay` verifies. The
+   temp-file + rename makes the checkpoint atomic: a cell file either
+   holds a complete record or does not exist, however the coordinator
+   dies. *)
+let checkpoint ~dir ~spec ~task ~task_seed outcome =
+  let engine_seed =
+    match Option.bind (Json.member "seed" outcome) Json.to_int with
+    | Some s -> s
+    | None -> 0
+  in
+  let record =
+    {
+      Recorder.spec;
+      task_seed;
+      engine_seed;
+      trace = Trace.empty;
+      outcome = Some outcome;
+      digest = Some (Recorder.digest_of_outcome_json outcome);
+    }
+  in
+  let path = cell_path dir task in
+  let tmp = path ^ ".tmp" in
+  Recorder.write_file tmp record;
+  Sys.rename tmp path
+
+(* Restore finished cells from a previous (interrupted) invocation. A
+   checkpoint is accepted only if it parses as a flight record, its
+   embedded spec structurally equals ours and its task seed matches the
+   schedule — anything else (corrupt file, drifted spec, renamed cell)
+   is recomputed rather than trusted. *)
+let load_checkpoints ~dir ~spec ~seeds cells =
+  let resumed = ref 0 in
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iteri
+      (fun task seed ->
+        let path = cell_path dir task in
+        if Sys.file_exists path then
+          match Recorder.read_file path with
+          | Ok r
+            when r.Recorder.spec = spec
+                 && r.Recorder.task_seed = seed -> (
+              match r.Recorder.outcome with
+              | Some o ->
+                  cells.(task) <- Some (Ok o);
+                  incr resumed
+              | None -> ())
+          | _ -> ())
+      seeds;
+  !resumed
+
+(* ------------------------------------------------------------------ *)
+(* coordinator *)
+
+type worker = {
+  slot : int;
+  mutable pid : int;
+  mutable reader : Wire.Reader.t;
+  mutable shard : (int * int) list;  (* in-flight (task, task_seed) *)
+  mutable received : int list;  (* tasks delivered from the shard *)
+  mutable last_seen : float;
+  mutable restarts : int;
+  mutable alive : bool;
+}
+
+let spawn ~spec ~heartbeat_period ~other_fds =
+  let parent_fd, child_fd =
+    Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close parent_fd;
+      List.iter (fun fd -> try Unix.close fd with _ -> ()) other_fds;
+      (try worker_main child_fd with _ -> ());
+      Unix._exit 0
+  | pid ->
+      Unix.close child_fd;
+      send parent_fd (hello_msg ~spec ~heartbeat_period);
+      (pid, parent_fd)
+
+let chunks size l =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+        if k = size then go (List.rev cur :: acc) [ x ] 1 rest
+        else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 l
+
+let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
+    ?(heartbeat_timeout = 30.) ?(max_respawns = 2) ?kill_worker_after_cells
+    ?halt_after_cells spec =
+  match Campaign.Spec.validate spec with
+  | Error m -> Error ("Service.run: " ^ m)
+  | Ok () -> (
+      let workers = max 1 workers in
+      let reps = spec.Campaign.Spec.repetitions in
+      let seeds =
+        Campaign.task_seeds ~base_seed:spec.Campaign.Spec.base_seed ~count:reps
+      in
+      let cells = Array.make reps None in
+      let resumed =
+        match record_dir with
+        | None -> 0
+        | Some dir ->
+            let r = load_checkpoints ~dir ~spec ~seeds cells in
+            mkdir_p dir;
+            r
+      in
+      let pending =
+        List.filter (fun i -> cells.(i) = None) (List.init reps Fun.id)
+      in
+      let finish ~status ~computed ~requeued_shards ~worker_restarts ~spawned
+          ~shards =
+        let aggregate =
+          Array.fold_left
+            (fun agg c ->
+              match c with
+              | Some p -> Campaign.fold_outcome_json agg p
+              | None -> agg)
+            Campaign.empty_aggregate cells
+        in
+        {
+          status;
+          spec;
+          cells;
+          aggregate;
+          manifest =
+            {
+              tasks = reps;
+              computed;
+              resumed;
+              requeued_shards;
+              worker_restarts;
+              workers = spawned;
+              shards;
+            };
+        }
+      in
+      if pending = [] then
+        Ok
+          (finish ~status:Completed ~computed:0 ~requeued_shards:0
+             ~worker_restarts:0 ~spawned:0 ~shards:0)
+      else begin
+        (* Shards are contiguous task-index runs, sized so each worker
+           sees several shards: failure loses at most one shard's worth
+           of work, and the tail of the grid still load-balances. *)
+        let shard_size = max 1 (List.length pending / (workers * 4)) in
+        let shards =
+          chunks shard_size (List.map (fun i -> (i, seeds.(i))) pending)
+        in
+        let n_shards = List.length shards in
+        let n_spawn = min workers n_shards in
+        let queue = ref shards in
+        let computed = ref 0 in
+        let requeued_shards = ref 0 in
+        let worker_restarts = ref 0 in
+        let kill_fired = ref false in
+        let halted = ref false in
+        let pool = ref [] in
+        let prev_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+        let restore_sigpipe () = Sys.set_signal Sys.sigpipe prev_sigpipe in
+        let pool_fds () =
+          List.filter_map
+            (fun w -> if w.alive then Some (Wire.Reader.fd w.reader) else None)
+            !pool
+        in
+        let spawn_into w =
+          let pid, fd = spawn ~spec ~heartbeat_period ~other_fds:(pool_fds ()) in
+          w.pid <- pid;
+          w.reader <- Wire.Reader.create fd;
+          w.shard <- [];
+          w.received <- [];
+          w.last_seen <- Unix.gettimeofday ();
+          w.alive <- true
+        in
+        let done_count () =
+          Array.fold_left
+            (fun acc c -> if c = None then acc else acc + 1)
+            0 cells
+        in
+        let kill_all () =
+          List.iter
+            (fun w ->
+              if w.alive then begin
+                (try Unix.kill w.pid Sys.sigkill with _ -> ());
+                (try Unix.close (Wire.Reader.fd w.reader) with _ -> ());
+                (try ignore (Unix.waitpid [] w.pid) with _ -> ());
+                w.alive <- false
+              end)
+            !pool
+        in
+        let handle_death w =
+          if w.alive then begin
+            w.alive <- false;
+            (try Unix.close (Wire.Reader.fd w.reader) with _ -> ());
+            (try ignore (Unix.waitpid [] w.pid) with _ -> ());
+            let remaining =
+              List.filter
+                (fun (t, _) ->
+                  (not (List.mem t w.received)) && cells.(t) = None)
+                w.shard
+            in
+            w.shard <- [];
+            w.received <- [];
+            if remaining <> [] then begin
+              (* Front of the queue: a crashed shard holds the lowest
+                 outstanding task indices, and survivors should close
+                 the gap before opening new work. *)
+              queue := remaining :: !queue;
+              incr requeued_shards
+            end;
+            if w.restarts < max_respawns && not !halted then begin
+              w.restarts <- w.restarts + 1;
+              incr worker_restarts;
+              spawn_into w
+            end
+          end
+        in
+        let safe_send w j =
+          try send (Wire.Reader.fd w.reader) j
+          with
+          | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
+          ->
+            handle_death w
+        in
+        let handle_cell w j =
+          let task = int_field "task" j in
+          if task < 0 || task >= reps then
+            raise (Service_error "coordinator: cell task out of range");
+          let payload =
+            match Json.member "outcome" j with
+            | Some o -> Ok o
+            | None -> (
+                match
+                  Option.bind (Json.member "error" j) Json.to_str
+                with
+                | Some e -> Error e
+                | None -> Error "malformed cell message")
+          in
+          w.received <- task :: w.received;
+          if cells.(task) = None then begin
+            cells.(task) <- Some payload;
+            incr computed;
+            (match (record_dir, payload) with
+            | Some dir, Ok o ->
+                checkpoint ~dir ~spec ~task ~task_seed:seeds.(task) o
+            | _ -> ());
+            (match kill_worker_after_cells with
+            | Some n when (not !kill_fired) && !computed >= n ->
+                kill_fired := true;
+                if w.alive then (try Unix.kill w.pid Sys.sigkill with _ -> ())
+            | _ -> ());
+            match halt_after_cells with
+            | Some n when !computed >= n -> halted := true
+            | _ -> ()
+          end
+        in
+        let handle_msg w payload =
+          match Json.of_string payload with
+          | Error e ->
+              raise (Service_error ("coordinator: malformed frame: " ^ e))
+          | Ok j -> (
+              match msg_type j with
+              | "cell" -> handle_cell w j
+              | "shard-done" ->
+                  w.shard <- [];
+                  w.received <- []
+              | "ready" | "heartbeat" -> ()
+              | _ -> ())
+        in
+        let handle_readable w =
+          match Wire.Reader.poll w.reader with
+          | Wire.Reader.Eof -> handle_death w
+          | Wire.Reader.Frames fs ->
+              w.last_seen <- Unix.gettimeofday ();
+              List.iter (fun f -> if not !halted then handle_msg w f) fs
+        in
+        let assign w =
+          match !queue with
+          | [] -> ()
+          | shard :: rest ->
+              queue := rest;
+              w.shard <- shard;
+              w.received <- [];
+              safe_send w (shard_msg shard)
+        in
+        let serve () =
+          for slot = 0 to n_spawn - 1 do
+            let w =
+              {
+                slot;
+                pid = 0;
+                reader = Wire.Reader.create Unix.stdin (* replaced *);
+                shard = [];
+                received = [];
+                last_seen = 0.;
+                restarts = 0;
+                alive = false;
+              }
+            in
+            pool := !pool @ [ w ];
+            spawn_into w
+          done;
+          List.iter assign !pool;
+          while (not !halted) && done_count () < reps do
+            (match List.filter (fun w -> w.alive) !pool with
+            | [] ->
+                raise
+                  (Service_error
+                     "all workers exhausted their respawn budget with work \
+                      outstanding")
+            | alive -> (
+                let fds = List.map (fun w -> Wire.Reader.fd w.reader) alive in
+                match Unix.select fds [] [] heartbeat_period with
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                | readable, _, _ ->
+                    List.iter
+                      (fun w ->
+                        if
+                          w.alive
+                          && List.mem (Wire.Reader.fd w.reader) readable
+                        then handle_readable w)
+                      alive;
+                    let now = Unix.gettimeofday () in
+                    List.iter
+                      (fun w ->
+                        if
+                          w.alive
+                          && now -. w.last_seen > heartbeat_timeout
+                        then begin
+                          (try Unix.kill w.pid Sys.sigkill with _ -> ());
+                          handle_death w
+                        end)
+                      !pool));
+            if not !halted then
+              List.iter
+                (fun w -> if w.alive && w.shard = [] then assign w)
+                !pool
+          done;
+          if !halted then begin
+            kill_all ();
+            finish
+              ~status:(Halted { cells_done = done_count () })
+              ~computed:!computed ~requeued_shards:!requeued_shards
+              ~worker_restarts:!worker_restarts ~spawned:n_spawn
+              ~shards:n_shards
+          end
+          else begin
+            List.iter
+              (fun w -> if w.alive then safe_send w (simple_msg "shutdown"))
+              !pool;
+            List.iter
+              (fun w ->
+                if w.alive then begin
+                  (try Unix.close (Wire.Reader.fd w.reader) with _ -> ());
+                  (try ignore (Unix.waitpid [] w.pid) with _ -> ());
+                  w.alive <- false
+                end)
+              !pool;
+            finish ~status:Completed ~computed:!computed
+              ~requeued_shards:!requeued_shards
+              ~worker_restarts:!worker_restarts ~spawned:n_spawn
+              ~shards:n_shards
+          end
+        in
+        match serve () with
+        | result ->
+            restore_sigpipe ();
+            Ok result
+        | exception exn ->
+            kill_all ();
+            restore_sigpipe ();
+            Error
+              (match exn with
+              | Service_error m -> m
+              | exn -> Printexc.to_string exn)
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* result stream + manifest *)
+
+let jsonl_lines r =
+  (match r.status with
+  | Completed -> ()
+  | Halted _ ->
+      invalid_arg "Service.jsonl_lines: halted campaign (resume it first)");
+  let reps = r.spec.Campaign.Spec.repetitions in
+  let seeds =
+    Campaign.task_seeds ~base_seed:r.spec.Campaign.Spec.base_seed ~count:reps
+  in
+  (Campaign.json_header r.spec
+  :: List.init reps (fun i ->
+         match r.cells.(i) with
+         | Some payload ->
+             Campaign.json_of_task_line ~task:i ~task_seed:seeds.(i) payload
+         | None -> assert false (* Completed means every cell is present *)))
+  @ [ Campaign.json_footer r.aggregate ]
+
+let jsonl_string r =
+  String.concat ""
+    (List.map (fun line -> Json.to_string line ^ "\n") (jsonl_lines r))
+
+let write_jsonl oc r =
+  List.iter
+    (fun line ->
+      output_string oc (Json.to_string line);
+      output_char oc '\n')
+    (jsonl_lines r);
+  flush oc
+
+let manifest_json r =
+  let m = r.manifest in
+  Json.Obj
+    [
+      ("type", Json.Str "campaign-manifest");
+      ( "status",
+        match r.status with
+        | Completed -> Json.Str "completed"
+        | Halted { cells_done } ->
+            Json.Obj [ ("halted_at_cells", num cells_done) ] );
+      ("tasks", num m.tasks);
+      ("computed", num m.computed);
+      ("resumed", num m.resumed);
+      ("requeued_shards", num m.requeued_shards);
+      ("worker_restarts", num m.worker_restarts);
+      ("workers", num m.workers);
+      ("shards", num m.shards);
+    ]

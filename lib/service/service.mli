@@ -1,0 +1,100 @@
+(** The sharded multi-process campaign service.
+
+    {!run} executes a {!Aat_campaign.Campaign.Spec.t} grid across worker
+    {e processes}: the coordinator splits the task list into shards (the
+    SplitMix64 split-seed schedule makes every task a pure function of
+    its seed, so any partition is bit-identical to the in-process
+    [Campaign.run ~workers:1]), forks workers connected over socketpairs,
+    fans shards out with the length-prefixed JSON wire protocol of
+    {!Wire}, streams per-cell results back with live aggregation, and —
+    when [record_dir] is given — checkpoints every completed cell as a
+    flight record ([cell-NNNN.record.jsonl], readable by
+    [treeaa replay]) so an interrupted campaign resumes without
+    recomputing finished cells.
+
+    {b Wire protocol} (one JSON object per frame; see [docs/CAMPAIGN.md]):
+    the coordinator sends [hello] (format version, the
+    {!Aat_obs.Spec_io} spec JSON, heartbeat period), then [shard]
+    messages ([{task, task_seed}] lists) and finally [shutdown]; workers
+    answer [ready], then one [cell] per task ([outcome] on success,
+    [error] if instantiation raised) and [shard-done], with periodic
+    [heartbeat] frames from a background thread throughout.
+
+    {b Robustness}: a worker that closes its socket, dies ([EOF]/
+    [EPIPE]) or misses heartbeats for [heartbeat_timeout] seconds is
+    SIGKILLed and reaped; the unfinished remainder of its shard is
+    re-queued at the {e front} of the queue, and the slot is respawned
+    up to [max_respawns] times. [run] returns [Error] only if every
+    worker slot exhausts its respawn budget with work outstanding.
+
+    {b Determinism}: workers ship outcomes as rendered
+    {!Aat_campaign.Campaign.json_of_outcome} JSON; [Jsonx] parse/render
+    round-trips byte-exactly, and the coordinator re-renders lines and
+    folds the aggregate in task order — so {!jsonl_string} is
+    bit-identical to [Campaign.jsonl_string] of an uninterrupted
+    single-process run, whatever the worker count, crash history or
+    resume path. The test suite enforces this. *)
+
+type manifest = {
+  tasks : int;  (** grid size (spec repetitions) *)
+  computed : int;  (** cells computed by workers this invocation *)
+  resumed : int;  (** cells restored from [record_dir] checkpoints *)
+  requeued_shards : int;  (** shards re-queued after a worker death *)
+  worker_restarts : int;  (** respawns performed *)
+  workers : int;  (** worker processes initially spawned *)
+  shards : int;  (** shards the pending work was split into *)
+}
+
+type status =
+  | Completed
+  | Halted of { cells_done : int }
+      (** stopped early by the [halt_after_cells] test hook — the
+          simulated coordinator crash; resume from [record_dir] *)
+
+type result = {
+  status : status;
+  spec : Aat_campaign.Campaign.Spec.t;
+  cells : (Aat_telemetry.Jsonx.t, string) Stdlib.result option array;
+      (** per-task outcome payloads, indexed by task; [None] only on a
+          [Halted] run *)
+  aggregate : Aat_campaign.Campaign.aggregate;
+      (** folded in task order over the completed cells *)
+  manifest : manifest;
+}
+
+val run :
+  ?workers:int ->
+  ?record_dir:string ->
+  ?heartbeat_period:float ->
+  ?heartbeat_timeout:float ->
+  ?max_respawns:int ->
+  ?kill_worker_after_cells:int ->
+  ?halt_after_cells:int ->
+  Aat_campaign.Campaign.Spec.t ->
+  (result, string) Stdlib.result
+(** Run the campaign across [workers] (default [1]) worker processes.
+    [record_dir]: checkpoint every completed cell and resume any cell whose
+    checkpoint matches the spec and seed schedule. [heartbeat_period]
+    (default [0.25]s) / [heartbeat_timeout] (default [30]s) tune
+    liveness detection; [max_respawns] (default [2]) bounds respawns
+    per worker slot.
+
+    Test hooks, for deterministic crash drills: [kill_worker_after_cells
+    n] SIGKILLs the worker that delivered the [n]-th fresh cell (once);
+    [halt_after_cells n] stops the coordinator after [n] fresh cells —
+    killing and reaping all workers — and returns [Halted], simulating a
+    coordinator crash whose [record_dir] a second [run] resumes from. *)
+
+val jsonl_lines : result -> Aat_telemetry.Jsonx.t list
+(** The campaign JSONL stream — header, one task line per cell in task
+    order, footer — bit-identical to [Campaign.jsonl_lines] of the same
+    spec run in-process. Raises [Invalid_argument] on a [Halted] result
+    (resume it first). *)
+
+val jsonl_string : result -> string
+val write_jsonl : out_channel -> result -> unit
+
+val manifest_json : result -> Aat_telemetry.Jsonx.t
+(** The structured end-of-run manifest (cells done/resumed/requeued,
+    worker restarts, status) — for telemetry sinks and stderr summaries;
+    deliberately {e not} part of the JSONL result stream. *)

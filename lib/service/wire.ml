@@ -1,0 +1,63 @@
+(* Length-prefixed framing: 4-byte big-endian payload length + payload.
+   See wire.mli. *)
+
+let max_frame = 64 * 1024 * 1024
+(* A frame larger than this is a corrupted length prefix, not a real
+   message: fail loudly instead of allocating garbage. *)
+
+let write_frame fd payload =
+  let len = String.length payload in
+  if len > max_frame then invalid_arg "Wire.write_frame: frame too large";
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 buf 4 len;
+  let total = 4 + len in
+  let sent = ref 0 in
+  while !sent < total do
+    match Unix.write fd buf !sent (total - !sent) with
+    | n -> sent := !sent + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+module Reader = struct
+  type t = {
+    fd : Unix.file_descr;
+    mutable pending : string;  (* bytes received but not yet framed *)
+    chunk : Bytes.t;
+  }
+
+  let create fd = { fd; pending = ""; chunk = Bytes.create 65536 }
+  let fd t = t.fd
+
+  type event = Frames of string list | Eof
+
+  (* Split [pending] into every complete frame it holds. *)
+  let drain t =
+    let frames = ref [] in
+    let pos = ref 0 in
+    let len = String.length t.pending in
+    let continue = ref true in
+    while !continue do
+      if len - !pos < 4 then continue := false
+      else
+        let flen = Int32.to_int (String.get_int32_be t.pending !pos) in
+        if flen < 0 || flen > max_frame then
+          failwith "Wire.Reader: corrupted frame length"
+        else if len - !pos - 4 < flen then continue := false
+        else begin
+          frames := String.sub t.pending (!pos + 4) flen :: !frames;
+          pos := !pos + 4 + flen
+        end
+    done;
+    t.pending <- String.sub t.pending !pos (len - !pos);
+    List.rev !frames
+
+  let poll t =
+    match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+    | 0 -> Eof
+    | n ->
+        t.pending <- t.pending ^ Bytes.sub_string t.chunk 0 n;
+        Frames (drain t)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> Frames []
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> Eof
+end

@@ -1,0 +1,35 @@
+(** Length-prefixed JSON framing for the campaign service wire.
+
+    Every message between the coordinator and a worker process is one
+    {e frame}: a 4-byte big-endian payload length followed by the payload
+    — one rendered {!Aat_telemetry.Jsonx} object. The framing layer is
+    deliberately dumb: it moves byte strings, {!Service} owns the message
+    vocabulary (see [docs/CAMPAIGN.md]).
+
+    Frames, not raw JSONL, because a worker's outcome JSON may be large
+    (watchdog violations, fault accounting) and the coordinator's select
+    loop reads whatever bytes are available: the length prefix lets the
+    {!Reader} hold a partial frame across reads without scanning for
+    newlines inside string escapes. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one complete frame, retrying on partial writes and [EINTR].
+    Raises [Unix.Unix_error (EPIPE, _, _)] if the peer is gone — callers
+    treat that as peer death, never as fatal. *)
+
+(** Incremental frame reassembly over one descriptor. *)
+module Reader : sig
+  type t
+
+  val create : Unix.file_descr -> t
+  val fd : t -> Unix.file_descr
+
+  type event =
+    | Frames of string list  (** complete payloads, in arrival order *)
+    | Eof  (** the peer closed the connection (or died) *)
+
+  val poll : t -> event
+  (** One [Unix.read] (blocking if the descriptor is; call after select
+      to avoid blocking), then every frame completed by the new bytes —
+      possibly none, when a large frame is still partial. *)
+end

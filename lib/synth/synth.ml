@@ -101,12 +101,26 @@ let default_targets () =
   ]
 
 let target_for label =
-  let label = if label = "tree-aa" then "treeaa" else label in
-  match List.find_opt (fun t -> t.label = label) (default_targets ()) with
+  (* The requested name parses through the shared Spec_io protocol
+     grammar — the same vocabulary as 'treeaa campaign --protocol' and
+     the spec/record files — and the target is then matched structurally
+     by protocol constructor, so synth can never accept a spelling the
+     rest of the tooling rejects. The historical "treeaa" spelling is
+     kept as an alias for "tree-aa"; eps is irrelevant to matching
+     (targets pick their own). *)
+  let label = if label = "treeaa" then "tree-aa" else label in
+  let ( let* ) = Result.bind in
+  let* protocol = Aat_obs.Spec_io.protocol_of_string ~eps:1.0 label in
+  let wanted = Campaign.Spec.protocol_label protocol in
+  match
+    List.find_opt
+      (fun t -> Campaign.Spec.protocol_label t.protocol = wanted)
+      (default_targets ())
+  with
   | Some t -> Ok t
   | None ->
       Error
-        (Printf.sprintf "unknown synth target %S (have: %s)" label
+        (Printf.sprintf "no synth target for protocol %s (have: %s)" wanted
            (String.concat ", " (List.map (fun t -> t.label) (default_targets ()))))
 
 let spec_for target genome =

@@ -226,7 +226,7 @@ let golden_spec =
      treeaa campaign -p realaa -i linspace:100 -a none -n 5 -t 1 \
        --reps 2 --seed 9 --name golden *)
 let golden_jsonl =
-  {|{"type":"campaign-start","name":"golden","protocol":"realaa","repetitions":2,"base_seed":9}
+  {|{"type":"campaign-start","format_version":"1.0","name":"golden","protocol":"realaa","repetitions":2,"base_seed":9}
 {"type":"task","task":0,"task_seed":6146177117965836,"outcome":{"runner":"realaa","seed":590121192,"engine":"sync","ok":true,"termination":true,"validity":true,"agreement":true,"rounds_used":12,"honest_messages":300,"adversary_messages":0,"corrupted":0,"initially_corrupted":0,"spread":0}}
 {"type":"task","task":1,"task_seed":6761658480391677,"outcome":{"runner":"realaa","seed":255723267,"engine":"sync","ok":true,"termination":true,"validity":true,"agreement":true,"rounds_used":12,"honest_messages":300,"adversary_messages":0,"corrupted":0,"initially_corrupted":0,"spread":0}}
 {"type":"campaign-stop","tasks":2,"violations":0,"errors":0,"total_rounds":24,"total_honest_messages":600,"total_adversary_messages":0,"max_spread":0}

@@ -1,0 +1,206 @@
+(* Tests for the sharded multi-process campaign service: the distributed
+   determinism contract (coordinator sharding over 1/2/4 worker
+   *processes* produces JSONL bit-identical to the in-process
+   [Campaign.run ~workers:1] — which also pins the wire round-trip and
+   the [fold_outcome_json] aggregate twin), and crash-resume (a halted
+   coordinator's record-dir restores every checkpointed cell untouched
+   and recomputes nothing). *)
+
+open Treeagree
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* Small random specs spanning protocols, adversaries and fault modes —
+   the footer line folds the aggregate, so stream equality also proves
+   the JSON-side aggregate fold matches the outcome-side one across
+   excused / timed-out / faulted cells. *)
+let spec_of_seed seed =
+  let open Campaign.Spec in
+  let rng = Rng.create seed in
+  let protocol, inputs, adversary =
+    match Rng.int rng 4 with
+    | 0 -> (Tree_aa, Random_vertices, Any_tree_adversary)
+    | 1 -> (Nr_baseline, Random_vertices, Random_silent)
+    | 2 ->
+        ( Real_aa { eps = 1. },
+          Log_uniform_reals { log10_min = 1.; log10_max = 3. },
+          Any_real_adversary )
+    | _ -> (Iterated_midpoint { eps = 1. }, Linspace_reals 50., Real_spoiler)
+  in
+  let faults, watchdogs =
+    match Rng.int rng 3 with
+    | 0 -> (Chaos { intensity = 0.3 +. Rng.float rng 0.7 }, true)
+    | 1 ->
+        ( Fault_plan
+            [
+              Fault_plan.Omission { prob = 0.05; scope = Fault_plan.All };
+              Fault_plan.Crash { party = 0; at_round = 2 };
+            ],
+          Rng.bool rng )
+    | _ -> (No_faults, true)
+  in
+  {
+    name = "svc-prop";
+    protocol;
+    tree = Random_tree (Between (2, 12));
+    n = Between (4, 7);
+    t_budget = Up_to_third;
+    inputs;
+    adversary;
+    faults;
+    watchdogs;
+    repetitions = 2 + Rng.int rng 3;
+    base_seed = seed;
+  }
+
+let service_stream ?workers ?record_dir ?halt_after_cells spec =
+  match Service.run ?workers ?record_dir ?halt_after_cells spec with
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("Service.run: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* distributed determinism *)
+
+let prop_distributed_invariant =
+  QCheck2.Test.make
+    ~name:
+      "service: 1/2/4 worker processes are bit-identical to in-process \
+       workers:1"
+    ~count:5
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let spec = spec_of_seed seed in
+      let baseline = Campaign.jsonl_string (Campaign.run ~workers:1 spec) in
+      List.for_all
+        (fun w ->
+          match Service.run ~workers:w spec with
+          | Ok r ->
+              r.Service.status = Service.Completed
+              && Service.jsonl_string r = baseline
+          | Error _ -> false)
+        [ 1; 2; 4 ])
+
+(* ------------------------------------------------------------------ *)
+(* crash-resume *)
+
+let fixed_spec =
+  {
+    Campaign.Spec.name = "svc-resume";
+    protocol = Campaign.Spec.Tree_aa;
+    tree = Campaign.Spec.Random_tree (Campaign.Spec.Between (2, 10));
+    n = Campaign.Spec.Between (4, 7);
+    t_budget = Campaign.Spec.Up_to_third;
+    inputs = Campaign.Spec.Random_vertices;
+    adversary = Campaign.Spec.Any_tree_adversary;
+    faults = Campaign.Spec.Chaos { intensity = 0.3 };
+    watchdogs = true;
+    repetitions = 8;
+    base_seed = 77;
+  }
+
+let cell_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".record.jsonl")
+  |> List.sort compare
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_resume_recomputes_nothing () =
+  let spec = fixed_spec in
+  let baseline = Campaign.jsonl_string (Campaign.run ~workers:1 spec) in
+  let dir = Filename.temp_dir "svc-resume" "" in
+  (* Simulated coordinator crash: halt after 3 cells, workers killed. *)
+  let halted = service_stream ~workers:2 ~record_dir:dir ~halt_after_cells:3 spec in
+  (match halted.Service.status with
+  | Service.Halted { cells_done } ->
+      check "halted with partial progress" true
+        (cells_done >= 3 && cells_done < spec.Campaign.Spec.repetitions)
+  | Service.Completed -> Alcotest.fail "expected a halted campaign");
+  let before = cell_files dir in
+  check "partial record-dir" true
+    (before <> [] && List.length before < spec.Campaign.Spec.repetitions);
+  let snapshot = List.map (fun f -> (f, read_file (Filename.concat dir f))) before in
+  (* Resume: every checkpointed cell restored, none recomputed. *)
+  let resumed = service_stream ~workers:2 ~record_dir:dir spec in
+  check "resume completes" true (resumed.Service.status = Service.Completed);
+  check_int "every checkpoint resumed" (List.length before)
+    resumed.Service.manifest.Service.resumed;
+  check_int "computed exactly the remainder"
+    (spec.Campaign.Spec.repetitions - List.length before)
+    resumed.Service.manifest.Service.computed;
+  List.iter
+    (fun (f, s) ->
+      check_string
+        (Printf.sprintf "checkpoint %s untouched by resume" f)
+        s
+        (read_file (Filename.concat dir f)))
+    snapshot;
+  check_string "resumed stream equals the uninterrupted run" baseline
+    (Service.jsonl_string resumed);
+  (* A third run over the now-complete record-dir recomputes nothing at
+     all: cell count unchanged, no workers spawned. *)
+  let complete = cell_files dir in
+  check_int "record-dir holds the full grid" spec.Campaign.Spec.repetitions
+    (List.length complete);
+  let again = service_stream ~workers:4 ~record_dir:dir spec in
+  check_int "full resume computes zero cells" 0
+    again.Service.manifest.Service.computed;
+  check_int "full resume spawns no workers" 0
+    again.Service.manifest.Service.workers;
+  check_int "record-dir cell count unchanged" (List.length complete)
+    (List.length (cell_files dir));
+  check_string "fully-resumed stream still identical" baseline
+    (Service.jsonl_string again)
+
+let test_checkpoints_replay () =
+  (* Service checkpoints are genuine flight records: `treeaa replay`'s
+     engine re-executes them and must match the recorded digest. *)
+  let dir = Filename.temp_dir "svc-replay" "" in
+  let r = service_stream ~workers:2 ~record_dir:dir fixed_spec in
+  check "completed" true (r.Service.status = Service.Completed);
+  List.iter
+    (fun f ->
+      match Recorder.read_file (Filename.concat dir f) with
+      | Error e -> Alcotest.fail (f ^ ": " ^ e)
+      | Ok record -> (
+          match Replay.run record with
+          | Error e -> Alcotest.fail (f ^ ": replay failed: " ^ e)
+          | Ok replay -> (
+              match replay.Replay.verdict with
+              | Ok () -> ()
+              | Error d ->
+                  Alcotest.fail
+                    (Format.asprintf "%s: replay diverged: %a" f
+                       Replay.pp_divergence d))))
+    (cell_files dir)
+
+let test_empty_grid () =
+  let spec = { fixed_spec with Campaign.Spec.repetitions = 0 } in
+  let r = service_stream ~workers:3 spec in
+  check "completed" true (r.Service.status = Service.Completed);
+  check_int "no workers spawned" 0 r.Service.manifest.Service.workers;
+  check_string "stream matches in-process"
+    (Campaign.jsonl_string (Campaign.run ~workers:1 spec))
+    (Service.jsonl_string r)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "distributed",
+        [ QCheck_alcotest.to_alcotest prop_distributed_invariant ] );
+      ( "crash-resume",
+        [
+          Alcotest.test_case "halt + resume recomputes nothing" `Quick
+            test_resume_recomputes_nothing;
+          Alcotest.test_case "checkpoints replay bit-identically" `Quick
+            test_checkpoints_replay;
+        ] );
+      ( "edge",
+        [ Alcotest.test_case "empty grid" `Quick test_empty_grid ] );
+    ]
