@@ -11,6 +11,13 @@
         second run resuming from the record-dir — it must restore every
         checkpointed cell untouched and produce the identical stream.
 
+   `service_smoke chaos` (CI: @chaos-drill) runs the wire-chaos drill
+   instead: the same grid under an active corrupt-frame + torn-write +
+   stall injection plan on every socket, with a worker SIGKILL and a
+   simulated coordinator crash + resume on top — the resumed stream
+   must still be bit-identical to the baseline and the manifest free of
+   permanent slot failures (degraded = false).
+
    Exits non-zero on any divergence; prints one summary line CI greps. *)
 
 open Treeagree
@@ -45,7 +52,86 @@ let cell_files dir =
   |> List.filter (fun f -> Filename.check_suffix f ".record.jsonl")
   |> List.sort compare
 
+(* The @chaos-drill mode: every frame on every socket runs the gauntlet
+   of a corrupt-frame + torn-write + stall plan while a worker is
+   SIGKILLed and the coordinator crashes and resumes. The recovery
+   machinery (checksum rejection, resync, shard re-queue, backoff
+   respawn, progress timeout, checkpoint verification) must absorb all
+   of it: bit-identical final stream, no permanent slot failure. *)
+let chaos_drill () =
+  let plan =
+    match
+      Service_chaos.parse "corrupt-frame:0.08+torn-write:0.05+stall:0.05:0.01+seed:9"
+    with
+    | Ok p -> p
+    | Error e -> die "chaos drill: bad plan: %s" e
+  in
+  let run ?record_dir ?kill_worker_after_cells ?halt_after_cells () =
+    Service.run ~workers:2 ?record_dir ~heartbeat_period:0.05
+      ~heartbeat_timeout:5. ~max_respawns:50 ~respawn_backoff:0.02
+      ~progress_timeout:1. ~wire_chaos:plan ?kill_worker_after_cells
+      ?halt_after_cells spec
+  in
+  let baseline = Campaign.jsonl_string (Campaign.run ~workers:1 spec) in
+
+  (* Leg 1: chaos + worker SIGKILL, no checkpoints — must complete
+     clean on wire recovery alone. *)
+  let r1 =
+    match run ~kill_worker_after_cells:3 () with
+    | Ok r -> r
+    | Error e -> die "chaos drill (worker kill) failed: %s" e
+  in
+  (match r1.Service.status with
+  | Service.Completed -> ()
+  | Service.Halted _ -> die "chaos drill: campaign did not complete");
+  if r1.Service.manifest.Service.degraded then
+    die "chaos drill: manifest reports degradation on the clean path";
+  if Service.jsonl_string r1 <> baseline then
+    die "chaos drill: stream diverged from the single-process run";
+
+  (* Leg 2: chaos + coordinator crash, then resume under the same
+     chaos; checkpoints must verify and the stream must not move. *)
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "svc-smoke-chaos" in
+  rm_rf dir;
+  let halted =
+    match run ~record_dir:dir ~halt_after_cells:4 () with
+    | Ok r -> r
+    | Error e -> die "chaos drill (halt) failed: %s" e
+  in
+  (match halted.Service.status with
+  | Service.Halted _ -> ()
+  | Service.Completed -> die "chaos drill: expected a halted campaign");
+  let resumed =
+    match run ~record_dir:dir () with
+    | Ok r -> r
+    | Error e -> die "chaos drill (resume) failed: %s" e
+  in
+  (match resumed.Service.status with
+  | Service.Completed -> ()
+  | Service.Halted _ -> die "chaos drill: resume did not complete");
+  if resumed.Service.manifest.Service.degraded then
+    die "chaos drill: resumed manifest reports degradation";
+  if resumed.Service.manifest.Service.quarantined <> 0 then
+    die "chaos drill: chaos must never corrupt checkpoints (%d quarantined)"
+      resumed.Service.manifest.Service.quarantined;
+  if Service.jsonl_string resumed <> baseline then
+    die "chaos drill: resumed stream diverged from the single-process run";
+  rm_rf dir;
+  Printf.printf
+    "chaos drill clean (%d cells under %s: worker kill + crash-resume, %d \
+     resumed, %d protocol errors absorbed)\n"
+    spec.Campaign.Spec.repetitions
+    (Service_chaos.to_string plan)
+    resumed.Service.manifest.Service.resumed
+    (r1.Service.manifest.Service.protocol_errors
+    + halted.Service.manifest.Service.protocol_errors
+    + resumed.Service.manifest.Service.protocol_errors)
+
 let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "chaos" then begin
+    chaos_drill ();
+    exit 0
+  end;
   let baseline = Campaign.jsonl_string (Campaign.run ~workers:1 spec) in
 
   (* Drill 1: kill -9 a worker mid-run; completion + bit-identity. *)
@@ -53,7 +139,8 @@ let () =
   rm_rf dir1;
   let r1 =
     match
-      Service.run ~workers:2 ~record_dir:dir1 ~kill_worker_after_cells:3 spec
+      Service.run ~workers:2 ~record_dir:dir1 ~respawn_backoff:0.
+        ~kill_worker_after_cells:3 spec
     with
     | Ok r -> r
     | Error e -> die "worker-kill drill failed: %s" e

@@ -695,30 +695,93 @@ let campaign_serve_cmd =
       & info [ "max-respawns" ] ~docv:"K"
           ~doc:"Respawn budget per worker slot (default 2).")
   in
+  let respawn_backoff_term =
+    Arg.(
+      value & opt float 0.5
+      & info [ "respawn-backoff" ] ~docv:"SECONDS"
+          ~doc:
+            "Base of the exponential backoff before a dead worker slot is \
+             respawned: $(docv) * 2^restarts, with seeded jitter (default \
+             0.5s).")
+  in
+  let progress_timeout_term =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "progress-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Kill a worker that holds a shard but has delivered no fresh \
+             cell for $(docv) seconds, even if it still heartbeats — the \
+             livelock detector (default: off; strongly recommended with \
+             $(b,--wire-chaos) plans that drop or tear frames).")
+  in
+  let wire_chaos_term =
+    Arg.(
+      value & opt string "none"
+      & info [ "wire-chaos" ] ~docv:"PLAN"
+          ~doc:
+            "Deterministic wire-fault injection plan for chaos drills: \
+             '+'-joined clauses among $(b,corrupt-frame:P), \
+             $(b,torn-write:P), $(b,drop-frame:P), $(b,dup-frame:P), \
+             $(b,stall:P:SECONDS) and $(b,seed:N), e.g. \
+             'corrupt-frame:0.05+stall:0.02:0.01+seed:7'; 'none' disables \
+             (see docs/ROBUSTNESS.md).")
+  in
   let action spec_file workers record_dir out heartbeat_period
-      heartbeat_timeout max_respawns =
+      heartbeat_timeout max_respawns respawn_backoff progress_timeout
+      wire_chaos =
     let ( let* ) = Result.bind in
     let* spec = load_spec_file spec_file in
     let* () = Campaign.Spec.validate spec in
-    let workers = if workers <= 0 then Pool.default_workers () else workers in
-    let* result =
-      Service.run ~workers ?record_dir ~heartbeat_period ~heartbeat_timeout
-        ~max_respawns spec
+    let* wire_chaos =
+      match Service_chaos.parse wire_chaos with
+      | Ok p -> Ok p
+      | Error m -> Error ("bad --wire-chaos: " ^ m)
     in
-    write_stream_to out (fun oc -> Service.write_jsonl oc result);
-    Printf.eprintf "%s\n" (Telemetry.Json.to_string (Service.manifest_json result));
-    Ok ()
+    let workers = if workers <= 0 then Pool.default_workers () else workers in
+    match
+      Service.run ~workers ?record_dir ~heartbeat_period ~heartbeat_timeout
+        ~max_respawns ~respawn_backoff ?progress_timeout ~wire_chaos spec
+    with
+    | Error e ->
+        (* The hard failure: every slot's respawn budget is spent with
+           work outstanding. Checkpoints under --record-dir survive for
+           a resume. Distinct exit code so orchestrators can tell
+           "re-run me" from a CLI usage error. *)
+        Printf.eprintf "treeaa campaign serve: %s\n" e;
+        exit 4
+    | Ok result ->
+        write_stream_to out (fun oc -> Service.write_jsonl oc result);
+        Printf.eprintf "%s\n"
+          (Telemetry.Json.to_string (Service.manifest_json result));
+        if result.Service.manifest.Service.degraded then exit 3;
+        Ok ()
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run a campaign spec on forked worker processes with crash-resume \
-          checkpoints; the end-of-run manifest goes to stderr")
+          checkpoints; the end-of-run manifest goes to stderr"
+       ~exits:
+         (Cmd.Exit.info 0 ~doc:"the campaign completed cleanly."
+         :: Cmd.Exit.info 3
+              ~doc:
+                "the campaign completed $(b,degraded): some worker slot \
+                 exhausted its respawn budget and the grid was finished \
+                 by the surviving pool; per-slot causes are in the \
+                 stderr manifest."
+         :: Cmd.Exit.info 4
+              ~doc:
+                "hard failure: every worker slot exhausted its respawn \
+                 budget with work outstanding. Checkpoints under \
+                 $(b,--record-dir) survive; re-run to resume."
+         :: Cmd.Exit.defaults))
     Term.(
       term_result'
         (const action $ spec_req_term $ workers_term $ record_dir_term
        $ out_term $ heartbeat_period_term $ heartbeat_timeout_term
-       $ max_respawns_term))
+       $ max_respawns_term $ respawn_backoff_term $ progress_timeout_term
+       $ wire_chaos_term))
 
 let campaign_cmd =
   Cmd.group ~default:campaign_run_cmd

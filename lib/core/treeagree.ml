@@ -108,6 +108,8 @@ module Replay = Aat_obs.Replay
 (* the sharded multi-process campaign service with crash-resume *)
 module Service = Aat_service.Service
 module Service_wire = Aat_service.Wire
+module Service_chaos = Aat_service.Chaos
+module Service_clock = Aat_service.Clock
 
 (* authenticated setting *)
 module Auth = Aat_auth.Auth

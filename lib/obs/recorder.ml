@@ -42,6 +42,23 @@ let digest_of_outcome_json j =
 
 let digest_of_outcome o = digest_of_outcome_json (Campaign.json_of_outcome o)
 
+(* Integrity check for records used as checkpoints: a record is only
+   trustworthy if it carries an outcome whose bytes still hash to the
+   digest written next to them. A truncated file usually fails to parse
+   at all; this catches the rest (bit rot, a partial outcome line that
+   happens to parse, a digest-less repro passed off as a checkpoint). *)
+let verify_outcome t =
+  match (t.outcome, t.digest) with
+  | None, _ -> Error "record carries no outcome"
+  | Some _, None -> Error "record carries no outcome digest"
+  | Some o, Some d ->
+      let actual = digest_of_outcome_json o in
+      if String.equal actual d then Ok ()
+      else
+        Error
+          (Printf.sprintf "outcome digest mismatch (recorded %s, actual %s)" d
+             actual)
+
 let record ?(profile = false) spec ~task_seed =
   match Campaign.Spec.validate spec with
   | Error m -> Error m

@@ -38,6 +38,12 @@ val digest_of_outcome_json : Aat_telemetry.Jsonx.t -> string
     rendering — the campaign service checkpoints cells it only ever
     sees as wire JSON. *)
 
+val verify_outcome : t -> (unit, string) result
+(** Checkpoint integrity: [Ok ()] iff the record carries an outcome
+    {e and} a digest and the outcome still hashes to it. The campaign
+    service refuses (quarantines) any resume checkpoint failing this —
+    see [docs/ROBUSTNESS.md]. *)
+
 val record :
   ?profile:bool ->
   Aat_campaign.Campaign.Spec.t ->

@@ -1,0 +1,197 @@
+(* Deterministic wire-fault injection for the campaign service. See
+   chaos.mli for the plan grammar and the determinism story. *)
+
+module Rng = Aat_util.Rng
+
+type t = {
+  corrupt_frame : float;
+  torn_write : float;
+  drop_frame : float;
+  dup_frame : float;
+  stall_prob : float;
+  stall_seconds : float;
+  seed : int;
+}
+
+let none =
+  {
+    corrupt_frame = 0.;
+    torn_write = 0.;
+    drop_frame = 0.;
+    dup_frame = 0.;
+    stall_prob = 0.;
+    stall_seconds = 0.;
+    seed = 0;
+  }
+
+let is_none t = { t with seed = 0 } = none
+
+(* ------------------------------------------------------------------ *)
+(* the plan grammar *)
+
+let clause_sep = function ';' | '+' -> true | _ -> false
+
+let split_clauses s =
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  String.iter
+    (fun c ->
+      if clause_sep c then begin
+        out := Buffer.contents buf :: !out;
+        Buffer.clear buf
+      end
+      else Buffer.add_char buf c)
+    s;
+  out := Buffer.contents buf :: !out;
+  List.rev_map String.trim !out |> List.rev
+  |> List.filter (fun c -> c <> "")
+
+let prob_of_string name s =
+  match float_of_string_opt s with
+  | Some p when p >= 0. && p <= 1. -> Ok p
+  | _ -> Error (Printf.sprintf "%s: probability %S not in [0,1]" name s)
+
+let parse s =
+  let s = String.trim s in
+  if s = "" || s = "none" then Ok none
+  else
+    let ( let* ) = Result.bind in
+    List.fold_left
+      (fun acc clause ->
+        let* t = acc in
+        match String.split_on_char ':' clause with
+        | [ "corrupt-frame"; p ] ->
+            let* p = prob_of_string "corrupt-frame" p in
+            Ok { t with corrupt_frame = p }
+        | [ "torn-write"; p ] ->
+            let* p = prob_of_string "torn-write" p in
+            Ok { t with torn_write = p }
+        | [ "drop-frame"; p ] ->
+            let* p = prob_of_string "drop-frame" p in
+            Ok { t with drop_frame = p }
+        | [ "dup-frame"; p ] ->
+            let* p = prob_of_string "dup-frame" p in
+            Ok { t with dup_frame = p }
+        | [ "stall"; p; secs ] -> (
+            let* p = prob_of_string "stall" p in
+            match float_of_string_opt secs with
+            | Some d when d >= 0. ->
+                Ok { t with stall_prob = p; stall_seconds = d }
+            | _ -> Error (Printf.sprintf "stall: bad duration %S" secs))
+        | [ "seed"; n ] -> (
+            match int_of_string_opt n with
+            | Some seed -> Ok { t with seed }
+            | None -> Error (Printf.sprintf "seed: bad integer %S" n))
+        | _ ->
+            Error
+              (Printf.sprintf
+                 "unknown wire-chaos clause %S (want corrupt-frame:P, \
+                  torn-write:P, drop-frame:P, dup-frame:P, stall:P:SECONDS \
+                  or seed:N)"
+                 clause))
+      (Ok none) (split_clauses s)
+
+let to_string t =
+  if is_none t && t.seed = 0 then "none"
+  else
+    let clauses =
+      List.filter_map Fun.id
+        [
+          (if t.corrupt_frame > 0. then
+             Some (Printf.sprintf "corrupt-frame:%g" t.corrupt_frame)
+           else None);
+          (if t.torn_write > 0. then
+             Some (Printf.sprintf "torn-write:%g" t.torn_write)
+           else None);
+          (if t.drop_frame > 0. then
+             Some (Printf.sprintf "drop-frame:%g" t.drop_frame)
+           else None);
+          (if t.dup_frame > 0. then
+             Some (Printf.sprintf "dup-frame:%g" t.dup_frame)
+           else None);
+          (if t.stall_prob > 0. then
+             Some (Printf.sprintf "stall:%g:%g" t.stall_prob t.stall_seconds)
+           else None);
+          (if t.seed <> 0 then Some (Printf.sprintf "seed:%d" t.seed)
+           else None);
+        ]
+    in
+    if clauses = [] then "none" else String.concat "+" clauses
+
+(* ------------------------------------------------------------------ *)
+(* seeded per-endpoint streams *)
+
+type role = Coordinator | Worker
+
+type state = {
+  plan : t;
+  corrupt : Rng.t;
+  torn : Rng.t;
+  drop : Rng.t;
+  dup : Rng.t;
+  stall : Rng.t;
+  sleep : float -> unit;
+}
+
+(* One independent SplitMix64 stream per fault kind per endpoint: which
+   faults fire on endpoint A never perturbs the schedule on endpoint B,
+   and within an endpoint every kind draws once per frame, so the
+   schedules are a pure function of (plan seed, role, slot, incarnation,
+   frame index) — independent of worker count and of which faults
+   actually fired. *)
+let endpoint ?(sleep = Unix.sleepf) plan ~role ~slot ~incarnation =
+  let role_tag = match role with Coordinator -> 1 | Worker -> 2 in
+  let stream kind =
+    (* distinct odd multipliers decorrelate the lanes; Rng.create mixes
+       the result through SplitMix64's full avalanche anyway *)
+    Rng.create
+      (plan.seed
+      + (0x9E3779B1 * role_tag)
+      + (0x85EBCA77 * (slot + 1))
+      + (0xC2B2AE3D * (incarnation + 1))
+      + (0x27D4EB2F * kind))
+  in
+  {
+    plan;
+    corrupt = stream 1;
+    torn = stream 2;
+    drop = stream 3;
+    dup = stream 4;
+    stall = stream 5;
+    sleep;
+  }
+
+let fires rng prob =
+  (* always draw, so the stream position is frame-indexed *)
+  let x = Rng.float rng 1.0 in
+  prob > 0. && x < prob
+
+let apply st frame ~write =
+  let plan = st.plan in
+  if is_none plan then write frame
+  else begin
+    let len = Bytes.length frame in
+    let corrupt = fires st.corrupt plan.corrupt_frame in
+    let corrupt_at = Rng.int st.corrupt (max 1 len) in
+    let torn = fires st.torn plan.torn_write in
+    let torn_at = 1 + Rng.int st.torn (max 1 (len - 1)) in
+    let drop = fires st.drop plan.drop_frame in
+    let dup = fires st.dup plan.dup_frame in
+    let stall = fires st.stall plan.stall_prob in
+    if not drop then begin
+      if stall then st.sleep plan.stall_seconds;
+      let mangled =
+        if corrupt then begin
+          let b = Bytes.copy frame in
+          Bytes.set b corrupt_at
+            (Char.chr (Char.code (Bytes.get b corrupt_at) lxor 0x55));
+          b
+        end
+        else frame
+      in
+      if torn then write (Bytes.sub mangled 0 torn_at) else write mangled;
+      (* a duplicate ships the intact frame: exercises the receiver's
+         dedup path without conflating it with the corruption paths *)
+      if dup then write frame
+    end
+  end

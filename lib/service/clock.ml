@@ -1,0 +1,1 @@
+external now : unit -> float = "aat_service_monotonic_now"

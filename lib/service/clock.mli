@@ -1,0 +1,11 @@
+(** The monotonic clock behind every service liveness timer.
+
+    All heartbeat, progress and respawn-backoff deadlines are measured
+    on [CLOCK_MONOTONIC] ([GetTickCount64] on Windows), {e never}
+    [Unix.gettimeofday]: wall time steps under NTP corrections, and a
+    multi-second step would read as a silent worker and trigger a
+    spurious SIGKILL. Monotonic readings are only meaningful as
+    differences within one process. *)
+
+val now : unit -> float
+(** Seconds from an arbitrary fixed origin; never decreases. *)

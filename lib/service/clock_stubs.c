@@ -1,0 +1,39 @@
+/* Monotonic clock for the campaign service's liveness timers.
+
+   Unix.gettimeofday is wall time: an NTP step (or a sysadmin's date -s)
+   jumps it by seconds, which the coordinator would read as a heartbeat
+   or progress timeout and answer with SIGKILL. CLOCK_MONOTONIC cannot
+   step backwards or forwards, only tick. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+
+CAMLprim value aat_service_monotonic_now(value unit)
+{
+  (void)unit;
+  return caml_copy_double((double)GetTickCount64() / 1000.0);
+}
+
+#else
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value aat_service_monotonic_now(value unit)
+{
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+#endif
+  /* last resort: wall time (pre-POSIX-2001 systems only) */
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
+  }
+}
+#endif

@@ -1,6 +1,6 @@
 (* The sharded multi-process campaign service. See service.mli for the
    protocol and the determinism contract; docs/CAMPAIGN.md for the
-   design discussion. *)
+   design discussion and docs/ROBUSTNESS.md for the failure model. *)
 
 module Json = Aat_telemetry.Jsonx
 module Telemetry = Aat_telemetry.Telemetry
@@ -9,15 +9,23 @@ module Runner = Aat_campaign.Runner
 module Spec_io = Aat_obs.Spec_io
 module Recorder = Aat_obs.Recorder
 module Trace = Aat_obs.Trace
+module Rng = Aat_util.Rng
+
+type failure = { slot : int; restarts : int; cause : string }
 
 type manifest = {
   tasks : int;
   computed : int;
   resumed : int;
+  quarantined : int;
   requeued_shards : int;
   worker_restarts : int;
+  protocol_errors : int;
+  progress_kills : int;
   workers : int;
   shards : int;
+  degraded : bool;
+  failures : failure list;
 }
 
 type status = Completed | Halted of { cells_done : int }
@@ -77,9 +85,16 @@ let cell_msg ~task ~task_seed payload =
     | Ok o -> [ ("outcome", o) ]
     | Error e -> [ ("error", Json.Str e) ])
 
+let protocol_error_msg detail =
+  Json.Obj [ ("type", Json.Str "protocol-error"); ("detail", Json.Str detail) ]
+
 let simple_msg ty = Json.Obj [ ("type", Json.Str ty) ]
 
-let send fd j = Wire.write_frame fd (Json.to_string j)
+(* Every frame write goes through the wire-chaos injector; with the
+   empty plan this is exactly [Wire.write_frame]. *)
+let chaos_send chaos fd j =
+  let frame = Wire.encode (Json.to_string j) in
+  Chaos.apply chaos frame ~write:(fun b -> Wire.write_all fd b 0 (Bytes.length b))
 
 let int_field name j =
   match Option.bind (Json.member name j) Json.to_int with
@@ -101,14 +116,21 @@ let run_cell spec ~task_seed =
     Ok (Campaign.json_of_outcome (runner.Runner.run ~seed:engine_seed ()))
   with exn -> Error (Printexc.to_string exn)
 
-let worker_main fd =
+let worker_main ~chaos fd =
   let reader = Wire.Reader.create fd in
   let write_mutex = Mutex.create () in
   let locked_send j =
     Mutex.lock write_mutex;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock write_mutex)
-      (fun () -> send fd j)
+      (fun () -> chaos_send chaos fd j)
+  in
+  (* A frame the checksum rejects means the coordinator's bytes were
+     mangled in flight: report what we saw (best effort) and die — the
+     coordinator requeues our shard remainder and respawns the slot. *)
+  let protocol_failure detail =
+    (try locked_send (protocol_error_msg detail) with _ -> ());
+    Unix._exit 70
   in
   let inbox = Queue.create () in
   let rec next_msg () =
@@ -117,13 +139,19 @@ let worker_main fd =
       match Wire.Reader.poll reader with
       | Wire.Reader.Eof -> None
       | Wire.Reader.Frames fs ->
-          List.iter (fun f -> Queue.add f inbox) fs;
+          List.iter
+            (function
+              | Ok f -> Queue.add f inbox
+              | Error e ->
+                  protocol_failure
+                    ("worker: " ^ Wire.Reader.error_to_string e))
+            fs;
           next_msg ()
   in
   let parse payload =
     match Json.of_string payload with
     | Ok j -> j
-    | Error e -> raise (Service_error ("worker: malformed frame: " ^ e))
+    | Error e -> protocol_failure ("worker: frame is not JSON: " ^ e)
   in
   (* The handshake: the coordinator speaks first. *)
   let spec, heartbeat_period =
@@ -232,14 +260,41 @@ let checkpoint ~dir ~spec ~task ~task_seed outcome =
   Recorder.write_file tmp record;
   Sys.rename tmp path
 
+(* Untrusted files never block a resume: they are moved aside into
+   <record-dir>/quarantine/ (numbered if the name is taken) for post
+   mortem inspection, and their cells recomputed. *)
+let quarantine_file ~dir path =
+  let qdir = Filename.concat dir "quarantine" in
+  mkdir_p qdir;
+  let base = Filename.basename path in
+  let rec fresh k =
+    let candidate =
+      if k = 0 then Filename.concat qdir base
+      else Filename.concat qdir (Printf.sprintf "%s.%d" base k)
+    in
+    if Sys.file_exists candidate then fresh (k + 1) else candidate
+  in
+  Sys.rename path (fresh 0)
+
 (* Restore finished cells from a previous (interrupted) invocation. A
    checkpoint is accepted only if it parses as a flight record, its
-   embedded spec structurally equals ours and its task seed matches the
-   schedule — anything else (corrupt file, drifted spec, renamed cell)
-   is recomputed rather than trusted. *)
+   embedded spec structurally equals ours, its task seed matches the
+   schedule *and* its outcome still hashes to the embedded digest.
+   Corrupt or truncated files — including stale `.tmp` files left by a
+   SIGKILLed worker or coordinator — are quarantined and their cells
+   recomputed; a drifted-spec record is simply left untrusted (another
+   campaign may own it) and the cell recomputed over it. *)
 let load_checkpoints ~dir ~spec ~seeds cells =
   let resumed = ref 0 in
-  if Sys.file_exists dir && Sys.is_directory dir then
+  let quarantined = ref 0 in
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    Array.iter
+      (fun entry ->
+        if Filename.check_suffix entry ".tmp" then begin
+          quarantine_file ~dir (Filename.concat dir entry);
+          incr quarantined
+        end)
+      (Sys.readdir dir);
     Array.iteri
       (fun task seed ->
         let path = cell_path dir task in
@@ -248,14 +303,21 @@ let load_checkpoints ~dir ~spec ~seeds cells =
           | Ok r
             when r.Recorder.spec = spec
                  && r.Recorder.task_seed = seed -> (
-              match r.Recorder.outcome with
-              | Some o ->
-                  cells.(task) <- Some (Ok o);
+              match Recorder.verify_outcome r with
+              | Ok () ->
+                  cells.(task) <-
+                    Some (Ok (Option.get r.Recorder.outcome));
                   incr resumed
-              | None -> ())
-          | _ -> ())
-      seeds;
-  !resumed
+              | Error _ ->
+                  quarantine_file ~dir path;
+                  incr quarantined)
+          | Ok _ -> () (* drifted spec/seed: recompute, leave the file *)
+          | Error _ ->
+              quarantine_file ~dir path;
+              incr quarantined)
+      seeds
+  end;
+  (!resumed, !quarantined)
 
 (* ------------------------------------------------------------------ *)
 (* coordinator *)
@@ -264,14 +326,18 @@ type worker = {
   slot : int;
   mutable pid : int;
   mutable reader : Wire.Reader.t;
+  mutable chaos : Chaos.state;  (* coordinator-side injector for this fd *)
   mutable shard : (int * int) list;  (* in-flight (task, task_seed) *)
-  mutable received : int list;  (* tasks delivered from the shard *)
-  mutable last_seen : float;
+  mutable last_seen : float;  (* monotonic: last byte from the worker *)
+  mutable last_progress : float;  (* monotonic: last fresh cell / assign *)
   mutable restarts : int;
   mutable alive : bool;
+  mutable respawn_at : float option;  (* monotonic backoff deadline *)
+  mutable failure : string option;  (* permanent: respawn budget gone *)
+  jitter : Rng.t;  (* seeded backoff jitter stream *)
 }
 
-let spawn ~spec ~heartbeat_period ~other_fds =
+let spawn ~spec ~heartbeat_period ~wire_chaos ~slot ~incarnation ~other_fds =
   let parent_fd, child_fd =
     Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
   in
@@ -279,12 +345,18 @@ let spawn ~spec ~heartbeat_period ~other_fds =
   | 0 ->
       Unix.close parent_fd;
       List.iter (fun fd -> try Unix.close fd with _ -> ()) other_fds;
-      (try worker_main child_fd with _ -> ());
+      let chaos =
+        Chaos.endpoint wire_chaos ~role:Chaos.Worker ~slot ~incarnation
+      in
+      (try worker_main ~chaos child_fd with _ -> ());
       Unix._exit 0
   | pid ->
       Unix.close child_fd;
-      send parent_fd (hello_msg ~spec ~heartbeat_period);
-      (pid, parent_fd)
+      let chaos =
+        Chaos.endpoint wire_chaos ~role:Chaos.Coordinator ~slot ~incarnation
+      in
+      chaos_send chaos parent_fd (hello_msg ~spec ~heartbeat_period);
+      (pid, parent_fd, chaos)
 
 let chunks size l =
   let rec go acc cur k = function
@@ -296,7 +368,8 @@ let chunks size l =
   go [] [] 0 l
 
 let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
-    ?(heartbeat_timeout = 30.) ?(max_respawns = 2) ?kill_worker_after_cells
+    ?(heartbeat_timeout = 30.) ?(max_respawns = 2) ?(respawn_backoff = 0.5)
+    ?progress_timeout ?(wire_chaos = Chaos.none) ?kill_worker_after_cells
     ?halt_after_cells spec =
   match Campaign.Spec.validate spec with
   | Error m -> Error ("Service.run: " ^ m)
@@ -307,9 +380,9 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
         Campaign.task_seeds ~base_seed:spec.Campaign.Spec.base_seed ~count:reps
       in
       let cells = Array.make reps None in
-      let resumed =
+      let resumed, quarantined =
         match record_dir with
-        | None -> 0
+        | None -> (0, 0)
         | Some dir ->
             let r = load_checkpoints ~dir ~spec ~seeds cells in
             mkdir_p dir;
@@ -318,8 +391,12 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
       let pending =
         List.filter (fun i -> cells.(i) = None) (List.init reps Fun.id)
       in
-      let finish ~status ~computed ~requeued_shards ~worker_restarts ~spawned
-          ~shards =
+      let computed = ref 0 in
+      let requeued_shards = ref 0 in
+      let worker_restarts = ref 0 in
+      let protocol_errors = ref 0 in
+      let progress_kills = ref 0 in
+      let finish ~status ~spawned ~shards ~failures =
         let aggregate =
           Array.fold_left
             (fun agg c ->
@@ -336,19 +413,22 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
           manifest =
             {
               tasks = reps;
-              computed;
+              computed = !computed;
               resumed;
-              requeued_shards;
-              worker_restarts;
+              quarantined;
+              requeued_shards = !requeued_shards;
+              worker_restarts = !worker_restarts;
+              protocol_errors = !protocol_errors;
+              progress_kills = !progress_kills;
               workers = spawned;
               shards;
+              degraded = failures <> [];
+              failures;
             };
         }
       in
       if pending = [] then
-        Ok
-          (finish ~status:Completed ~computed:0 ~requeued_shards:0
-             ~worker_restarts:0 ~spawned:0 ~shards:0)
+        Ok (finish ~status:Completed ~spawned:0 ~shards:0 ~failures:[])
       else begin
         (* Shards are contiguous task-index runs, sized so each worker
            sees several shards: failure loses at most one shard's worth
@@ -360,9 +440,6 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
         let n_shards = List.length shards in
         let n_spawn = min workers n_shards in
         let queue = ref shards in
-        let computed = ref 0 in
-        let requeued_shards = ref 0 in
-        let worker_restarts = ref 0 in
         let kill_fired = ref false in
         let halted = ref false in
         let pool = ref [] in
@@ -374,12 +451,18 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
             !pool
         in
         let spawn_into w =
-          let pid, fd = spawn ~spec ~heartbeat_period ~other_fds:(pool_fds ()) in
+          let pid, fd, chaos =
+            spawn ~spec ~heartbeat_period ~wire_chaos ~slot:w.slot
+              ~incarnation:w.restarts ~other_fds:(pool_fds ())
+          in
+          let now = Clock.now () in
           w.pid <- pid;
           w.reader <- Wire.Reader.create fd;
+          w.chaos <- chaos;
           w.shard <- [];
-          w.received <- [];
-          w.last_seen <- Unix.gettimeofday ();
+          w.last_seen <- now;
+          w.last_progress <- now;
+          w.respawn_at <- None;
           w.alive <- true
         in
         let done_count () =
@@ -398,44 +481,57 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
               end)
             !pool
         in
-        let handle_death w =
+        (* A dead worker's unfinished shard remainder goes back to the
+           *front* of the queue (it holds the lowest outstanding task
+           indices; survivors should close the gap before opening new
+           work), and the slot is rescheduled with exponential backoff
+           plus seeded jitter — or, once its budget is gone, marked as
+           a permanent failure and the campaign degrades onto the
+           surviving pool. *)
+        let handle_death ~cause w =
           if w.alive then begin
             w.alive <- false;
             (try Unix.close (Wire.Reader.fd w.reader) with _ -> ());
             (try ignore (Unix.waitpid [] w.pid) with _ -> ());
             let remaining =
-              List.filter
-                (fun (t, _) ->
-                  (not (List.mem t w.received)) && cells.(t) = None)
-                w.shard
+              List.filter (fun (t, _) -> cells.(t) = None) w.shard
             in
             w.shard <- [];
-            w.received <- [];
             if remaining <> [] then begin
-              (* Front of the queue: a crashed shard holds the lowest
-                 outstanding task indices, and survivors should close
-                 the gap before opening new work. *)
               queue := remaining :: !queue;
               incr requeued_shards
             end;
-            if w.restarts < max_respawns && not !halted then begin
-              w.restarts <- w.restarts + 1;
-              incr worker_restarts;
-              spawn_into w
-            end
+            if not !halted then
+              if w.restarts < max_respawns then begin
+                let delay =
+                  respawn_backoff
+                  *. (2. ** float_of_int w.restarts)
+                  *. (0.5 +. Rng.float w.jitter 1.0)
+                in
+                w.respawn_at <- Some (Clock.now () +. delay)
+              end
+              else w.failure <- Some cause
           end
         in
+        (* A frame this worker sent that the checksum (or JSON layer)
+           rejects poisons the whole connection: we cannot tell which
+           later bytes to trust, so kill, requeue, respawn with backoff. *)
+        let poison w detail =
+          incr protocol_errors;
+          (try Unix.kill w.pid Sys.sigkill with _ -> ());
+          handle_death ~cause:("protocol error: " ^ detail) w
+        in
         let safe_send w j =
-          try send (Wire.Reader.fd w.reader) j
+          try chaos_send w.chaos (Wire.Reader.fd w.reader) j
           with
           | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
           ->
-            handle_death w
+            handle_death ~cause:"worker connection lost on send" w
         in
         let handle_cell w j =
           let task = int_field "task" j in
           if task < 0 || task >= reps then
-            raise (Service_error "coordinator: cell task out of range");
+            raise (Service_error "cell task out of range");
           let payload =
             match Json.member "outcome" j with
             | Some o -> Ok o
@@ -446,7 +542,7 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
                 | Some e -> Error e
                 | None -> Error "malformed cell message")
           in
-          w.received <- task :: w.received;
+          w.last_progress <- Clock.now ();
           if cells.(task) = None then begin
             cells.(task) <- Some payload;
             incr computed;
@@ -466,23 +562,51 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
         in
         let handle_msg w payload =
           match Json.of_string payload with
-          | Error e ->
-              raise (Service_error ("coordinator: malformed frame: " ^ e))
+          | Error e -> poison w ("frame is not JSON: " ^ e)
           | Ok j -> (
               match msg_type j with
-              | "cell" -> handle_cell w j
+              | "cell" -> (
+                  try handle_cell w j
+                  with Service_error m -> poison w m)
               | "shard-done" ->
-                  w.shard <- [];
-                  w.received <- []
+                  (* Cells the wire ate (dropped/garbled frames) are
+                     detected here: the shard is acknowledged complete
+                     but their slots are still empty — requeue them. *)
+                  let missing =
+                    List.filter (fun (t, _) -> cells.(t) = None) w.shard
+                  in
+                  if missing <> [] then begin
+                    queue := missing :: !queue;
+                    incr requeued_shards
+                  end;
+                  w.shard <- []
+              | "protocol-error" ->
+                  let detail =
+                    match
+                      Option.bind (Json.member "detail" j) Json.to_str
+                    with
+                    | Some d -> d
+                    | None -> "unspecified"
+                  in
+                  poison w ("worker reported: " ^ detail)
               | "ready" | "heartbeat" -> ()
               | _ -> ())
         in
         let handle_readable w =
           match Wire.Reader.poll w.reader with
-          | Wire.Reader.Eof -> handle_death w
+          | Wire.Reader.Eof -> handle_death ~cause:"worker died (eof)" w
           | Wire.Reader.Frames fs ->
-              w.last_seen <- Unix.gettimeofday ();
-              List.iter (fun f -> if not !halted then handle_msg w f) fs
+              w.last_seen <- Clock.now ();
+              let rec process = function
+                | [] -> ()
+                | _ when (not w.alive) || !halted -> ()
+                | Ok payload :: rest ->
+                    handle_msg w payload;
+                    process rest
+                | Error e :: _ ->
+                    poison w (Wire.Reader.error_to_string e)
+              in
+              process fs
         in
         let assign w =
           match !queue with
@@ -490,8 +614,52 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
           | shard :: rest ->
               queue := rest;
               w.shard <- shard;
-              w.received <- [];
+              w.last_progress <- Clock.now ();
               safe_send w (shard_msg shard)
+        in
+        let respawn_due now =
+          List.iter
+            (fun w ->
+              match w.respawn_at with
+              | Some at when now >= at ->
+                  (* Fire only when there is queued work for the new
+                     process; an expired deadline with an empty queue
+                     stays armed, so capacity comes back the moment a
+                     surviving worker dies with work in flight. *)
+                  if !queue <> [] then begin
+                    w.respawn_at <- None;
+                    w.restarts <- w.restarts + 1;
+                    incr worker_restarts;
+                    spawn_into w
+                  end
+              | _ -> ())
+            !pool
+        in
+        let next_respawn () =
+          List.fold_left
+            (fun acc w ->
+              match (w.respawn_at, acc) with
+              | None, acc -> acc
+              | Some at, None -> Some at
+              | Some at, Some best -> Some (min at best))
+            None !pool
+        in
+        let hard_failure () =
+          let causes =
+            List.filter_map
+              (fun w ->
+                Option.map
+                  (fun c ->
+                    Printf.sprintf "slot %d (%d respawns): %s" w.slot
+                      w.restarts c)
+                  w.failure)
+              !pool
+          in
+          raise
+            (Service_error
+               ("all worker slots exhausted their respawn budgets with work \
+                 outstanding — "
+               ^ String.concat "; " causes))
         in
         let serve () =
           for slot = 0 to n_spawn - 1 do
@@ -500,11 +668,19 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
                 slot;
                 pid = 0;
                 reader = Wire.Reader.create Unix.stdin (* replaced *);
+                chaos =
+                  Chaos.endpoint Chaos.none ~role:Chaos.Coordinator ~slot
+                    ~incarnation:0 (* replaced *);
                 shard = [];
-                received = [];
                 last_seen = 0.;
+                last_progress = 0.;
                 restarts = 0;
                 alive = false;
+                respawn_at = None;
+                failure = None;
+                jitter =
+                  Rng.create
+                    (spec.Campaign.Spec.base_seed + (0x2545F491 * (slot + 1)));
               }
             in
             pool := !pool @ [ w ];
@@ -512,12 +688,18 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
           done;
           List.iter assign !pool;
           while (not !halted) && done_count () < reps do
+            respawn_due (Clock.now ());
             (match List.filter (fun w -> w.alive) !pool with
-            | [] ->
-                raise
-                  (Service_error
-                     "all workers exhausted their respawn budget with work \
-                      outstanding")
+            | [] -> (
+                (* No live worker. If a respawn is scheduled, sleep up
+                   to its deadline; otherwise every slot's budget is
+                   spent with work outstanding — the hard failure. *)
+                match next_respawn () with
+                | Some at ->
+                    let wait = at -. Clock.now () in
+                    if wait > 0. then
+                      Unix.sleepf (min heartbeat_period (max 0.005 wait))
+                | None -> hard_failure ())
             | alive -> (
                 let fds = List.map (fun w -> Wire.Reader.fd w.reader) alive in
                 match Unix.select fds [] [] heartbeat_period with
@@ -530,29 +712,51 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
                           && List.mem (Wire.Reader.fd w.reader) readable
                         then handle_readable w)
                       alive;
-                    let now = Unix.gettimeofday () in
+                    let now = Clock.now () in
                     List.iter
                       (fun w ->
-                        if
-                          w.alive
-                          && now -. w.last_seen > heartbeat_timeout
-                        then begin
-                          (try Unix.kill w.pid Sys.sigkill with _ -> ());
-                          handle_death w
-                        end)
+                        if w.alive then
+                          if now -. w.last_seen > heartbeat_timeout then begin
+                            (try Unix.kill w.pid Sys.sigkill with _ -> ());
+                            handle_death ~cause:"heartbeat timeout" w
+                          end
+                          else
+                            match progress_timeout with
+                            | Some limit
+                              when w.shard <> []
+                                   && now -. w.last_progress > limit ->
+                                (* Livelocked: heartbeats arrive but no
+                                   cells ship (e.g. a shard frame the
+                                   wire ate). Kill and requeue. *)
+                                incr progress_kills;
+                                (try Unix.kill w.pid Sys.sigkill
+                                 with _ -> ());
+                                handle_death
+                                  ~cause:
+                                    "progress timeout (heartbeats but no \
+                                     cells)"
+                                  w
+                            | _ -> ())
                       !pool));
             if not !halted then
               List.iter
                 (fun w -> if w.alive && w.shard = [] then assign w)
                 !pool
           done;
+          let failures () =
+            List.filter_map
+              (fun w ->
+                Option.map
+                  (fun cause ->
+                    { slot = w.slot; restarts = w.restarts; cause })
+                  w.failure)
+              !pool
+          in
           if !halted then begin
             kill_all ();
             finish
               ~status:(Halted { cells_done = done_count () })
-              ~computed:!computed ~requeued_shards:!requeued_shards
-              ~worker_restarts:!worker_restarts ~spawned:n_spawn
-              ~shards:n_shards
+              ~spawned:n_spawn ~shards:n_shards ~failures:(failures ())
           end
           else begin
             List.iter
@@ -566,10 +770,8 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
                   w.alive <- false
                 end)
               !pool;
-            finish ~status:Completed ~computed:!computed
-              ~requeued_shards:!requeued_shards
-              ~worker_restarts:!worker_restarts ~spawned:n_spawn
-              ~shards:n_shards
+            finish ~status:Completed ~spawned:n_spawn ~shards:n_shards
+              ~failures:(failures ())
           end
         in
         match serve () with
@@ -630,8 +832,23 @@ let manifest_json r =
       ("tasks", num m.tasks);
       ("computed", num m.computed);
       ("resumed", num m.resumed);
+      ("quarantined", num m.quarantined);
       ("requeued_shards", num m.requeued_shards);
       ("worker_restarts", num m.worker_restarts);
+      ("protocol_errors", num m.protocol_errors);
+      ("progress_kills", num m.progress_kills);
       ("workers", num m.workers);
       ("shards", num m.shards);
+      ("degraded", Json.Bool m.degraded);
+      ( "failures",
+        Json.Arr
+          (List.map
+             (fun (f : failure) ->
+               Json.Obj
+                 [
+                   ("slot", num f.slot);
+                   ("restarts", num f.restarts);
+                   ("cause", Json.Str f.cause);
+                 ])
+             m.failures) );
     ]

@@ -1,25 +1,88 @@
-(* Length-prefixed framing: 4-byte big-endian payload length + payload.
-   See wire.mli. *)
+(* Checksummed framing: 4-byte magic + 4-byte big-endian payload length
+   + 4-byte big-endian CRC32 of the payload + payload. See wire.mli. *)
 
 let max_frame = 64 * 1024 * 1024
 (* A frame larger than this is a corrupted length prefix, not a real
-   message: fail loudly instead of allocating garbage. *)
+   message: surface a typed error instead of allocating garbage. *)
 
-let write_frame fd payload =
+(* Non-ASCII magic: JSON payloads are pure ASCII, so a resync scan can
+   never mistake payload text for a frame boundary. *)
+let magic = "\xA7\x4A\xA7\x01"
+let magic_len = 4
+let header_len = magic_len + 4 + 4
+
+(* ------------------------------------------------------------------ *)
+(* CRC32 (IEEE 802.3, reflected), table-driven *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32_sub buf off len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  for i = off to off + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.get buf i)))) 0xFFl)
+    in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let crc32_string s =
+  crc32_sub (Bytes.unsafe_of_string s) 0 (String.length s)
+
+(* ------------------------------------------------------------------ *)
+(* encoding *)
+
+let encode payload =
   let len = String.length payload in
-  if len > max_frame then invalid_arg "Wire.write_frame: frame too large";
-  let buf = Bytes.create (4 + len) in
-  Bytes.set_int32_be buf 0 (Int32.of_int len);
-  Bytes.blit_string payload 0 buf 4 len;
-  let total = 4 + len in
+  if len > max_frame then invalid_arg "Wire.encode: frame too large";
+  let buf = Bytes.create (header_len + len) in
+  Bytes.blit_string magic 0 buf 0 magic_len;
+  Bytes.set_int32_be buf magic_len (Int32.of_int len);
+  Bytes.set_int32_be buf (magic_len + 4) (crc32_string payload);
+  Bytes.blit_string payload 0 buf header_len len;
+  buf
+
+let write_all fd buf off len =
   let sent = ref 0 in
-  while !sent < total do
-    match Unix.write fd buf !sent (total - !sent) with
+  while !sent < len do
+    match Unix.write fd buf (off + !sent) (len - !sent) with
     | n -> sent := !sent + n
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
+let write_frame fd payload =
+  let buf = encode payload in
+  write_all fd buf 0 (Bytes.length buf)
+
+(* ------------------------------------------------------------------ *)
+(* reading *)
+
 module Reader = struct
+  type error =
+    | Garbage of int
+    | Oversized_frame of int
+    | Checksum_mismatch of { expected : int32; received : int32 }
+
+  let pp_error ppf = function
+    | Garbage n -> Format.fprintf ppf "%d byte%s of garbage before a frame boundary" n (if n = 1 then "" else "s")
+    | Oversized_frame n -> Format.fprintf ppf "frame length %d out of range" n
+    | Checksum_mismatch { expected; received } ->
+        Format.fprintf ppf "frame checksum mismatch (header %08lx, payload %08lx)"
+          expected received
+
+  let error_to_string e = Format.asprintf "%a" pp_error e
+
   type t = {
     fd : Unix.file_descr;
     mutable pending : string;  (* bytes received but not yet framed *)
@@ -29,35 +92,109 @@ module Reader = struct
   let create fd = { fd; pending = ""; chunk = Bytes.create 65536 }
   let fd t = t.fd
 
-  type event = Frames of string list | Eof
+  type event = Frames of (string, error) result list | Eof
 
-  (* Split [pending] into every complete frame it holds. *)
+  (* Index of the first full magic at or after [pos] in [s], if any. *)
+  let find_magic s pos =
+    let len = String.length s in
+    let limit = len - magic_len in
+    let rec go i =
+      if i > limit then None
+      else
+        match String.index_from_opt s i magic.[0] with
+        | None -> None
+        | Some j ->
+            if j > limit then None
+            else if String.sub s j magic_len = magic then Some j
+            else go (j + 1)
+    in
+    go pos
+
+  (* Longest suffix of [s] starting at or after [pos] that is a proper
+     prefix of the magic — bytes we must keep pending because the rest
+     of the magic may still arrive. *)
+  let magic_prefix_at s pos =
+    let len = String.length s in
+    let rec go i =
+      if i >= len then len
+      else
+        let avail = len - i in
+        if avail < magic_len && String.sub s i avail = String.sub magic 0 avail
+        then i
+        else go (i + 1)
+    in
+    go (max pos (len - magic_len + 1))
+
+  (* Split [pending] into every complete frame it holds, surfacing
+     corruption as typed errors and resynchronizing on the next magic.
+     Never raises. *)
   let drain t =
-    let frames = ref [] in
+    let out = ref [] in
+    let emit x = out := x :: !out in
     let pos = ref 0 in
-    let len = String.length t.pending in
+    let s = t.pending in
+    let len = String.length s in
     let continue = ref true in
     while !continue do
-      if len - !pos < 4 then continue := false
+      (* Resync: skip to the next frame boundary, reporting what we
+         skipped as one garbage event. *)
+      let at_magic =
+        len - !pos >= magic_len && String.sub s !pos magic_len = magic
+      in
+      if not at_magic then begin
+        match find_magic s !pos with
+        | Some j ->
+            emit (Error (Garbage (j - !pos)));
+            pos := j
+        | None ->
+            (* No frame boundary in what's left. Keep only a trailing
+               partial magic (the boundary may be split across reads);
+               anything before it is garbage — but only report it once
+               the bytes are provably not a growing partial header. *)
+            let keep = magic_prefix_at s !pos in
+            if len - !pos < magic_len && keep = !pos then ()
+            else begin
+              if keep > !pos then emit (Error (Garbage (keep - !pos)));
+              pos := keep
+            end;
+            continue := false
+      end
+      else if len - !pos < header_len then continue := false
       else
-        let flen = Int32.to_int (String.get_int32_be t.pending !pos) in
-        if flen < 0 || flen > max_frame then
-          failwith "Wire.Reader: corrupted frame length"
-        else if len - !pos - 4 < flen then continue := false
+        let flen = Int32.to_int (String.get_int32_be s (!pos + magic_len)) in
+        if flen < 0 || flen > max_frame then begin
+          emit (Error (Oversized_frame flen));
+          pos := !pos + 1 (* past this magic; resync *)
+        end
+        else if len - !pos - header_len < flen then continue := false
         else begin
-          frames := String.sub t.pending (!pos + 4) flen :: !frames;
-          pos := !pos + 4 + flen
+          let expected = String.get_int32_be s (!pos + magic_len + 4) in
+          let payload = String.sub s (!pos + header_len) flen in
+          let received = crc32_string payload in
+          if received = expected then begin
+            emit (Ok payload);
+            pos := !pos + header_len + flen
+          end
+          else begin
+            (* Torn or corrupted frame: the claimed extent is not
+               trustworthy, so advance one byte and rescan — a valid
+               next frame inside the claimed payload is recovered. *)
+            emit (Error (Checksum_mismatch { expected; received }));
+            pos := !pos + 1
+          end
         end
     done;
-    t.pending <- String.sub t.pending !pos (len - !pos);
-    List.rev !frames
+    t.pending <- String.sub s !pos (len - !pos);
+    List.rev !out
+
+  let feed t bytes =
+    t.pending <- t.pending ^ bytes;
+    drain t
 
   let poll t =
     match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
     | 0 -> Eof
-    | n ->
-        t.pending <- t.pending ^ Bytes.sub_string t.chunk 0 n;
-        Frames (drain t)
+    | n -> Frames (feed t (Bytes.sub_string t.chunk 0 n))
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> Frames []
     | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> Eof
 end
