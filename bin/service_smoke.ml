@@ -58,6 +58,108 @@ let cell_files dir =
    machinery (checksum rejection, resync, shard re-queue, backoff
    respawn, progress timeout, checkpoint verification) must absorb all
    of it: bit-identical final stream, no permanent slot failure. *)
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let contains ~needle hay =
+  let ln = String.length hay and lf = String.length needle in
+  let rec at i = i + lf <= ln && (String.sub hay i lf = needle || at (i + 1)) in
+  at 0
+
+(* The live-status file the chaos leg writes (see docs/OBSERVABILITY.md):
+   its final rewrite must show a completed campaign whose recovery
+   counters match the drill — respawns and requeues happened, nothing
+   was quarantined — and the Prometheus twin must carry the
+   deterministic cell counter. *)
+let check_status_file path =
+  let json =
+    match Telemetry.Json.of_string (String.trim (read_file path)) with
+    | Ok j -> j
+    | Error e -> die "chaos drill: %s unparseable: %s" path e
+  in
+  let str name = Option.bind (Telemetry.Json.member name json) Telemetry.Json.to_str in
+  let num name =
+    Option.bind (Telemetry.Json.member name json) Telemetry.Json.to_float
+  in
+  let want_str name v =
+    if str name <> Some v then
+      die "chaos drill: %s: expected %s=%S" path name v
+  in
+  want_str "type" "service-status";
+  want_str "status" "completed";
+  let count name = match num name with Some v -> int_of_float v | None -> -1 in
+  if count "cells_done" <> spec.Campaign.Spec.repetitions then
+    die "chaos drill: %s: cells_done %d <> %d" path (count "cells_done")
+      spec.Campaign.Spec.repetitions;
+  if count "worker_restarts" < 1 then
+    die "chaos drill: %s shows no worker respawn" path;
+  if count "requeued_shards" < 1 then
+    die "chaos drill: %s shows no requeued shard" path;
+  if count "quarantined" <> 0 then
+    die "chaos drill: %s shows quarantined checkpoints" path;
+  let prom = read_file (path ^ ".prom") in
+  if
+    not
+      (contains
+         ~needle:
+           (Printf.sprintf "campaign_cells_total %d"
+              spec.Campaign.Spec.repetitions)
+         prom)
+  then die "chaos drill: %s.prom lacks the campaign_cells_total series" path
+
+(* The Chrome trace the chaos leg writes must be well-formed: every
+   (pid, tid) row's B/E events balance (close-time pair emission plus
+   the coordinator's close_all guarantee it even under SIGKILL span
+   loss), and the event array is time-sorted. *)
+let check_trace_file path =
+  let json =
+    match Telemetry.Json.of_string (String.trim (read_file path)) with
+    | Ok j -> j
+    | Error e -> die "chaos drill: %s unparseable: %s" path e
+  in
+  let events =
+    match
+      Option.bind (Telemetry.Json.member "traceEvents" json) Telemetry.Json.to_list
+    with
+    | Some evs -> evs
+    | None -> die "chaos drill: %s has no traceEvents array" path
+  in
+  let field name ev = Telemetry.Json.member name ev in
+  let fnum name ev = Option.bind (field name ev) Telemetry.Json.to_float in
+  let depth = Hashtbl.create 8 in
+  let durations = ref 0 in
+  let last_ts = ref neg_infinity in
+  List.iter
+    (fun ev ->
+      let ph =
+        Option.value (Option.bind (field "ph" ev) Telemetry.Json.to_str) ~default:"?"
+      in
+      let ts = Option.value (fnum "ts" ev) ~default:nan in
+      (* metadata events carry a sort-key ts of -1; real events must be
+         globally non-decreasing *)
+      if ph <> "M" then begin
+        if ts < !last_ts then die "chaos drill: %s not time-sorted" path;
+        last_ts := ts
+      end;
+      let key = (fnum "pid" ev, fnum "tid" ev) in
+      let d = try Hashtbl.find depth key with Not_found -> 0 in
+      match ph with
+      | "B" ->
+          incr durations;
+          Hashtbl.replace depth key (d + 1)
+      | "E" ->
+          if d <= 0 then die "chaos drill: %s has an E without a B" path;
+          Hashtbl.replace depth key (d - 1)
+      | _ -> ())
+    events;
+  Hashtbl.iter
+    (fun _ d -> if d <> 0 then die "chaos drill: %s has unbalanced spans" path)
+    depth;
+  if !durations = 0 then die "chaos drill: %s recorded no spans" path
+
 let chaos_drill () =
   let plan =
     match
@@ -66,18 +168,22 @@ let chaos_drill () =
     | Ok p -> p
     | Error e -> die "chaos drill: bad plan: %s" e
   in
-  let run ?record_dir ?kill_worker_after_cells ?halt_after_cells () =
+  let run ?record_dir ?kill_worker_after_cells ?halt_after_cells ?status_out
+      ?trace_events () =
     Service.run ~workers:2 ?record_dir ~heartbeat_period:0.05
       ~heartbeat_timeout:5. ~max_respawns:50 ~respawn_backoff:0.02
-      ~progress_timeout:1. ~wire_chaos:plan ?kill_worker_after_cells
-      ?halt_after_cells spec
+      ~progress_timeout:1. ~wire_chaos:plan ?status_out ?trace_events
+      ?kill_worker_after_cells ?halt_after_cells spec
   in
   let baseline = Campaign.jsonl_string (Campaign.run ~workers:1 spec) in
 
   (* Leg 1: chaos + worker SIGKILL, no checkpoints — must complete
-     clean on wire recovery alone. *)
+     clean on wire recovery alone, while publishing live status,
+     Prometheus and Chrome-trace files (CI uploads chaos-*.json* on
+     failure). *)
+  let status_out = "chaos-status.json" and trace_events = "chaos-trace.json" in
   let r1 =
-    match run ~kill_worker_after_cells:3 () with
+    match run ~kill_worker_after_cells:3 ~status_out ~trace_events () with
     | Ok r -> r
     | Error e -> die "chaos drill (worker kill) failed: %s" e
   in
@@ -88,6 +194,8 @@ let chaos_drill () =
     die "chaos drill: manifest reports degradation on the clean path";
   if Service.jsonl_string r1 <> baseline then
     die "chaos drill: stream diverged from the single-process run";
+  check_status_file status_out;
+  check_trace_file trace_events;
 
   (* Leg 2: chaos + coordinator crash, then resume under the same
      chaos; checkpoints must verify and the stream must not move. *)

@@ -486,9 +486,31 @@ let campaign_run_cmd =
              service's crash-resume checkpoint directory; incompatible \
              with --trace-dir, --repro-dir and --profile.")
   in
+  let status_out_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "status-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a status JSON with the campaign's deterministic metric \
+             snapshot to $(docv) (atomically), plus a Prometheus text twin \
+             at $(docv).prom. In-process the file is written once at \
+             completion; with --distributed the service rewrites it live, \
+             at least once per heartbeat period. See docs/OBSERVABILITY.md.")
+  in
+  let manifest_out_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "manifest-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the end-of-run service manifest JSON to $(docv) \
+             (atomically). Requires --distributed; the stderr summary is \
+             unchanged.")
+  in
   let action protocol tree n t inputs adversary eps reps workers name out seed
       fault_plan_str chaos watchdogs trace_dir record_dir repro_dir profile
-      spec_file distributed =
+      spec_file distributed status_out manifest_out =
     let ( let* ) = Result.bind in
     let* spec =
       match spec_file with
@@ -548,11 +570,21 @@ let campaign_run_cmd =
           else Ok ()
         in
         let w = if w <= 0 then Pool.default_workers () else w in
-        let* result = Service.run ~workers:w ?record_dir spec in
+        let* result = Service.run ~workers:w ?record_dir ?status_out spec in
         write_stream_to out (fun oc -> Service.write_jsonl oc result);
+        (match manifest_out with
+        | None -> ()
+        | Some path ->
+            Obs.Metrics.write_atomic ~path
+              (Telemetry.Json.to_string (Service.manifest_json result) ^ "\n"));
         aggregate_summary name result.Service.aggregate;
         Ok ()
     | None ->
+    let* () =
+      if manifest_out <> None then
+        Error "--manifest-out requires --distributed (or 'campaign serve')"
+      else Ok ()
+    in
     let workers = if workers <= 0 then Pool.default_workers () else workers in
     let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755 in
     let cell_path dir task pattern = Filename.concat dir (Printf.sprintf pattern task) in
@@ -627,6 +659,36 @@ let campaign_run_cmd =
               record)
           (Recorder.failing_cells result));
     write_stream_to out (fun oc -> Campaign.write_jsonl oc result);
+    (* In-process --status-out: fold every outcome through the same
+       [record_cell] the service coordinator uses, then write the status
+       and Prometheus files once at completion — the deterministic
+       campaign_* series are bit-identical to any service run's. *)
+    (match status_out with
+    | None -> ()
+    | Some path ->
+        let registry = Obs.Metrics.create () in
+        Array.iter
+          (fun (tr : Campaign.task_result) ->
+            Obs.Metrics.record_cell registry
+              (Result.map Campaign.json_of_outcome tr.Campaign.result))
+          result.Campaign.results;
+        let snap = Obs.Metrics.snapshot registry in
+        let status_json =
+          Telemetry.Json.Obj
+            [
+              ("type", Telemetry.Json.Str "campaign-status");
+              ("format_version", Telemetry.Json.Num 1.);
+              ("name", Telemetry.Json.Str name);
+              ("status", Telemetry.Json.Str "completed");
+              ("cells_total", Telemetry.Json.Num (float_of_int reps));
+              ("cells_done", Telemetry.Json.Num (float_of_int reps));
+              ("metrics", Obs.Metrics.Snapshot.to_json snap);
+            ]
+        in
+        Obs.Metrics.write_atomic ~path
+          (Telemetry.Json.to_string status_json ^ "\n");
+        Obs.Metrics.write_atomic ~path:(path ^ ".prom")
+          (Obs.Metrics.Snapshot.to_prometheus snap));
     aggregate_summary name result.Campaign.aggregate;
     Ok ()
   in
@@ -636,7 +698,8 @@ let campaign_run_cmd =
      $ inputs_term $ adversary_term $ eps_term $ reps_term $ workers_term
      $ name_term $ out_term $ seed_term $ fault_plan_term $ chaos_term
      $ watchdogs_term $ trace_dir_term $ record_dir_term $ repro_dir_term
-     $ profile_term $ spec_file_term $ distributed_term))
+     $ profile_term $ spec_file_term $ distributed_term $ status_out_term
+     $ manifest_out_term))
 
 (* ---------- campaign serve ---------- *)
 
@@ -727,9 +790,44 @@ let campaign_serve_cmd =
              'corrupt-frame:0.05+stall:0.02:0.01+seed:7'; 'none' disables \
              (see docs/ROBUSTNESS.md).")
   in
+  let status_out_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "status-out" ] ~docv:"FILE"
+          ~doc:
+            "Atomically rewrite a live status JSON at $(docv) at least \
+             once per heartbeat period — progress counters, per-worker \
+             health (heartbeat/progress lag, backoff deadlines) and the \
+             merged metric snapshot — plus a Prometheus text twin at \
+             $(docv).prom; read it with $(b,treeaa status). See \
+             docs/OBSERVABILITY.md.")
+  in
+  let trace_events_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-events" ] ~docv:"FILE"
+          ~doc:
+            "Atomically rewrite Chrome trace-event JSON at $(docv) \
+             (open in chrome://tracing or Perfetto): the campaign root \
+             span, per-slot shard and backoff spans, kill instants, and \
+             each worker's per-cell spans with setup/rounds/checks \
+             stage sub-spans, carried over the wire by heartbeat \
+             piggyback.")
+  in
+  let manifest_out_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "manifest-out" ] ~docv:"FILE"
+          ~doc:
+            "Also write the end-of-run manifest JSON to $(docv) \
+             (atomically); the stderr manifest line is unchanged.")
+  in
   let action spec_file workers record_dir out heartbeat_period
       heartbeat_timeout max_respawns respawn_backoff progress_timeout
-      wire_chaos =
+      wire_chaos status_out trace_events manifest_out =
     let ( let* ) = Result.bind in
     let* spec = load_spec_file spec_file in
     let* () = Campaign.Spec.validate spec in
@@ -741,7 +839,8 @@ let campaign_serve_cmd =
     let workers = if workers <= 0 then Pool.default_workers () else workers in
     match
       Service.run ~workers ?record_dir ~heartbeat_period ~heartbeat_timeout
-        ~max_respawns ~respawn_backoff ?progress_timeout ~wire_chaos spec
+        ~max_respawns ~respawn_backoff ?progress_timeout ~wire_chaos
+        ?status_out ?trace_events spec
     with
     | Error e ->
         (* The hard failure: every slot's respawn budget is spent with
@@ -752,6 +851,11 @@ let campaign_serve_cmd =
         exit 4
     | Ok result ->
         write_stream_to out (fun oc -> Service.write_jsonl oc result);
+        (match manifest_out with
+        | None -> ()
+        | Some path ->
+            Obs.Metrics.write_atomic ~path
+              (Telemetry.Json.to_string (Service.manifest_json result) ^ "\n"));
         Printf.eprintf "%s\n"
           (Telemetry.Json.to_string (Service.manifest_json result));
         if result.Service.manifest.Service.degraded then exit 3;
@@ -781,7 +885,8 @@ let campaign_serve_cmd =
         (const action $ spec_req_term $ workers_term $ record_dir_term
        $ out_term $ heartbeat_period_term $ heartbeat_timeout_term
        $ max_respawns_term $ respawn_backoff_term $ progress_timeout_term
-       $ wire_chaos_term))
+       $ wire_chaos_term $ status_out_term $ trace_events_term
+       $ manifest_out_term))
 
 let campaign_cmd =
   Cmd.group ~default:campaign_run_cmd
@@ -1158,6 +1263,226 @@ let synth_cmd =
        $ generations_term $ population_term $ driver_term $ record_out_term
        $ json_out_term))
 
+(* ---------- status ---------- *)
+
+let status_cmd =
+  let file_pos =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"STATUS"
+          ~doc:
+            "A status file written by --status-out ('campaign serve', \
+             'campaign --distributed' or in-process 'campaign').")
+  in
+  let action path =
+    let ( let* ) = Result.bind in
+    let* contents =
+      try
+        let ic = open_in_bin path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Ok s
+      with Sys_error m -> Error m
+    in
+    let* json =
+      Result.map_error
+        (fun m -> Printf.sprintf "%s: not JSON: %s" path m)
+        (Telemetry.Json.of_string (String.trim contents))
+    in
+    let mem name = Telemetry.Json.member name json in
+    let num name = Option.bind (mem name) Telemetry.Json.to_float in
+    let str name = Option.bind (mem name) Telemetry.Json.to_str in
+    let count name = match num name with Some v -> int_of_float v | None -> 0 in
+    Printf.printf "campaign: %s  status: %s\n"
+      (Option.value (str "name") ~default:"?")
+      (Option.value (str "status") ~default:"?");
+    let total = count "cells_total" and done_ = count "cells_done" in
+    let pct =
+      if total = 0 then 100. else 100. *. float_of_int done_ /. float_of_int total
+    in
+    Printf.printf "progress: %d/%d cells (%.1f%%), %d computed, %d resumed\n"
+      done_ total pct (count "computed") (count "resumed");
+    (match num "elapsed_seconds" with
+    | Some dt when dt > 0. ->
+        Printf.printf "elapsed: %.1fs (%.1f cells/s)\n" dt
+          (float_of_int (count "computed") /. dt)
+    | _ -> ());
+    let incidents =
+      List.filter
+        (fun (_, v) -> v > 0)
+        [
+          ("quarantined checkpoints", count "quarantined");
+          ("requeued shards", count "requeued_shards");
+          ("worker restarts", count "worker_restarts");
+          ("protocol errors", count "protocol_errors");
+          ("progress kills", count "progress_kills");
+        ]
+    in
+    if incidents <> [] then
+      Printf.printf "incidents: %s\n"
+        (String.concat ", "
+           (List.map (fun (l, v) -> Printf.sprintf "%d %s" v l) incidents));
+    (* per-worker health, when the service wrote the file *)
+    (match Option.bind (mem "workers") Telemetry.Json.to_list with
+    | None | Some [] -> ()
+    | Some ws ->
+        let cell name w =
+          match Telemetry.Json.member name w with
+          | Some (Telemetry.Json.Num v) -> Printf.sprintf "%g" v
+          | Some (Telemetry.Json.Str s) -> s
+          | Some (Telemetry.Json.Bool b) -> string_of_bool b
+          | _ -> "-"
+        in
+        Aat_bench_tables.print_table ~title:"workers"
+          ~header:
+            [ "slot"; "pid"; "alive"; "restarts"; "hb lag s"; "progress lag s";
+              "backoff s"; "shard"; "failure" ]
+          (List.map
+             (fun w ->
+               [
+                 cell "slot" w; cell "pid" w; cell "alive" w;
+                 cell "restarts" w; cell "heartbeat_lag_seconds" w;
+                 cell "progress_lag_seconds" w;
+                 cell "backoff_remaining_seconds" w; cell "shard_inflight" w;
+                 cell "failure" w;
+               ])
+             ws));
+    (* top error-ish counters from the metric snapshot *)
+    match mem "metrics" with
+    | None -> Ok ()
+    | Some mj -> (
+        match Obs.Metrics.Snapshot.of_json mj with
+        | Error m -> Error (Printf.sprintf "%s: bad metrics snapshot: %s" path m)
+        | Ok snap ->
+            let interesting name =
+              List.exists
+                (fun frag ->
+                  (* substring test *)
+                  let ln = String.length name and lf = String.length frag in
+                  let rec at i =
+                    i + lf <= ln && (String.sub name i lf = frag || at (i + 1))
+                  in
+                  at 0)
+                [
+                  "error"; "garbage"; "mismatch"; "resync"; "oversized";
+                  "fault"; "kill"; "requeue"; "quarantine"; "violation";
+                  "restart";
+                ]
+            in
+            let counters =
+              List.filter_map
+                (fun (s : Obs.Metrics.Snapshot.series) ->
+                  match s.Obs.Metrics.Snapshot.value with
+                  | Obs.Metrics.Snapshot.Counter v
+                    when v > 0. && interesting s.Obs.Metrics.Snapshot.name ->
+                      Some (s, v)
+                  | _ -> None)
+                snap
+              |> List.stable_sort (fun (_, a) (_, b) -> Float.compare b a)
+            in
+            (match counters with
+            | [] -> Printf.printf "error counters: none\n"
+            | _ ->
+                let rec take n = function
+                  | x :: rest when n > 0 -> x :: take (n - 1) rest
+                  | _ -> []
+                in
+                Aat_bench_tables.print_table ~title:"top error counters"
+                  ~header:[ "series"; "labels"; "count" ]
+                  (List.map
+                     (fun ((s : Obs.Metrics.Snapshot.series), v) ->
+                       [
+                         s.Obs.Metrics.Snapshot.name;
+                         String.concat ","
+                           (List.map
+                              (fun (k, lv) -> Printf.sprintf "%s=%s" k lv)
+                              s.Obs.Metrics.Snapshot.labels);
+                         Printf.sprintf "%g" v;
+                       ])
+                     (take 12 counters)));
+            Ok ())
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "Summarize a --status-out file: progress, rates, per-worker \
+          health and top error counters")
+    Term.(term_result' (const action $ file_pos))
+
+(* ---------- bench ---------- *)
+
+let bench_check_cmd =
+  let files_term =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"BENCH"
+          ~doc:"Committed BENCH_<TABLE>.json files to verify.")
+  in
+  let workers_term =
+    Arg.(
+      value & opt int 2
+      & info [ "workers"; "j" ] ~docv:"W"
+          ~doc:
+            "Worker domains for the parallel table groups (default 2; 0 \
+             means all cores). The determinism contract makes the bytes \
+             identical for every value — that is what the check relies \
+             on.")
+  in
+  let distributed_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "distributed" ] ~docv:"W"
+          ~doc:
+            "Regenerate the campaign-backed groups on $(docv) service \
+             worker processes instead of in-process domains (0 means all \
+             cores); the bytes must not change.")
+  in
+  let action files workers distributed =
+    let workers, distributed =
+      match distributed with
+      | Some w -> ((if w <= 0 then Pool.default_workers () else w), true)
+      | None -> ((if workers <= 0 then Pool.default_workers () else workers), false)
+    in
+    let drifts = Aat_bench_tables.check_files ~distributed ~workers files in
+    Aat_bench_tables.print_table ~title:"BENCH drift check"
+      ~header:[ "file"; "table"; "result" ]
+      (List.map
+         (fun (d : Aat_bench_tables.drift) ->
+           [
+             d.Aat_bench_tables.path;
+             Option.value d.Aat_bench_tables.table ~default:"?";
+             (match d.Aat_bench_tables.verdict with
+             | `Match -> "ok"
+             | `Drift detail -> "DRIFT: " ^ detail
+             | `Error m -> "ERROR: " ^ m);
+           ])
+         drifts);
+    if
+      List.for_all
+        (fun (d : Aat_bench_tables.drift) ->
+          d.Aat_bench_tables.verdict = `Match)
+        drifts
+    then Ok ()
+    else
+      Error
+        "BENCH drift detected — regenerate with 'dune exec bench/main.exe -- \
+         --table <NAME> --json-out' and commit the result"
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Regenerate committed BENCH_*.json table groups in memory and \
+          byte-compare (the CI drift gate)")
+    Term.(term_result' (const action $ files_term $ workers_term $ distributed_term))
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench" ~doc:"Experiment-table utilities")
+    [ bench_check_cmd ]
+
 let () =
   let doc = "round-optimal Byzantine approximate agreement on trees" in
   let info = Cmd.info "treeaa" ~version:"1.0.0" ~doc in
@@ -1174,4 +1499,6 @@ let () =
             trace_cmd;
             bounds_cmd;
             chain_cmd;
+            status_cmd;
+            bench_cmd;
           ]))

@@ -105,6 +105,13 @@ module Trace = Aat_obs.Trace
 module Recorder = Aat_obs.Recorder
 module Replay = Aat_obs.Replay
 
+(* service observability: the metrics registry and the span tracer
+   ([Metrics] names the tree-metric module above, so the registry is
+   exported under the Obs_ prefix; [Obs.Metrics]/[Obs.Span] also work) *)
+module Obs = Aat_obs
+module Obs_metrics = Aat_obs.Metrics
+module Obs_span = Aat_obs.Span
+
 (* the sharded multi-process campaign service with crash-resume *)
 module Service = Aat_service.Service
 module Service_wire = Aat_service.Wire

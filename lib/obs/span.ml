@@ -1,0 +1,251 @@
+module Json = Aat_telemetry.Jsonx
+
+type open_span = {
+  sid : int;
+  sname : string;
+  stid : int;
+  sparent : int option;
+  scat : string option;
+  sargs : (string * Json.t) list;
+  t0 : float;  (* clock seconds at enter *)
+  bseq : int;  (* sequence number reserved at enter — orders B before
+                  any child's B on a timestamp tie *)
+  mutable closed : bool;
+}
+
+type live = {
+  mutex : Mutex.t;
+  pid : int;
+  clock : unit -> float;
+  mutable seq : int;
+  (* (ts_us, seq, event), newest first; everything ever emitted *)
+  mutable all : (float * int * Json.t) list;
+  (* undrained completed events, newest first *)
+  mutable fresh : Json.t list;
+  mutable opened : open_span list;
+}
+
+type t = Null_tr | Live of live
+
+let null = Null_tr
+let is_null = function Null_tr -> true | Live _ -> false
+
+let create ?(pid = 0) ~clock () =
+  Live
+    {
+      mutex = Mutex.create ();
+      pid;
+      clock;
+      seq = 0;
+      all = [];
+      fresh = [];
+      opened = [];
+    }
+
+type span = open_span option
+
+let id = function None -> 0 | Some s -> s.sid
+
+let next_seq lv =
+  lv.seq <- lv.seq + 1;
+  lv.seq
+
+(* emit under the caller's lock *)
+let push lv ~ts ~seq ev =
+  lv.all <- (ts, seq, ev) :: lv.all;
+  lv.fresh <- ev :: lv.fresh
+
+let event ~name ~ph ~ts ~pid ~tid ?cat ?(args = []) () =
+  Json.Obj
+    ([
+       ("name", Json.Str name);
+       ("ph", Json.Str ph);
+       ("ts", Json.Num ts);
+       ("pid", Json.Num (float_of_int pid));
+       ("tid", Json.Num (float_of_int tid));
+     ]
+    @ (match cat with Some c -> [ ("cat", Json.Str c) ] | None -> [])
+    @ if args = [] then [] else [ ("args", Json.Obj args) ])
+
+let us seconds = seconds *. 1e6
+
+let enter t ?(tid = 0) ?parent ?cat ?args name =
+  match t with
+  | Null_tr -> None
+  | Live lv ->
+      Mutex.lock lv.mutex;
+      let sid = next_seq lv in
+      let bseq = next_seq lv in
+      let s =
+        {
+          sid;
+          sname = name;
+          stid = tid;
+          sparent = parent;
+          scat = cat;
+          sargs = Option.value args ~default:[];
+          t0 = lv.clock ();
+          bseq;
+          closed = false;
+        }
+      in
+      lv.opened <- s :: lv.opened;
+      Mutex.unlock lv.mutex;
+      Some s
+
+(* append the balanced B/E pair for a span closing at [t1]; lock held *)
+let emit_pair lv s ~t1 =
+  let args =
+    [ ("id", Json.Num (float_of_int s.sid)) ]
+    @ (match s.sparent with
+      | Some p -> [ ("parent", Json.Num (float_of_int p)) ]
+      | None -> [])
+    @ s.sargs
+  in
+  let b =
+    event ~name:s.sname ~ph:"B" ~ts:(us s.t0) ~pid:lv.pid ~tid:s.stid
+      ?cat:s.scat ~args ()
+  in
+  let e = event ~name:s.sname ~ph:"E" ~ts:(us t1) ~pid:lv.pid ~tid:s.stid () in
+  push lv ~ts:(us s.t0) ~seq:s.bseq b;
+  push lv ~ts:(us t1) ~seq:(next_seq lv) e
+
+let close t span =
+  match (t, span) with
+  | Null_tr, _ | _, None -> ()
+  | Live lv, Some s ->
+      Mutex.lock lv.mutex;
+      if not s.closed then begin
+        s.closed <- true;
+        lv.opened <- List.filter (fun o -> o != s) lv.opened;
+        emit_pair lv s ~t1:(lv.clock ())
+      end;
+      Mutex.unlock lv.mutex
+
+let complete t ?(tid = 0) ?parent ?cat ?args ~name ~start ~stop () =
+  match t with
+  | Null_tr -> 0
+  | Live lv ->
+      Mutex.lock lv.mutex;
+      let sid = next_seq lv in
+      let s =
+        {
+          sid;
+          sname = name;
+          stid = tid;
+          sparent = parent;
+          scat = cat;
+          sargs = Option.value args ~default:[];
+          t0 = start;
+          bseq = next_seq lv;
+          closed = true;
+        }
+      in
+      emit_pair lv s ~t1:stop;
+      Mutex.unlock lv.mutex;
+      sid
+
+let instant t ?(tid = 0) ?args name =
+  match t with
+  | Null_tr -> ()
+  | Live lv ->
+      Mutex.lock lv.mutex;
+      let ts = us (lv.clock ()) in
+      let ev =
+        Json.Obj
+          ([
+             ("name", Json.Str name);
+             ("ph", Json.Str "i");
+             ("ts", Json.Num ts);
+             ("pid", Json.Num (float_of_int lv.pid));
+             ("tid", Json.Num (float_of_int tid));
+             ("s", Json.Str "t");
+           ]
+          @
+          match args with
+          | Some a when a <> [] -> [ ("args", Json.Obj a) ]
+          | _ -> [])
+      in
+      push lv ~ts ~seq:(next_seq lv) ev;
+      Mutex.unlock lv.mutex
+
+let process_name t name =
+  match t with
+  | Null_tr -> ()
+  | Live lv ->
+      Mutex.lock lv.mutex;
+      let ev =
+        Json.Obj
+          [
+            ("name", Json.Str "process_name");
+            ("ph", Json.Str "M");
+            ("ts", Json.Num 0.);
+            ("pid", Json.Num (float_of_int lv.pid));
+            ("tid", Json.Num 0.);
+            ("args", Json.Obj [ ("name", Json.Str name) ]);
+          ]
+      in
+      push lv ~ts:(-1.) ~seq:(next_seq lv) ev;
+      Mutex.unlock lv.mutex
+
+let drain t =
+  match t with
+  | Null_tr -> []
+  | Live lv ->
+      Mutex.lock lv.mutex;
+      let out = List.rev lv.fresh in
+      lv.fresh <- [];
+      Mutex.unlock lv.mutex;
+      out
+
+let import t events =
+  match t with
+  | Null_tr -> ()
+  | Live lv ->
+      Mutex.lock lv.mutex;
+      List.iter
+        (fun ev ->
+          match ev with
+          | Json.Obj _ ->
+              let ts =
+                Option.value
+                  (Option.bind (Json.member "ts" ev) Json.to_float)
+                  ~default:0.
+              in
+              lv.all <- (ts, next_seq lv, ev) :: lv.all
+          | _ -> ())
+        events;
+      Mutex.unlock lv.mutex
+
+let close_all t =
+  match t with
+  | Null_tr -> ()
+  | Live lv ->
+      Mutex.lock lv.mutex;
+      let t1 = lv.clock () in
+      (* opened is newest-first, so this closes children before parents *)
+      List.iter
+        (fun s ->
+          if not s.closed then begin
+            s.closed <- true;
+            emit_pair lv s ~t1
+          end)
+        lv.opened;
+      lv.opened <- [];
+      Mutex.unlock lv.mutex
+
+let to_json t =
+  match t with
+  | Null_tr -> Json.Obj [ ("traceEvents", Json.Arr []) ]
+  | Live lv ->
+      Mutex.lock lv.mutex;
+      let events = lv.all in
+      Mutex.unlock lv.mutex;
+      let sorted =
+        List.stable_sort
+          (fun (ta, sa, _) (tb, sb, _) ->
+            match Float.compare ta tb with 0 -> compare sa sb | c -> c)
+          (List.rev events)
+      in
+      Json.Obj
+        [ ("traceEvents", Json.Arr (List.map (fun (_, _, ev) -> ev) sorted)) ]

@@ -123,6 +123,14 @@ let to_string t =
 
 type role = Coordinator | Worker
 
+type counts = {
+  mutable corrupted : int;
+  mutable torn : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable stalled : int;
+}
+
 type state = {
   plan : t;
   corrupt : Rng.t;
@@ -131,6 +139,7 @@ type state = {
   dup : Rng.t;
   stall : Rng.t;
   sleep : float -> unit;
+  counts : counts;
 }
 
 (* One independent SplitMix64 stream per fault kind per endpoint: which
@@ -159,7 +168,10 @@ let endpoint ?(sleep = Unix.sleepf) plan ~role ~slot ~incarnation =
     dup = stream 4;
     stall = stream 5;
     sleep;
+    counts = { corrupted = 0; torn = 0; dropped = 0; duplicated = 0; stalled = 0 };
   }
+
+let counts st = st.counts
 
 let fires rng prob =
   (* always draw, so the stream position is frame-indexed *)
@@ -178,6 +190,12 @@ let apply st frame ~write =
     let drop = fires st.drop plan.drop_frame in
     let dup = fires st.dup plan.dup_frame in
     let stall = fires st.stall plan.stall_prob in
+    let k = st.counts in
+    if corrupt then k.corrupted <- k.corrupted + 1;
+    if torn then k.torn <- k.torn + 1;
+    if drop then k.dropped <- k.dropped + 1;
+    if dup then k.duplicated <- k.duplicated + 1;
+    if stall then k.stalled <- k.stalled + 1;
     if not drop then begin
       if stall then st.sleep plan.stall_seconds;
       let mangled =

@@ -68,3 +68,20 @@ val apply : state -> Bytes.t -> write:(Bytes.t -> unit) -> unit
     plan: [write] is called with the (possibly mangled) bytes to put on
     the wire — zero times for a drop, twice for a duplicate. Every
     fault stream advances exactly once per call, fired or not. *)
+
+(** Cumulative injected-fault counters for one endpoint — the raw
+    material of the [chaos_faults_injected_total{kind}] metric series.
+    A fault is counted when it {e fires}, whether or not the mangled
+    frame survives the receiver's checksum. Because the schedule is
+    deterministic, these counts are a pure function of (plan, role,
+    slot, incarnation, frames written). *)
+type counts = {
+  mutable corrupted : int;
+  mutable torn : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable stalled : int;
+}
+
+val counts : state -> counts
+(** The live counter record (not a copy). *)

@@ -9,6 +9,8 @@ module Runner = Aat_campaign.Runner
 module Spec_io = Aat_obs.Spec_io
 module Recorder = Aat_obs.Recorder
 module Trace = Aat_obs.Trace
+module Metrics = Aat_obs.Metrics
+module Span = Aat_obs.Span
 module Rng = Aat_util.Rng
 
 type failure = { slot : int; restarts : int; cause : string }
@@ -48,14 +50,28 @@ let num i = Json.Num (float_of_int i)
 let msg_type j =
   match Json.member "type" j with Some (Json.Str s) -> s | _ -> ""
 
-let hello_msg ~spec ~heartbeat_period =
+(* The observability fields ([slot], [incarnation], [metrics], [trace],
+   [trace_parent]) are optional and only present when the coordinator
+   wants piggybacked telemetry: an old worker ignores them (unknown
+   fields are skipped), and with observability off the hello bytes are
+   exactly the pre-observability ones. *)
+let hello_msg ~spec ~heartbeat_period ~slot ~incarnation ~want_metrics
+    ~trace_parent =
   Json.Obj
-    [
-      ("type", Json.Str "hello");
-      ("format_version", Json.Str Telemetry.format_version_string);
-      ("heartbeat_period", Json.Num heartbeat_period);
-      ("spec", Spec_io.to_json spec);
-    ]
+    ([
+       ("type", Json.Str "hello");
+       ("format_version", Json.Str Telemetry.format_version_string);
+       ("heartbeat_period", Json.Num heartbeat_period);
+       ("spec", Spec_io.to_json spec);
+     ]
+    @ (if want_metrics || trace_parent <> None then
+         [ ("slot", num slot); ("incarnation", num incarnation) ]
+       else [])
+    @ (if want_metrics then [ ("metrics", Json.Bool true) ] else [])
+    @
+    match trace_parent with
+    | Some p -> [ ("trace", Json.Bool true); ("trace_parent", num p) ]
+    | None -> [])
 
 let ready_msg () =
   Json.Obj
@@ -65,17 +81,23 @@ let ready_msg () =
       ("pid", num (Unix.getpid ()));
     ]
 
-let shard_msg tasks =
+let shard_msg ?span tasks =
   Json.Obj
-    [
-      ("type", Json.Str "shard");
-      ( "tasks",
-        Json.Arr
-          (List.map
-             (fun (task, seed) ->
-               Json.Obj [ ("task", num task); ("task_seed", num seed) ])
-             tasks) );
-    ]
+    ([
+       ("type", Json.Str "shard");
+       ( "tasks",
+         Json.Arr
+           (List.map
+              (fun (task, seed) ->
+                Json.Obj [ ("task", num task); ("task_seed", num seed) ])
+              tasks) );
+     ]
+    @
+    (* the coordinator's shard-span id: parent for the worker's cell
+       spans; absent when tracing is off *)
+    match span with
+    | Some s -> [ ("span", num s) ]
+    | None -> [])
 
 let cell_msg ~task ~task_seed payload =
   Json.Obj
@@ -101,6 +123,55 @@ let int_field name j =
   | Some v -> v
   | None -> raise (Service_error (Printf.sprintf "missing %S field" name))
 
+let opt_int_field name j = Option.bind (Json.member name j) Json.to_int
+
+(* ------------------------------------------------------------------ *)
+(* endpoint telemetry: one socket end's wire-reader and chaos-injector
+   counters as snapshot series, labeled with who is counting *)
+
+let endpoint_series ~labels reader chaos =
+  let open Metrics.Snapshot in
+  let {
+    Wire.Reader.frames;
+    bytes;
+    garbage_events;
+    garbage_bytes;
+    crc_mismatches;
+    oversized;
+    resyncs;
+  } =
+    Wire.Reader.stats reader
+  in
+  let { Chaos.corrupted; torn; dropped; duplicated; stalled } =
+    Chaos.counts chaos
+  in
+  let c name v = series ~labels name (Counter (float_of_int v)) in
+  [
+    c "wire_frames_total" frames;
+    c "wire_bytes_total" bytes;
+    c "wire_garbage_events_total" garbage_events;
+    c "wire_garbage_bytes_total" garbage_bytes;
+    c "wire_crc_mismatch_total" crc_mismatches;
+    c "wire_oversized_total" oversized;
+    c "wire_resyncs_total" resyncs;
+  ]
+  @ List.filter_map
+      (fun (kind, v) ->
+        if v > 0 then
+          Some
+            (series
+               ~labels:(("kind", kind) :: labels)
+               "chaos_faults_injected_total"
+               (Counter (float_of_int v)))
+        else None)
+      [
+        ("corrupted", corrupted);
+        ("torn", torn);
+        ("dropped", dropped);
+        ("duplicated", duplicated);
+        ("stalled", stalled);
+      ]
+
 (* ------------------------------------------------------------------ *)
 (* worker process *)
 
@@ -110,11 +181,18 @@ let int_field name j =
    *rendered* outcome JSON — the coordinator re-renders it byte-for-byte
    (Jsonx round-trips exactly), which is what makes the distributed
    stream bit-identical to the in-process one. *)
-let run_cell spec ~task_seed =
+let run_cell ?(profile = false) spec ~task_seed =
   try
     let runner, engine_seed = Campaign.instantiate spec ~task_seed in
-    Ok (Campaign.json_of_outcome (runner.Runner.run ~seed:engine_seed ()))
+    Ok (runner.Runner.run ~seed:engine_seed ~profile ())
   with exn -> Error (Printexc.to_string exn)
+
+(* Render an outcome exactly as [Campaign.run]'s task body would have:
+   the profile block (only present when tracing asked for stage spans)
+   is stripped first, so the shipped bytes are identical whether or not
+   the worker profiled the run. *)
+let render_cell outcome =
+  Campaign.json_of_outcome { outcome with Runner.profile = None }
 
 let worker_main ~chaos fd =
   let reader = Wire.Reader.create fd in
@@ -154,7 +232,7 @@ let worker_main ~chaos fd =
     | Error e -> protocol_failure ("worker: frame is not JSON: " ^ e)
   in
   (* The handshake: the coordinator speaks first. *)
-  let spec, heartbeat_period =
+  let spec, heartbeat_period, slot, incarnation, want_metrics, trace_parent =
     match next_msg () with
     | None -> Unix._exit 0
     | Some payload -> (
@@ -177,7 +255,60 @@ let worker_main ~chaos fd =
                   | Some p when p > 0. -> p
                   | _ -> 0.25
                 in
-                (spec, period)))
+                let slot = Option.value (opt_int_field "slot" j) ~default:0 in
+                let incarnation =
+                  Option.value (opt_int_field "incarnation" j) ~default:0
+                in
+                let want_metrics =
+                  match Json.member "metrics" j with
+                  | Some (Json.Bool b) -> b
+                  | _ -> false
+                in
+                let trace_parent =
+                  match Json.member "trace" j with
+                  | Some (Json.Bool true) -> opt_int_field "trace_parent" j
+                  | _ -> None
+                in
+                (spec, period, slot, incarnation, want_metrics, trace_parent)))
+  in
+  let tracer =
+    if trace_parent = None then Span.null
+    else Span.create ~pid:(Unix.getpid ()) ~clock:Clock.now ()
+  in
+  Span.process_name tracer
+    (Printf.sprintf "treeaa worker slot %d (incarnation %d)" slot incarnation);
+  let cells_run = ref 0 in
+  let hb_seq = ref 0 in
+  let metric_labels =
+    [
+      ("incarnation", string_of_int incarnation);
+      ("role", "worker");
+      ("slot", string_of_int slot);
+    ]
+  in
+  (* Cumulative counters since worker start: a heartbeat eaten (or
+     duplicated) by the wire loses (or repeats) nothing, because the
+     coordinator replaces its per-slot view rather than summing deltas. *)
+  let piggyback_snapshot () =
+    Metrics.Snapshot.of_list
+      (Metrics.Snapshot.series ~labels:metric_labels "worker_cells_total"
+         (Metrics.Snapshot.Counter (float_of_int !cells_run))
+      :: endpoint_series ~labels:metric_labels reader chaos)
+  in
+  let heartbeat_msg () =
+    incr hb_seq;
+    Json.Obj
+      ([ ("type", Json.Str "heartbeat") ]
+      @ (if want_metrics || trace_parent <> None then
+           [ ("seq", num !hb_seq) ]
+         else [])
+      @ (if want_metrics then
+           [ ("metrics", Metrics.Snapshot.to_json (piggyback_snapshot ())) ]
+         else [])
+      @
+      match Span.drain tracer with
+      | [] -> []
+      | evs -> [ ("spans", Json.Arr evs) ])
   in
   locked_send (ready_msg ());
   (* Heartbeats ride a background thread so a long cell never looks like
@@ -188,7 +319,7 @@ let worker_main ~chaos fd =
       (fun () ->
         let rec loop () =
           Thread.delay heartbeat_period;
-          match locked_send (simple_msg "heartbeat") with
+          match locked_send (heartbeat_msg ()) with
           | () -> loop ()
           | exception _ -> Unix._exit 0
         in
@@ -207,15 +338,60 @@ let worker_main ~chaos fd =
               | Some l -> l
               | None -> raise (Service_error "worker: shard carries no tasks")
             in
+            let shard_span = opt_int_field "span" j in
+            let tracing = not (Span.is_null tracer) in
             List.iter
               (fun tj ->
                 let task = int_field "task" tj in
                 let task_seed = int_field "task_seed" tj in
-                let payload = run_cell spec ~task_seed in
+                let t0 = Clock.now () in
+                (* profile only when tracing wants the stage breakdown;
+                   the rendered bytes are profile-free either way *)
+                let result = run_cell ~profile:tracing spec ~task_seed in
+                let t1 = Clock.now () in
+                (match result with
+                | Ok o when tracing ->
+                    let cell_id =
+                      Span.complete tracer ?parent:shard_span ~cat:"cell"
+                        ~args:[ ("task", num task) ]
+                        ~name:(Printf.sprintf "cell %d" task)
+                        ~start:t0 ~stop:t1 ()
+                    in
+                    (match o.Runner.profile with
+                    | Some p ->
+                        (* reconstruct the stage intervals from their
+                           measured durations, laid end to end *)
+                        let s1 =
+                          t0 +. (float_of_int p.Runner.setup_ns /. 1e9)
+                        in
+                        let s2 =
+                          s1 +. (float_of_int p.Runner.rounds_ns /. 1e9)
+                        in
+                        let s3 =
+                          s2 +. (float_of_int p.Runner.checks_ns /. 1e9)
+                        in
+                        let stage name start stop =
+                          ignore
+                            (Span.complete tracer ~parent:cell_id
+                               ~cat:"stage" ~name ~start ~stop ())
+                        in
+                        stage "setup" t0 s1;
+                        stage "rounds" s1 s2;
+                        stage "checks" s2 s3
+                    | None -> ())
+                | _ -> ());
+                incr cells_run;
+                let payload = Result.map render_cell result in
                 locked_send (cell_msg ~task ~task_seed payload))
               tasks;
             locked_send (simple_msg "shard-done")
-        | "shutdown" -> Unix._exit 0
+        | "shutdown" ->
+            (* flush what the last heartbeat missed before exiting *)
+            (try
+               if want_metrics || trace_parent <> None then
+                 locked_send (heartbeat_msg ())
+             with _ -> ());
+            Unix._exit 0
         | _ -> () (* forward-compatible: ignore unknown message types *));
         serve ()
   in
@@ -327,17 +503,24 @@ type worker = {
   mutable pid : int;
   mutable reader : Wire.Reader.t;
   mutable chaos : Chaos.state;  (* coordinator-side injector for this fd *)
+  mutable incarnation : int;  (* incarnation reader/chaos belong to *)
   mutable shard : (int * int) list;  (* in-flight (task, task_seed) *)
   mutable last_seen : float;  (* monotonic: last byte from the worker *)
+  mutable last_heartbeat : float;  (* monotonic: last heartbeat frame *)
   mutable last_progress : float;  (* monotonic: last fresh cell / assign *)
   mutable restarts : int;
   mutable alive : bool;
   mutable respawn_at : float option;  (* monotonic backoff deadline *)
   mutable failure : string option;  (* permanent: respawn budget gone *)
+  mutable hb_seq : int;  (* highest piggyback seq seen (dedup) *)
+  mutable view : Metrics.Snapshot.t;  (* latest piggybacked snapshot *)
+  mutable shard_span : Span.span option;
+  mutable backoff_span : Span.span option;
   jitter : Rng.t;  (* seeded backoff jitter stream *)
 }
 
-let spawn ~spec ~heartbeat_period ~wire_chaos ~slot ~incarnation ~other_fds =
+let spawn ~spec ~heartbeat_period ~wire_chaos ~slot ~incarnation ~other_fds
+    ~want_metrics ~trace_parent =
   let parent_fd, child_fd =
     Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
   in
@@ -355,7 +538,9 @@ let spawn ~spec ~heartbeat_period ~wire_chaos ~slot ~incarnation ~other_fds =
       let chaos =
         Chaos.endpoint wire_chaos ~role:Chaos.Coordinator ~slot ~incarnation
       in
-      chaos_send chaos parent_fd (hello_msg ~spec ~heartbeat_period);
+      chaos_send chaos parent_fd
+        (hello_msg ~spec ~heartbeat_period ~slot ~incarnation ~want_metrics
+           ~trace_parent);
       (pid, parent_fd, chaos)
 
 let chunks size l =
@@ -369,8 +554,8 @@ let chunks size l =
 
 let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
     ?(heartbeat_timeout = 30.) ?(max_respawns = 2) ?(respawn_backoff = 0.5)
-    ?progress_timeout ?(wire_chaos = Chaos.none) ?kill_worker_after_cells
-    ?halt_after_cells spec =
+    ?progress_timeout ?(wire_chaos = Chaos.none) ?metrics ?status_out
+    ?trace_events ?kill_worker_after_cells ?halt_after_cells spec =
   match Campaign.Spec.validate spec with
   | Error m -> Error ("Service.run: " ^ m)
   | Ok () -> (
@@ -379,6 +564,23 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
       let seeds =
         Campaign.task_seeds ~base_seed:spec.Campaign.Spec.base_seed ~count:reps
       in
+      (* the deterministic registry: the caller's, or a private one so
+         --status-out works on its own; Metrics.null when nobody asked *)
+      let registry =
+        match metrics with
+        | Some m -> m
+        | None -> if status_out <> None then Metrics.create () else Metrics.null
+      in
+      let want_metrics =
+        status_out <> None || not (Metrics.is_null registry)
+      in
+      let tracer =
+        match trace_events with
+        | Some _ -> Span.create ~pid:(Unix.getpid ()) ~clock:Clock.now ()
+        | None -> Span.null
+      in
+      let observing = want_metrics || not (Span.is_null tracer) in
+      let started_at = Clock.now () in
       let cells = Array.make reps None in
       let resumed, quarantined =
         match record_dir with
@@ -388,6 +590,14 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
             mkdir_p dir;
             r
       in
+      (* resumed checkpoints count exactly like freshly computed cells:
+         the deterministic snapshot is a function of the cell set, not
+         of which process (or which run) computed each cell *)
+      Array.iter
+        (function
+          | Some payload -> Metrics.record_cell registry payload
+          | None -> ())
+        cells;
       let pending =
         List.filter (fun i -> cells.(i) = None) (List.init reps Fun.id)
       in
@@ -396,6 +606,73 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
       let worker_restarts = ref 0 in
       let protocol_errors = ref 0 in
       let progress_kills = ref 0 in
+      (* Atomically rewrite the status JSON + its Prometheus twin, and
+         the cumulative Chrome trace file. [extra_series] carries the
+         per-slot gauges and the aggregated worker endpoint views; the
+         deterministic registry and the coordinator's operational
+         counters are folded in here. Timing-derived series are outside
+         the determinism contract. *)
+      let write_observability ~label ~workers_json ~extra_series () =
+        (match status_out with
+        | None -> ()
+        | Some path ->
+            let now = Clock.now () in
+            let cells_done =
+              Array.fold_left
+                (fun acc c -> if c = None then acc else acc + 1)
+                0 cells
+            in
+            let operational =
+              let open Metrics.Snapshot in
+              let c name v = series name (Counter (float_of_int v)) in
+              [
+                series "service_cells_done" (Gauge (float_of_int cells_done));
+                c "service_cells_computed_total" !computed;
+                c "service_cells_resumed_total" resumed;
+                series "service_cells_total" (Gauge (float_of_int reps));
+                series "service_elapsed_seconds" (Gauge (now -. started_at));
+                c "service_progress_kills_total" !progress_kills;
+                c "service_protocol_errors_total" !protocol_errors;
+                c "service_quarantined_total" quarantined;
+                c "service_requeued_shards_total" !requeued_shards;
+                c "service_worker_restarts_total" !worker_restarts;
+              ]
+            in
+            let snap =
+              Metrics.Snapshot.merge (Metrics.snapshot registry)
+                (Metrics.Snapshot.of_list (operational @ extra_series))
+            in
+            let j =
+              Json.Obj
+                [
+                  ("type", Json.Str "service-status");
+                  ( "format_version",
+                    Json.Str Telemetry.format_version_string );
+                  ("name", Json.Str spec.Campaign.Spec.name);
+                  ("status", Json.Str label);
+                  ("cells_total", num reps);
+                  ("cells_done", num cells_done);
+                  ("computed", num !computed);
+                  ("resumed", num resumed);
+                  ("quarantined", num quarantined);
+                  ("requeued_shards", num !requeued_shards);
+                  ("worker_restarts", num !worker_restarts);
+                  ("protocol_errors", num !protocol_errors);
+                  ("progress_kills", num !progress_kills);
+                  ("elapsed_seconds", Json.Num (now -. started_at));
+                  ("workers", Json.Arr workers_json);
+                  ("metrics", Metrics.Snapshot.to_json snap);
+                ]
+            in
+            Metrics.write_atomic ~path (Json.to_string j ^ "\n");
+            Metrics.write_atomic ~path:(path ^ ".prom")
+              (Metrics.Snapshot.to_prometheus snap));
+        match trace_events with
+        | None -> ()
+        | Some path ->
+            Metrics.write_atomic ~path
+              (Json.to_string (Span.to_json tracer) ^ "\n")
+      in
       let finish ~status ~spawned ~shards ~failures =
         let aggregate =
           Array.fold_left
@@ -427,8 +704,12 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
             };
         }
       in
-      if pending = [] then
+      if pending = [] then begin
+        if observing then
+          write_observability ~label:"completed" ~workers_json:[]
+            ~extra_series:[] ();
         Ok (finish ~status:Completed ~spawned:0 ~shards:0 ~failures:[])
+      end
       else begin
         (* Shards are contiguous task-index runs, sized so each worker
            sees several shards: failure loses at most one shard's worth
@@ -450,19 +731,43 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
             (fun w -> if w.alive then Some (Wire.Reader.fd w.reader) else None)
             !pool
         in
+        (* endpoint counters of dead incarnations (coordinator side) and
+           final piggybacked views of dead workers: incarnation labels
+           keep the keys disjoint, so the merge is a union *)
+        let retired = ref ([] : Metrics.Snapshot.t) in
+        let root_id = ref 0 in
+        let parent_opt () = if !root_id = 0 then None else Some !root_id in
+        let coord_labels w =
+          [
+            ("incarnation", string_of_int w.incarnation);
+            ("role", "coordinator");
+            ("slot", string_of_int w.slot);
+          ]
+        in
         let spawn_into w =
+          if observing && w.pid <> 0 then
+            retired :=
+              Metrics.Snapshot.merge !retired
+                (Metrics.Snapshot.of_list
+                   (endpoint_series ~labels:(coord_labels w) w.reader w.chaos));
           let pid, fd, chaos =
             spawn ~spec ~heartbeat_period ~wire_chaos ~slot:w.slot
-              ~incarnation:w.restarts ~other_fds:(pool_fds ())
+              ~incarnation:w.restarts ~other_fds:(pool_fds ()) ~want_metrics
+              ~trace_parent:
+                (if Span.is_null tracer then None else Some !root_id)
           in
           let now = Clock.now () in
           w.pid <- pid;
           w.reader <- Wire.Reader.create fd;
           w.chaos <- chaos;
+          w.incarnation <- w.restarts;
           w.shard <- [];
           w.last_seen <- now;
+          w.last_heartbeat <- now;
           w.last_progress <- now;
           w.respawn_at <- None;
+          w.hb_seq <- 0;
+          w.view <- [];
           w.alive <- true
         in
         let done_count () =
@@ -497,6 +802,16 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
               List.filter (fun (t, _) -> cells.(t) = None) w.shard
             in
             w.shard <- [];
+            (match w.shard_span with
+            | Some s ->
+                Span.close tracer s;
+                w.shard_span <- None
+            | None -> ());
+            (* the dead incarnation's last piggybacked view is final *)
+            if observing && w.view <> [] then begin
+              retired := Metrics.Snapshot.merge !retired w.view;
+              w.view <- []
+            end;
             if remaining <> [] then begin
               queue := remaining :: !queue;
               incr requeued_shards
@@ -508,7 +823,15 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
                   *. (2. ** float_of_int w.restarts)
                   *. (0.5 +. Rng.float w.jitter 1.0)
                 in
-                w.respawn_at <- Some (Clock.now () +. delay)
+                w.respawn_at <- Some (Clock.now () +. delay);
+                if not (Span.is_null tracer) then
+                  w.backoff_span <-
+                    Some
+                      (Span.enter tracer ~tid:(w.slot + 1)
+                         ?parent:(parent_opt ()) ~cat:"backoff"
+                         ~args:[ ("cause", Json.Str cause) ]
+                         (Printf.sprintf "backoff before restart %d"
+                            (w.restarts + 1)))
               end
               else w.failure <- Some cause
           end
@@ -518,6 +841,9 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
            later bytes to trust, so kill, requeue, respawn with backoff. *)
         let poison w detail =
           incr protocol_errors;
+          Span.instant tracer ~tid:(w.slot + 1)
+            ~args:[ ("detail", Json.Str detail) ]
+            "protocol-error";
           (try Unix.kill w.pid Sys.sigkill with _ -> ());
           handle_death ~cause:("protocol error: " ^ detail) w
         in
@@ -546,6 +872,7 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
           if cells.(task) = None then begin
             cells.(task) <- Some payload;
             incr computed;
+            Metrics.record_cell registry payload;
             (match (record_dir, payload) with
             | Some dir, Ok o ->
                 checkpoint ~dir ~spec ~task ~task_seed:seeds.(task) o
@@ -558,6 +885,27 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
             match halt_after_cells with
             | Some n when !computed >= n -> halted := true
             | _ -> ()
+          end
+        in
+        (* A heartbeat may piggyback the worker's cumulative metric
+           snapshot and its drained trace events. The seq field dedups
+           wire-duplicated heartbeats (dup-frame chaos), so spans are
+           imported exactly once; the metric snapshot is cumulative, so
+           replacing the view is idempotent anyway. *)
+        let handle_heartbeat w j =
+          w.last_heartbeat <- Clock.now ();
+          let seq = Option.value (opt_int_field "seq" j) ~default:0 in
+          if seq > w.hb_seq then begin
+            w.hb_seq <- seq;
+            (match Json.member "metrics" j with
+            | Some mj -> (
+                match Metrics.Snapshot.of_json mj with
+                | Ok snap -> w.view <- snap
+                | Error _ -> ())
+            | None -> ());
+            match Option.bind (Json.member "spans" j) Json.to_list with
+            | Some evs -> Span.import tracer evs
+            | None -> ()
           end
         in
         let handle_msg w payload =
@@ -579,7 +927,12 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
                     queue := missing :: !queue;
                     incr requeued_shards
                   end;
-                  w.shard <- []
+                  w.shard <- [];
+                  (match w.shard_span with
+                  | Some s ->
+                      Span.close tracer s;
+                      w.shard_span <- None
+                  | None -> ())
               | "protocol-error" ->
                   let detail =
                     match
@@ -589,7 +942,8 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
                     | None -> "unspecified"
                   in
                   poison w ("worker reported: " ^ detail)
-              | "ready" | "heartbeat" -> ()
+              | "heartbeat" -> handle_heartbeat w j
+              | "ready" -> ()
               | _ -> ())
         in
         let handle_readable w =
@@ -615,7 +969,25 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
               queue := rest;
               w.shard <- shard;
               w.last_progress <- Clock.now ();
-              safe_send w (shard_msg shard)
+              let span =
+                if Span.is_null tracer then None
+                else begin
+                  let lo =
+                    List.fold_left (fun a (t, _) -> min a t) max_int shard
+                  in
+                  let hi =
+                    List.fold_left (fun a (t, _) -> max a t) min_int shard
+                  in
+                  let s =
+                    Span.enter tracer ~tid:(w.slot + 1)
+                      ?parent:(parent_opt ()) ~cat:"shard"
+                      (Printf.sprintf "shard cells %d-%d" lo hi)
+                  in
+                  w.shard_span <- Some s;
+                  Some (Span.id s)
+                end
+              in
+              safe_send w (shard_msg ?span shard)
         in
         let respawn_due now =
           List.iter
@@ -628,6 +1000,11 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
                      surviving worker dies with work in flight. *)
                   if !queue <> [] then begin
                     w.respawn_at <- None;
+                    (match w.backoff_span with
+                    | Some s ->
+                        Span.close tracer s;
+                        w.backoff_span <- None
+                    | None -> ());
                     w.restarts <- w.restarts + 1;
                     incr worker_restarts;
                     spawn_into w
@@ -661,7 +1038,86 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
                  outstanding — "
                ^ String.concat "; " causes))
         in
+        (* the live per-slot gauges + every endpoint's wire/chaos view:
+           current incarnations read live, dead ones come from [retired] *)
+        let pool_extra now =
+          !retired
+          @ List.concat_map
+              (fun w ->
+                let open Metrics.Snapshot in
+                let sl = [ ("slot", string_of_int w.slot) ] in
+                [
+                  series ~labels:sl "service_backoff_remaining_seconds"
+                    (Gauge
+                       (match w.respawn_at with
+                       | Some at -> Float.max 0. (at -. now)
+                       | None -> 0.));
+                  series ~labels:sl "service_heartbeat_lag_seconds"
+                    (Gauge
+                       (if w.alive then Float.max 0. (now -. w.last_heartbeat)
+                        else 0.));
+                  series ~labels:sl "service_progress_lag_seconds"
+                    (Gauge
+                       (if w.alive then Float.max 0. (now -. w.last_progress)
+                        else 0.));
+                  series ~labels:sl "service_shard_inflight"
+                    (Gauge (float_of_int (List.length w.shard)));
+                  series ~labels:sl "service_worker_alive"
+                    (Gauge (if w.alive then 1. else 0.));
+                  series ~labels:sl "service_worker_restarts"
+                    (Gauge (float_of_int w.restarts));
+                ]
+                @ w.view
+                @
+                if w.pid <> 0 then
+                  endpoint_series ~labels:(coord_labels w) w.reader w.chaos
+                else [])
+              !pool
+        in
+        let pool_workers_json now =
+          List.map
+            (fun w ->
+              Json.Obj
+                [
+                  ("slot", num w.slot);
+                  ("pid", num w.pid);
+                  ("alive", Json.Bool w.alive);
+                  ("restarts", num w.restarts);
+                  ("incarnation", num w.incarnation);
+                  ( "heartbeat_lag_seconds",
+                    Json.Num
+                      (if w.alive then Float.max 0. (now -. w.last_heartbeat)
+                       else 0.) );
+                  ( "progress_lag_seconds",
+                    Json.Num
+                      (if w.alive then Float.max 0. (now -. w.last_progress)
+                       else 0.) );
+                  ( "backoff_remaining_seconds",
+                    Json.Num
+                      (match w.respawn_at with
+                      | Some at -> Float.max 0. (at -. now)
+                      | None -> 0.) );
+                  ("shard_inflight", num (List.length w.shard));
+                  ( "failure",
+                    match w.failure with
+                    | Some c -> Json.Str c
+                    | None -> Json.Null );
+                ])
+            !pool
+        in
+        let write_live ~label () =
+          if observing then begin
+            let now = Clock.now () in
+            write_observability ~label ~workers_json:(pool_workers_json now)
+              ~extra_series:(pool_extra now) ()
+          end
+        in
         let serve () =
+          Span.process_name tracer "treeaa coordinator";
+          root_id :=
+            Span.id
+              (Span.enter tracer ~tid:0 ~cat:"campaign"
+                 spec.Campaign.Spec.name);
           for slot = 0 to n_spawn - 1 do
             let w =
               {
@@ -671,13 +1127,19 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
                 chaos =
                   Chaos.endpoint Chaos.none ~role:Chaos.Coordinator ~slot
                     ~incarnation:0 (* replaced *);
+                incarnation = 0;
                 shard = [];
                 last_seen = 0.;
+                last_heartbeat = 0.;
                 last_progress = 0.;
                 restarts = 0;
                 alive = false;
                 respawn_at = None;
                 failure = None;
+                hb_seq = 0;
+                view = [];
+                shard_span = None;
+                backoff_span = None;
                 jitter =
                   Rng.create
                     (spec.Campaign.Spec.base_seed + (0x2545F491 * (slot + 1)));
@@ -687,6 +1149,8 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
             spawn_into w
           done;
           List.iter assign !pool;
+          write_live ~label:"running" ();
+          let last_status = ref (Clock.now ()) in
           while (not !halted) && done_count () < reps do
             respawn_due (Clock.now ());
             (match List.filter (fun w -> w.alive) !pool with
@@ -717,6 +1181,8 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
                       (fun w ->
                         if w.alive then
                           if now -. w.last_seen > heartbeat_timeout then begin
+                            Span.instant tracer ~tid:(w.slot + 1)
+                              "heartbeat-timeout kill";
                             (try Unix.kill w.pid Sys.sigkill with _ -> ());
                             handle_death ~cause:"heartbeat timeout" w
                           end
@@ -729,6 +1195,8 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
                                    cells ship (e.g. a shard frame the
                                    wire ate). Kill and requeue. *)
                                 incr progress_kills;
+                                Span.instant tracer ~tid:(w.slot + 1)
+                                  "progress-timeout kill";
                                 (try Unix.kill w.pid Sys.sigkill
                                  with _ -> ());
                                 handle_death
@@ -741,7 +1209,12 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
             if not !halted then
               List.iter
                 (fun w -> if w.alive && w.shard = [] then assign w)
-                !pool
+                !pool;
+            if observing && Clock.now () -. !last_status >= heartbeat_period
+            then begin
+              last_status := Clock.now ();
+              write_live ~label:"running" ()
+            end
           done;
           let failures () =
             List.filter_map
@@ -762,6 +1235,50 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
             List.iter
               (fun w -> if w.alive then safe_send w (simple_msg "shutdown"))
               !pool;
+            (* workers flush a final piggyback heartbeat on shutdown:
+               drain it (bounded) so the last snapshot and spans land in
+               the final status/trace files, then reap on EOF *)
+            if observing then begin
+              let deadline = Clock.now () +. (2. *. heartbeat_period) +. 0.5 in
+              let rec drain_final () =
+                let live = List.filter (fun w -> w.alive) !pool in
+                if live <> [] && Clock.now () < deadline then begin
+                  let fds =
+                    List.map (fun w -> Wire.Reader.fd w.reader) live
+                  in
+                  (match Unix.select fds [] [] 0.05 with
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                  | readable, _, _ ->
+                      List.iter
+                        (fun w ->
+                          if
+                            w.alive
+                            && List.mem (Wire.Reader.fd w.reader) readable
+                          then
+                            match Wire.Reader.poll w.reader with
+                            | Wire.Reader.Eof ->
+                                (try Unix.close (Wire.Reader.fd w.reader)
+                                 with _ -> ());
+                                (try ignore (Unix.waitpid [] w.pid)
+                                 with _ -> ());
+                                w.alive <- false
+                            | Wire.Reader.Frames fs ->
+                                List.iter
+                                  (function
+                                    | Ok p -> (
+                                        match Json.of_string p with
+                                        | Ok j
+                                          when msg_type j = "heartbeat" ->
+                                            handle_heartbeat w j
+                                        | _ -> ())
+                                    | Error _ -> ())
+                                  fs)
+                        live);
+                  drain_final ()
+                end
+              in
+              drain_final ()
+            end;
             List.iter
               (fun w ->
                 if w.alive then begin
@@ -777,10 +1294,24 @@ let run ?(workers = 1) ?record_dir ?(heartbeat_period = 0.25)
         match serve () with
         | result ->
             restore_sigpipe ();
+            if observing then begin
+              Span.close_all tracer;
+              write_live
+                ~label:
+                  (match result.status with
+                  | Completed -> "completed"
+                  | Halted _ -> "halted")
+                ()
+            end;
             Ok result
         | exception exn ->
             kill_all ();
             restore_sigpipe ();
+            (if observing then
+               try
+                 Span.close_all tracer;
+                 write_live ~label:"failed" ()
+               with _ -> ());
             Error
               (match exn with
               | Service_error m -> m

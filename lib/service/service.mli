@@ -104,6 +104,9 @@ val run :
   ?respawn_backoff:float ->
   ?progress_timeout:float ->
   ?wire_chaos:Chaos.t ->
+  ?metrics:Aat_obs.Metrics.t ->
+  ?status_out:string ->
+  ?trace_events:string ->
   ?kill_worker_after_cells:int ->
   ?halt_after_cells:int ->
   Aat_campaign.Campaign.Spec.t ->
@@ -123,6 +126,28 @@ val run :
     [[0.5, 1.5)]) between a slot's death and its respawn. [wire_chaos]
     (default {!Chaos.none}) injects deterministic wire faults for
     drills.
+
+    {b Observability} (docs/OBSERVABILITY.md, "Service metrics & live
+    status"). [metrics] (default {!Aat_obs.Metrics.null}) receives the
+    deterministic [campaign_*] series — every resumed and fresh cell is
+    folded through [Metrics.record_cell], so the snapshot is
+    bit-identical to an in-process run's for any worker count.
+    [status_out FILE] atomically rewrites a [service-status] JSON (plus
+    a Prometheus twin at [FILE.prom]) at least every [heartbeat_period]:
+    progress counters, per-slot health (heartbeat/progress lag, backoff
+    deadlines), and the merged metric snapshot — the deterministic
+    registry plus operational series (wire/chaos endpoint counters
+    piggybacked on worker heartbeats, per-slot gauges), the latter
+    timing-dependent and outside the determinism contract. If [metrics]
+    is not supplied, [status_out] creates a private registry.
+    [trace_events FILE] collects Chrome trace-event JSON (open in
+    chrome://tracing or Perfetto): the coordinator's campaign root span
+    (tid 0), per-slot shard and backoff spans (tid = slot+1), kill
+    instants, and — carried over the wire by heartbeat piggyback — each
+    worker's per-cell spans with setup/rounds/checks stage sub-spans.
+    Span parent ids cross the process boundary via the [shard] message.
+    Spans a SIGKILLed worker had not yet flushed are lost; span timing
+    is wall-clock ([Clock.now]) and outside the determinism contract.
 
     Test hooks, for deterministic crash drills: [kill_worker_after_cells
     n] SIGKILLs the worker that delivered the [n]-th fresh cell (once);

@@ -83,14 +83,42 @@ module Reader = struct
 
   let error_to_string e = Format.asprintf "%a" pp_error e
 
+  type stats = {
+    mutable frames : int;
+    mutable bytes : int;
+    mutable garbage_events : int;
+    mutable garbage_bytes : int;
+    mutable crc_mismatches : int;
+    mutable oversized : int;
+    mutable resyncs : int;
+  }
+
   type t = {
     fd : Unix.file_descr;
     mutable pending : string;  (* bytes received but not yet framed *)
     chunk : Bytes.t;
+    stats : stats;
   }
 
-  let create fd = { fd; pending = ""; chunk = Bytes.create 65536 }
+  let create fd =
+    {
+      fd;
+      pending = "";
+      chunk = Bytes.create 65536;
+      stats =
+        {
+          frames = 0;
+          bytes = 0;
+          garbage_events = 0;
+          garbage_bytes = 0;
+          crc_mismatches = 0;
+          oversized = 0;
+          resyncs = 0;
+        };
+    }
+
   let fd t = t.fd
+  let stats t = t.stats
 
   type event = Frames of (string, error) result list | Eof
 
@@ -130,7 +158,21 @@ module Reader = struct
      Never raises. *)
   let drain t =
     let out = ref [] in
-    let emit x = out := x :: !out in
+    let emit x =
+      (match x with
+      | Ok _ -> t.stats.frames <- t.stats.frames + 1
+      | Error (Garbage n) ->
+          t.stats.garbage_events <- t.stats.garbage_events + 1;
+          t.stats.garbage_bytes <- t.stats.garbage_bytes + n;
+          t.stats.resyncs <- t.stats.resyncs + 1
+      | Error (Oversized_frame _) ->
+          t.stats.oversized <- t.stats.oversized + 1;
+          t.stats.resyncs <- t.stats.resyncs + 1
+      | Error (Checksum_mismatch _) ->
+          t.stats.crc_mismatches <- t.stats.crc_mismatches + 1;
+          t.stats.resyncs <- t.stats.resyncs + 1);
+      out := x :: !out
+    in
     let pos = ref 0 in
     let s = t.pending in
     let len = String.length s in
@@ -188,6 +230,7 @@ module Reader = struct
     List.rev !out
 
   let feed t bytes =
+    t.stats.bytes <- t.stats.bytes + String.length bytes;
     t.pending <- t.pending ^ bytes;
     drain t
 

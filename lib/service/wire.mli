@@ -62,6 +62,24 @@ module Reader : sig
   val create : Unix.file_descr -> t
   val fd : t -> Unix.file_descr
 
+  (** Cumulative per-endpoint counters since {!create} — the raw
+      material of the [wire_*] metric series (docs/OBSERVABILITY.md).
+      Counts are bumped as events are produced, so they also accrue
+      through {!feed} in tests. [resyncs] counts every resynchronization
+      scan (one per typed error). *)
+  type stats = {
+    mutable frames : int;  (** intact payloads delivered *)
+    mutable bytes : int;  (** raw bytes fed, framed or not *)
+    mutable garbage_events : int;
+    mutable garbage_bytes : int;
+    mutable crc_mismatches : int;
+    mutable oversized : int;
+    mutable resyncs : int;
+  }
+
+  val stats : t -> stats
+  (** The live counter record (not a copy). *)
+
   type event =
     | Frames of (string, error) result list
         (** complete payloads and detected corruptions, in arrival
